@@ -1,0 +1,408 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (§6), plus
+// ablation benches for the design choices called out in DESIGN.md. Each
+// bench reports the reproduced quality metric(s) through b.ReportMetric next
+// to the usual time/op, so `go test -bench=.` regenerates both the paper's
+// numbers and their cost.
+//
+// The experimental apparatus (synthetic web, classifiers, datasets) is built
+// once and shared across benchmarks; construction cost is measured by
+// BenchmarkLabConstruction.
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/classify"
+	"repro/internal/disambig"
+	"repro/internal/eval"
+	"repro/internal/gazetteer"
+	"repro/internal/kb"
+	"repro/internal/rdf"
+	"repro/internal/search"
+	"repro/internal/table"
+	"repro/internal/textproc"
+	"repro/internal/world"
+)
+
+var (
+	benchOnce sync.Once
+	benchLab  *eval.Lab
+)
+
+func lab() *eval.Lab {
+	benchOnce.Do(func() {
+		benchLab = eval.NewLab(eval.LabConfig{
+			Seed:              42,
+			KBPerType:         60,
+			SnippetsPerEntity: 5,
+			MaxTrainEntities:  60,
+		})
+	})
+	return benchLab
+}
+
+// BenchmarkLabConstruction measures the one-off cost of building the whole
+// apparatus: universe, corpus, index, knowledge base, classifier training.
+func BenchmarkLabConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eval.NewLab(eval.LabConfig{
+			Seed:              int64(i + 1),
+			KBPerType:         30,
+			SnippetsPerEntity: 4,
+			MaxTrainEntities:  30,
+		})
+	}
+}
+
+// BenchmarkTable2ClassifierTraining regenerates Table 2: collect the
+// training corpus via the knowledge base + search engine and train both
+// classifiers. Reports the macro-averaged held-out F of each classifier.
+func BenchmarkTable2ClassifierTraining(b *testing.B) {
+	l := lab()
+	builder := &kb.TrainingBuilder{
+		KB: l.KB, Engine: l.Engine,
+		SnippetsPerEntity: 5, MaxEntities: 40, Seed: 7,
+	}
+	var svmF, bayesF float64
+	for i := 0; i < b.N; i++ {
+		train, test, _ := builder.Collect(world.AllTypes)
+		svm := classify.LinearSVMTrainer{Seed: int64(i)}.Train(train)
+		bayes := classify.BayesTrainer{}.Train(train)
+		_, svmPer := classify.Evaluate(svm, test)
+		_, bayesPer := classify.Evaluate(bayes, test)
+		svmF = classify.MacroF1(svmPer)
+		bayesF = classify.MacroF1(bayesPer)
+	}
+	b.ReportMetric(svmF, "svmF")
+	b.ReportMetric(bayesF, "bayesF")
+}
+
+// BenchmarkTable1Annotation regenerates Table 1: the full SVM+postprocessing
+// pipeline over the 40-table GFT dataset. Reports the POI / people / cinema
+// macro-averaged F-measures.
+func BenchmarkTable1Annotation(b *testing.B) {
+	l := lab()
+	var rows []eval.Table1Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = l.Table1()
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		switch r.Type {
+		case "AVERAGE (poi)":
+			b.ReportMetric(r.SVM[2], "poiF")
+		case "AVERAGE (people)":
+			b.ReportMetric(r.SVM[2], "peopleF")
+		case "AVERAGE (cinema)":
+			b.ReportMetric(r.SVM[2], "cinemaF")
+		}
+	}
+}
+
+// BenchmarkTable3Ablation regenerates Table 3: the pipeline without
+// post-processing, with it, and with spatial disambiguation. Reports the
+// across-type mean F of each setting.
+func BenchmarkTable3Ablation(b *testing.B) {
+	l := lab()
+	var rows []eval.Table3Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = l.Table3()
+	}
+	b.StopTimer()
+	var plain, post, dis float64
+	var nDis int
+	for _, r := range rows {
+		plain += r.SVM
+		post += r.Post
+		if r.Disambig >= 0 {
+			dis += r.Disambig
+			nDis++
+		}
+	}
+	n := float64(len(rows))
+	b.ReportMetric(plain/n, "F_svm")
+	b.ReportMetric(post/n, "F_post")
+	if nDis > 0 {
+		b.ReportMetric(dis/float64(nDis), "F_disambig")
+	}
+}
+
+// BenchmarkWikiManualComparison regenerates §6.3: our algorithm vs the
+// catalogue comparator on the Wiki Manual dataset. The paper reports F 0.84
+// vs 0.8382 — the claim is parity, not a gap.
+func BenchmarkWikiManualComparison(b *testing.B) {
+	l := lab()
+	var c eval.ComparisonResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c = l.WikiComparison()
+	}
+	b.StopTimer()
+	b.ReportMetric(c.OurF, "ourF")
+	b.ReportMetric(c.CatalogueF, "catalogueF")
+}
+
+// BenchmarkEfficiencyPerRow regenerates §6.4: per-row annotation cost. The
+// wall-clock per row at the paper's latency regime is reported as
+// estSecPerRow (the paper observes ~0.5 s/row); the benchmark itself runs
+// with virtual latency so time/op is the pure compute cost.
+func BenchmarkEfficiencyPerRow(b *testing.B) {
+	l := lab()
+	var rows []eval.EfficiencyRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = l.Efficiency([]int{100}, 500*time.Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].EstSecondsPerRow, "estSecPerRow")
+	b.ReportMetric(rows[0].QueriesPerRow, "queriesPerRow")
+}
+
+// BenchmarkDisambiguationGraph regenerates Figure 7: resolving a table's
+// worth of ambiguous partial addresses through the voting graph.
+func BenchmarkDisambiguationGraph(b *testing.B) {
+	g := gazetteer.Synthetic(1)
+	streets := []string{"Pennsylvania Avenue", "Wofford Lane", "Clarksville Street", "Main Street", "Oak Street", "High Street"}
+	cities := []string{"Washington", "Paris", "College Park", "Springfield", "Cambridge", "Richmond"}
+	var interps []disambig.Interpretation
+	for i := 0; i < 50; i++ {
+		if cands := g.Geocode(streets[i%len(streets)]); len(cands) > 0 {
+			interps = append(interps, disambig.Interpretation{
+				Cell: disambig.CellRef{Row: i + 1, Col: 1}, Candidates: cands})
+		}
+		if cands := g.Lookup(cities[i%len(cities)], gazetteer.City); len(cands) > 0 {
+			interps = append(interps, disambig.Interpretation{
+				Cell: disambig.CellRef{Row: i + 1, Col: 2}, Candidates: cands})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disambig.Resolve(interps, g)
+	}
+}
+
+// BenchmarkAblationKernelVsLinearSVM compares the paper's LibSVM-style RBF
+// C-SVC (trained with SMO plus the grid search of §6.1) against the linear
+// Pegasos SVM used for the large corpora — the classifier substitution
+// DESIGN.md calls out. Reports the held-out accuracy of both.
+func BenchmarkAblationKernelVsLinearSVM(b *testing.B) {
+	l := lab()
+	builder := &kb.TrainingBuilder{
+		KB: l.KB, Engine: l.Engine,
+		SnippetsPerEntity: 4, MaxEntities: 12, Seed: 9,
+	}
+	train, test, _ := builder.Collect([]world.Type{world.Museum, world.Restaurant, world.Hotel})
+	var accK, accL float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, _ := classify.GridSearchRBF(train, []float64{1, 8}, []float64{1, 8}, 3, 11)
+		kernel := classify.KernelSVMTrainer{C: best.C, Kernel: classify.RBFKernel(best.Gamma), Seed: 11}.Train(train)
+		linear := classify.LinearSVMTrainer{Seed: 11}.Train(train)
+		accK, _ = classify.Evaluate(kernel, test)
+		accL, _ = classify.Evaluate(linear, test)
+	}
+	b.StopTimer()
+	b.ReportMetric(accK, "kernelAcc")
+	b.ReportMetric(accL, "linearAcc")
+}
+
+// BenchmarkAblationQueryCache measures the effect of the per-table query
+// cache (a design choice motivated by §6.4's latency analysis): queries per
+// row with many repeated cell values.
+func BenchmarkAblationQueryCache(b *testing.B) {
+	l := lab()
+	ents := l.World.TableEntities(world.Museum)
+	tbl := table.New("dup", table.Column{Header: "Name", Type: table.Text})
+	for i := 0; i < 100; i++ {
+		if err := tbl.AppendRow(ents[i%10].Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a := &annotate.Annotator{Engine: l.Engine, Classifier: l.SVM, Types: eval.TypeStrings()}
+	var queries int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		queries = a.AnnotateTable(tbl).Queries
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(queries)/100, "queriesPerRow")
+}
+
+// BenchmarkAblationClusterRule compares the flat Eq. 1 majority rule against
+// the §5.2 future-work cluster-separated rule on the GFT dataset. Reports
+// the people-group macro F of both (ambiguous names are where they differ).
+func BenchmarkAblationClusterRule(b *testing.B) {
+	l := lab()
+	var rows []eval.ClusterAblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = l.ClusterAblation(0.4)
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Group == "people" {
+			b.ReportMetric(r.FlatF, "flatPeopleF")
+			b.ReportMetric(r.ClusterF, "clusterPeopleF")
+		}
+	}
+}
+
+// BenchmarkAblationHybrid measures the §6.4 future-work hybrid annotator:
+// the query savings the catalogue buys and the resulting F.
+func BenchmarkAblationHybrid(b *testing.B) {
+	l := lab()
+	var rep eval.HybridReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = l.HybridAnalysis()
+	}
+	b.StopTimer()
+	b.ReportMetric(rep.HybridF, "hybridF")
+	b.ReportMetric(rep.QuerySavings, "querySavings")
+}
+
+// BenchmarkKSweep regenerates the top-k ablation around the paper's k = 10.
+func BenchmarkKSweep(b *testing.B) {
+	l := lab()
+	var rows []eval.KSweepRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = l.KSweep([]int{1, 10})
+	}
+	b.StopTimer()
+	b.ReportMetric(rows[0].MicroF, "F_k1")
+	b.ReportMetric(rows[1].MicroF, "F_k10")
+}
+
+// BenchmarkIndexPersistence measures saving and reloading the inverted index.
+func BenchmarkIndexPersistence(b *testing.B) {
+	l := lab()
+	names := l.World.TableEntities(world.Museum)
+	src := search.NewIndex()
+	for i := 0; i < 2000; i++ {
+		e := names[i%len(names)]
+		src.Add(search.Document{URL: e.URL, Title: e.Name, Body: e.Description})
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := src.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := search.ReadIndex(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPARQLSelect measures pattern-join query evaluation over an
+// extracted POI repository.
+func BenchmarkSPARQLSelect(b *testing.B) {
+	l := lab()
+	store := rdf.NewStore()
+	x := &rdf.Extractor{Gazetteer: l.World.Gaz, MinScore: 0.5}
+	a := &annotate.Annotator{Engine: l.Engine, Classifier: l.SVM, Types: eval.TypeStrings(), Postprocess: true}
+	for _, t := range l.GFT.Tables[:6] {
+		x.Extract(t, a.AnnotateTable(t), store)
+	}
+	q, err := rdf.ParseSPARQL(`SELECT ?name ?city WHERE {
+		?poi rdf:type "restaurant" .
+		?poi rdfs:label ?name .
+		?poi poi:city ?city .
+	}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store.Select(q)
+	}
+}
+
+// BenchmarkSearchEngine measures raw BM25 query throughput over the
+// synthetic web — the substrate every annotation pays for.
+func BenchmarkSearchEngine(b *testing.B) {
+	l := lab()
+	names := make([]string, 0, 64)
+	for _, e := range l.World.TableEntities(world.Restaurant)[:64] {
+		names = append(names, e.Name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Engine.Search(names[i%len(names)], 10)
+	}
+}
+
+// BenchmarkGeocode measures ambiguous-address geocoding, the per-cell cost
+// of the §5.2.2 spatial pipeline.
+func BenchmarkGeocode(b *testing.B) {
+	g := gazetteer.Synthetic(1)
+	addrs := []string{
+		"1600 Pennsylvania Avenue",
+		"12 Clarksville Street, Paris, TX",
+		"Wofford Lane",
+		"Washington, D.C.",
+		"99 Nowhere Boulevard, Atlantis",
+	}
+	for i := 0; i < b.N; i++ {
+		g.Geocode(addrs[i%len(addrs)])
+	}
+}
+
+// BenchmarkPorterStemmer measures the token-normalisation hot path.
+func BenchmarkPorterStemmer(b *testing.B) {
+	words := []string{"annotations", "universities", "classification", "restaurants", "disambiguation", "preprocessing"}
+	for i := 0; i < b.N; i++ {
+		textproc.Stem(words[i%len(words)])
+	}
+}
+
+// BenchmarkSnippetClassification measures single-snippet prediction cost for
+// both classifiers.
+func BenchmarkSnippetClassification(b *testing.B) {
+	l := lab()
+	f := textproc.Extract("the museum hosts a famous collection of paintings and sculpture open daily for visitors")
+	b.Run("svm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.SVM.Predict(f)
+		}
+	})
+	b.Run("bayes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			l.Bayes.Predict(f)
+		}
+	})
+}
+
+// BenchmarkRandomTableAnnotation measures end-to-end annotation of a fresh
+// 50-row mixed table (the paper's average table size).
+func BenchmarkRandomTableAnnotation(b *testing.B) {
+	l := lab()
+	rng := rand.New(rand.NewSource(13))
+	pool := append([]*world.Entity{}, l.World.TableEntities(world.Museum)...)
+	pool = append(pool, l.World.TableEntities(world.Restaurant)...)
+	a := &annotate.Annotator{Engine: l.Engine, Classifier: l.SVM, Types: eval.TypeStrings(), Postprocess: true}
+	tables := make([]*table.Table, 8)
+	for ti := range tables {
+		tbl := table.New("bench", table.Column{Header: "Name", Type: table.Text})
+		for i := 0; i < 50; i++ {
+			if err := tbl.AppendRow(pool[rng.Intn(len(pool))].Name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tables[ti] = tbl
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AnnotateTable(tables[i%len(tables)])
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: build the annotation system, hand it a small GFT-style table
+// and print which cells contain entities of which types.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/world"
+)
+
+func main() {
+	// NewSystem generates the synthetic universe, indexes its web
+	// corpus, and trains the snippet classifier — everything the §5
+	// pipeline needs. Expensive once; reuse for every table.
+	sys := repro.NewSystem(repro.Options{Seed: 7})
+
+	// Build a table mixing two museums and a restaurant drawn from the
+	// universe, plus columns that must NOT be annotated.
+	tbl := repro.Table{Name: "city-guide"}
+	tbl.Columns = []repro.Column{
+		{Header: "Name", Type: repro.Text},
+		{Header: "Address", Type: repro.Location},
+		{Header: "Phone", Type: repro.Text},
+	}
+	w := sys.World()
+	for _, e := range []*world.Entity{
+		w.OfType(world.Museum)[0],
+		w.OfType(world.Restaurant)[0],
+		w.OfType(world.Museum)[1],
+	} {
+		addr := e.Address(w.Gaz).Format()
+		if err := tbl.AppendRow(e.Name, addr, e.Phone); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res := sys.Annotator().AnnotateTable(&tbl)
+	fmt.Printf("annotated %d cells with %d search queries\n", len(res.Annotations), res.Queries)
+	for _, ann := range res.Annotations {
+		fmt.Printf("  T(%d,%d) = %-30q -> %s (score %.2f)\n",
+			ann.Row, ann.Col, tbl.Cell(ann.Row, ann.Col), ann.Type, ann.Score)
+	}
+	for reason, n := range res.Skipped {
+		fmt.Printf("  pre-processing skipped %d cells (%s)\n", n, reason)
+	}
+}

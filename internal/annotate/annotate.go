@@ -1,0 +1,220 @@
+package annotate
+
+import (
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/disambig"
+	"repro/internal/gazetteer"
+	"repro/internal/search"
+	"repro/internal/table"
+	"repro/internal/textproc"
+)
+
+// Annotation marks one cell as naming an entity of a type, with the Eq. 1
+// confidence score S_ij = s_t / k.
+type Annotation struct {
+	Row   int // 1-based, the paper's i
+	Col   int // 1-based, the paper's j
+	Type  string
+	Score float64
+}
+
+// CellKey addresses a cell with the paper's 1-based (row, column) indexes.
+type CellKey struct {
+	Row, Col int
+}
+
+// Result is the output of annotating one table.
+type Result struct {
+	Annotations []Annotation
+	// ColumnScores maps type -> column -> the Eq. 2 global score S_j;
+	// populated when post-processing ran.
+	ColumnScores map[string]map[int]float64
+	// Skipped counts pre-processing eliminations per reason.
+	Skipped map[SkipReason]int
+	// Queries is the number of search-engine queries issued for this
+	// table (after the per-table cache).
+	Queries int
+}
+
+// Annotator runs the full pipeline of §5 over tables.
+type Annotator struct {
+	// Engine is the web search engine (step 1-2 of the algorithm).
+	Engine *search.Engine
+	// Classifier labels snippets with a type from Γ (step 3).
+	Classifier classify.Classifier
+	// Types is Γ, the target types.
+	Types []string
+	// K is the number of snippets fetched per query; 0 selects 10, the
+	// paper's setting.
+	K int
+	// Pre is the §5.1 pre-processor.
+	Pre Preprocessor
+	// Postprocess enables the §5.3 spurious-annotation elimination.
+	Postprocess bool
+	// Disambiguate enables the §5.2.2 spatial query augmentation; it
+	// requires Gazetteer.
+	Disambiguate bool
+	// Gazetteer geocodes Location-column cells for disambiguation.
+	Gazetteer *gazetteer.Gazetteer
+	// ClusterThreshold, when positive, replaces the flat majority rule
+	// of Eq. 1 with the cluster-separated decision the paper leaves as
+	// future work (§5.2): snippets are clustered by cosine similarity
+	// (leader clustering at this threshold) and the dominant cluster is
+	// classified on its own, so a minority sense cannot poison the vote.
+	// 0 disables clustering. A reasonable value is 0.4.
+	ClusterThreshold float64
+}
+
+func (a *Annotator) k() int {
+	if a.K > 0 {
+		return a.K
+	}
+	return 10
+}
+
+// typeSet returns Γ as a set for membership checks.
+func (a *Annotator) typeSet() map[string]struct{} {
+	s := make(map[string]struct{}, len(a.Types))
+	for _, t := range a.Types {
+		s[t] = struct{}{}
+	}
+	return s
+}
+
+// AnnotateTable runs pre-processing, annotation and (optionally)
+// post-processing over one table and returns every cell-level annotation.
+func (a *Annotator) AnnotateTable(t *table.Table) *Result {
+	return a.annotateExcluding(t, nil)
+}
+
+// annotateExcluding is AnnotateTable with a set of cells to leave untouched;
+// the hybrid annotator uses it to send only catalogue-unknown cells to the
+// search engine.
+func (a *Annotator) annotateExcluding(t *table.Table, exclude map[CellKey]bool) *Result {
+	res := &Result{Skipped: map[SkipReason]int{}}
+	gamma := a.typeSet()
+
+	// Spatial context per row, resolved once per table (§5.2.2).
+	var cityByRow map[int]string
+	if a.Disambiguate && a.Gazetteer != nil {
+		cityByRow = a.resolveRowCities(t)
+	}
+
+	// Querying the engine is the dominant cost (§6.4), so identical cell
+	// contents share one query. The cache key includes the spatial
+	// augmentation so different rows stay distinguishable.
+	type verdict struct {
+		typ   string
+		score float64
+		ok    bool
+	}
+	cache := map[string]verdict{}
+
+	for j := 1; j <= t.NumCols(); j++ {
+		if a.Pre.SkipColumn(t.Columns[j-1].Type) {
+			res.Skipped[SkipColumnType] += t.NumRows()
+			continue
+		}
+		for i := 1; i <= t.NumRows(); i++ {
+			if exclude[CellKey{Row: i, Col: j}] {
+				continue
+			}
+			content := strings.TrimSpace(t.Cell(i, j))
+			if reason := a.Pre.Check(content); reason != SkipNone {
+				res.Skipped[reason]++
+				continue
+			}
+			query := content
+			if city := cityByRow[i]; city != "" && !strings.Contains(strings.ToLower(content), strings.ToLower(city)) {
+				query = content + " " + city
+			}
+			v, ok := cache[query]
+			if !ok {
+				results := a.Engine.Search(query, a.k())
+				res.Queries++
+				v.typ, v.score, v.ok = a.decide(results, gamma)
+				cache[query] = v
+			}
+			if v.ok {
+				res.Annotations = append(res.Annotations, Annotation{Row: i, Col: j, Type: v.typ, Score: v.score})
+			}
+		}
+	}
+
+	if a.Postprocess {
+		a.postprocess(t, res)
+	}
+	return res
+}
+
+// decide turns a result list into an annotation verdict: Eq. 1's majority
+// rule by default, or the cluster-separated variant when ClusterThreshold is
+// set (§5.2's future-work extension, implemented in cluster.go).
+func (a *Annotator) decide(results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
+	if a.ClusterThreshold > 0 {
+		return a.clusterDecide(results, gamma)
+	}
+	counts := make(map[string]int, len(a.Types))
+	for _, r := range results {
+		pred := a.Classifier.Predict(textproc.Extract(r.Snippet))
+		if _, inGamma := gamma[pred]; inGamma {
+			counts[pred]++
+		}
+	}
+	return majorityType(counts, len(results))
+}
+
+// majorityType applies the Eq. 1 decision rule: the unique type with the
+// highest snippet count wins iff its count strictly exceeds k/2; the score is
+// s_t / k. k is the number of snippets actually retrieved.
+func majorityType(counts map[string]int, k int) (string, float64, bool) {
+	if k == 0 {
+		return "", 0, false
+	}
+	best, bestCount, ties := "", 0, 0
+	for typ, c := range counts {
+		switch {
+		case c > bestCount:
+			best, bestCount, ties = typ, c, 1
+		case c == bestCount:
+			ties++
+		}
+	}
+	if bestCount*2 <= k || ties > 1 {
+		return "", 0, false
+	}
+	return best, float64(bestCount) / float64(k), true
+}
+
+// resolveRowCities geocodes every Location-column cell, resolves ambiguous
+// interpretations with the §5.2.2 voting graph across the whole table, and
+// returns the chosen city name per row. Rows without resolvable spatial data
+// are absent from the map.
+func (a *Annotator) resolveRowCities(t *table.Table) map[int]string {
+	var interps []disambig.Interpretation
+	for _, j := range t.ColumnIndexesOfType(table.Location) {
+		for i := 1; i <= t.NumRows(); i++ {
+			cands := a.Gazetteer.Geocode(t.Cell(i, j))
+			if len(cands) == 0 {
+				continue
+			}
+			interps = append(interps, disambig.Interpretation{
+				Cell:       disambig.CellRef{Row: i, Col: j},
+				Candidates: cands,
+			})
+		}
+	}
+	if len(interps) == 0 {
+		return nil
+	}
+	choice := disambig.Resolve(interps, a.Gazetteer)
+	out := make(map[int]string)
+	for cell, loc := range choice {
+		if city := a.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
+			out[cell.Row] = a.Gazetteer.Name(city)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package annotate
+
+import (
+	"math"
+
+	"repro/internal/search"
+	"repro/internal/textproc"
+)
+
+// clusterDecide implements the ambiguity extension sketched in §5.2 of the
+// paper ("a more general solution would be clustering the results returned
+// by the search engine and classify separately the snippets that belong to
+// the different clusters"): the top-k snippets are grouped into sense
+// clusters with greedy leader clustering under cosine similarity, the
+// largest cluster is assumed to be the dominant sense of the query, and the
+// Eq. 1 majority rule is applied within that cluster only. The score keeps
+// Eq. 1's form, s_t over the number of snippets retrieved, so scores remain
+// comparable with the flat rule for the Eq. 2 post-processing.
+func (a *Annotator) clusterDecide(results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
+	if len(results) == 0 {
+		return "", 0, false
+	}
+	feats := make([]textproc.Features, len(results))
+	for i, r := range results {
+		feats[i] = textproc.Extract(r.Snippet)
+	}
+	clusters := leaderCluster(feats, a.ClusterThreshold)
+
+	// The dominant sense is the biggest cluster; ties keep the earlier
+	// cluster (whose leader ranked higher).
+	best := 0
+	for c := 1; c < len(clusters); c++ {
+		if len(clusters[c]) > len(clusters[best]) {
+			best = c
+		}
+	}
+	counts := make(map[string]int, len(a.Types))
+	for _, idx := range clusters[best] {
+		pred := a.Classifier.Predict(feats[idx])
+		if _, in := gamma[pred]; in {
+			counts[pred]++
+		}
+	}
+	typ, _, ok := majorityType(counts, len(clusters[best]))
+	if !ok {
+		return "", 0, false
+	}
+	return typ, float64(counts[typ]) / float64(len(results)), true
+}
+
+// leaderCluster performs greedy leader clustering: each feature vector joins
+// the first cluster whose leader is at least `threshold` cosine-similar,
+// otherwise it founds a new cluster. Returns clusters as index lists in
+// founding order.
+func leaderCluster(feats []textproc.Features, threshold float64) [][]int {
+	var clusters [][]int
+	var leaders []textproc.Features
+	for i, f := range feats {
+		placed := false
+		for c, leader := range leaders {
+			if cosine(f, leader) >= threshold {
+				clusters[c] = append(clusters[c], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, []int{i})
+			leaders = append(leaders, f)
+		}
+	}
+	return clusters
+}
+
+// cosine returns the cosine similarity of two sparse vectors; 0 when either
+// is empty.
+func cosine(a, b textproc.Features) float64 {
+	na, nb := a.Norm2(), b.Norm2()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return a.Dot(b) / math.Sqrt(na*nb)
+}

@@ -1,0 +1,102 @@
+package annotate
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// postprocess implements §5.3: for every type t, compute the global column
+// score of Eq. 2,
+//
+//	S_j = Σ_i ln(S_ij / o_ij + 1)
+//
+// where o_ij is the number of occurrences of T(i,j)'s content across column
+// j (repeated values like the "Museum" column of Figure 8 are damped by
+// 1/o_ij), and keep only the annotations of t that sit in the
+// highest-scoring column.
+func (a *Annotator) postprocess(t *table.Table, res *Result) {
+	// Occurrence counts per column.
+	occ := make([]map[string]int, t.NumCols()+1)
+	for j := 1; j <= t.NumCols(); j++ {
+		occ[j] = map[string]int{}
+		for i := 1; i <= t.NumRows(); i++ {
+			occ[j][normCell(t.Cell(i, j))]++
+		}
+	}
+
+	colScores := map[string]map[int]float64{}
+	for _, ann := range res.Annotations {
+		cols := colScores[ann.Type]
+		if cols == nil {
+			cols = map[int]float64{}
+			colScores[ann.Type] = cols
+		}
+		o := occ[ann.Col][normCell(t.Cell(ann.Row, ann.Col))]
+		if o < 1 {
+			o = 1
+		}
+		cols[ann.Col] += math.Log(ann.Score/float64(o) + 1)
+	}
+	res.ColumnScores = colScores
+
+	// Best column per type; ties keep the leftmost column for
+	// determinism.
+	bestCol := map[string]int{}
+	for typ, cols := range colScores {
+		best, bestScore := 0, math.Inf(-1)
+		for j, s := range cols {
+			if s > bestScore || (s == bestScore && j < best) {
+				best, bestScore = j, s
+			}
+		}
+		bestCol[typ] = best
+	}
+
+	kept := res.Annotations[:0]
+	for _, ann := range res.Annotations {
+		if bestCol[ann.Type] == ann.Col {
+			kept = append(kept, ann)
+		}
+	}
+	res.Annotations = kept
+}
+
+// normCell normalises cell content for occurrence counting.
+func normCell(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// ColumnTypes derives a semantic type per column from the Eq. 2 scores: the
+// type whose global score is highest in that column, provided the column is
+// that type's best column. This is step (a) of the table-annotation task the
+// paper situates itself in (§1) — "determine the type(s) of each column" —
+// obtained as a byproduct of entity annotation. Only available after a
+// post-processed run; returns nil otherwise.
+func (r *Result) ColumnTypes() map[int]string {
+	if r.ColumnScores == nil {
+		return nil
+	}
+	// Best column per type (recomputing the postprocess choice).
+	bestCol := map[string]int{}
+	for typ, cols := range r.ColumnScores {
+		best, bestScore := 0, math.Inf(-1)
+		for j, s := range cols {
+			if s > bestScore || (s == bestScore && j < best) {
+				best, bestScore = j, s
+			}
+		}
+		bestCol[typ] = best
+	}
+	out := map[int]string{}
+	outScore := map[int]float64{}
+	for typ, j := range bestCol {
+		score := r.ColumnScores[typ][j]
+		if prev, ok := out[j]; !ok || score > outScore[j] || (score == outScore[j] && typ < prev) {
+			out[j] = typ
+			outScore[j] = score
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Package annotate implements the paper's primary contribution (§5): the
+// three-step algorithm that discovers and annotates entities of given types
+// in a table — pre-processing that rules out cells that cannot name entities,
+// web-search-plus-classification annotation with the majority rule of Eq. 1,
+// optional spatial query disambiguation backed by the toponym voting graph,
+// and the column-coherence post-processing of Eq. 2 that eliminates spurious
+// annotations. The TIN/TIS baselines of §6.2 and a Limaye-style catalogue
+// annotator (§6.3) live here too.
+package annotate
+
+import (
+	"regexp"
+	"strings"
+
+	"repro/internal/table"
+)
+
+// SkipReason explains why pre-processing ruled a cell out.
+type SkipReason string
+
+// The pre-processing rules of §5.1.
+const (
+	SkipNone       SkipReason = ""
+	SkipEmpty      SkipReason = "empty"
+	SkipPhone      SkipReason = "phone number"
+	SkipURL        SkipReason = "url"
+	SkipEmail      SkipReason = "email"
+	SkipNumeric    SkipReason = "numeric value"
+	SkipCoords     SkipReason = "geographic coordinates"
+	SkipLong       SkipReason = "long value"
+	SkipColumnType SkipReason = "column type"
+)
+
+var (
+	phoneRe = regexp.MustCompile(`^\+?[\d() .-]{7,20}$`)
+	urlRe   = regexp.MustCompile(`^(https?://|www\.)\S+$`)
+	emailRe = regexp.MustCompile(`^[^@\s]+@[^@\s]+\.[^@\s]+$`)
+	numRe   = regexp.MustCompile(`^-?[\d.,]+%?$`)
+	coordRe = regexp.MustCompile(`^-?\d{1,3}(\.\d+)?[,; NSEW°]\s*-?\d{1,3}(\.\d+)?[NSEW°]?$`)
+)
+
+// DefaultMaxCellWords is the length threshold above which a cell is treated
+// as a verbose description rather than an entity name (§5.1 rules out "cells
+// containing long values, such as verbose descriptions").
+const DefaultMaxCellWords = 8
+
+// Preprocessor implements §5.1: syntactic filters over cell content plus the
+// GFT column-type filter.
+type Preprocessor struct {
+	// MaxCellWords is the verbose-description threshold; 0 selects
+	// DefaultMaxCellWords.
+	MaxCellWords int
+	// SkipColumnTypes lists the GFT column types whose cells cannot name
+	// entities of interest; nil selects Location, Date and Number (§5.1).
+	SkipColumnTypes []table.ColumnType
+}
+
+func (p Preprocessor) maxWords() int {
+	if p.MaxCellWords > 0 {
+		return p.MaxCellWords
+	}
+	return DefaultMaxCellWords
+}
+
+func (p Preprocessor) skippedTypes() []table.ColumnType {
+	if p.SkipColumnTypes != nil {
+		return p.SkipColumnTypes
+	}
+	return []table.ColumnType{table.Location, table.Date, table.Number}
+}
+
+// SkipColumn reports whether the whole column is ruled out by its GFT type.
+func (p Preprocessor) SkipColumn(ct table.ColumnType) bool {
+	for _, t := range p.skippedTypes() {
+		if ct == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Check classifies a cell's content, returning the reason it cannot contain
+// an entity name, or SkipNone when the cell must be sent to the search
+// engine.
+func (p Preprocessor) Check(content string) SkipReason {
+	c := strings.TrimSpace(content)
+	switch {
+	case c == "":
+		return SkipEmpty
+	case urlRe.MatchString(c):
+		return SkipURL
+	case emailRe.MatchString(c):
+		return SkipEmail
+	case coordRe.MatchString(c):
+		return SkipCoords
+	case numRe.MatchString(c):
+		return SkipNumeric
+	case phoneRe.MatchString(c) && strings.ContainsAny(c, "0123456789"):
+		return SkipPhone
+	case len(strings.Fields(c)) > p.maxWords():
+		return SkipLong
+	}
+	return SkipNone
+}

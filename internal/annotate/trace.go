@@ -1,0 +1,109 @@
+package annotate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+	"repro/internal/textproc"
+)
+
+// CellExplanation records why one cell was or was not annotated — the
+// debugging view behind cmd/annotate's -explain flag.
+type CellExplanation struct {
+	Row, Col int
+	Content  string
+	// Skipped is the pre-processing reason, when the cell never reached
+	// the engine.
+	Skipped SkipReason
+	// Query is the (possibly spatially augmented) query submitted.
+	Query string
+	// Votes counts snippet classifications per type.
+	Votes map[string]int
+	// Retrieved is the number of snippets fetched.
+	Retrieved int
+	// Verdict is the decided type, empty when the majority rule
+	// abstained.
+	Verdict string
+	Score   float64
+}
+
+// String renders the explanation as one human-readable line.
+func (e CellExplanation) String() string {
+	head := fmt.Sprintf("T(%d,%d) %q", e.Row, e.Col, e.Content)
+	if e.Skipped != SkipNone {
+		return head + " skipped: " + string(e.Skipped)
+	}
+	var votes []string
+	for _, typ := range sortedVoteTypes(e.Votes) {
+		votes = append(votes, fmt.Sprintf("%s=%d", typ, e.Votes[typ]))
+	}
+	verdict := "abstained"
+	if e.Verdict != "" {
+		verdict = fmt.Sprintf("-> %s (%.2f)", e.Verdict, e.Score)
+	}
+	return fmt.Sprintf("%s query=%q k=%d votes[%s] %s",
+		head, e.Query, e.Retrieved, strings.Join(votes, " "), verdict)
+}
+
+func sortedVoteTypes(votes map[string]int) []string {
+	types := make([]string, 0, len(votes))
+	for t := range votes {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		if votes[types[i]] != votes[types[j]] {
+			return votes[types[i]] > votes[types[j]]
+		}
+		return types[i] < types[j]
+	})
+	return types
+}
+
+// ExplainTable runs the annotation pipeline in tracing mode and returns one
+// explanation per cell (post-processing is not applied: explanations show
+// the raw Eq. 1 decisions the column-coherence step would then filter).
+func (a *Annotator) ExplainTable(t *table.Table) []CellExplanation {
+	gamma := a.typeSet()
+	var cityByRow map[int]string
+	if a.Disambiguate && a.Gazetteer != nil {
+		cityByRow = a.resolveRowCities(t)
+	}
+	var out []CellExplanation
+	for j := 1; j <= t.NumCols(); j++ {
+		colSkipped := a.Pre.SkipColumn(t.Columns[j-1].Type)
+		for i := 1; i <= t.NumRows(); i++ {
+			content := strings.TrimSpace(t.Cell(i, j))
+			e := CellExplanation{Row: i, Col: j, Content: content}
+			switch {
+			case colSkipped:
+				e.Skipped = SkipColumnType
+			default:
+				e.Skipped = a.Pre.Check(content)
+			}
+			if e.Skipped != SkipNone {
+				out = append(out, e)
+				continue
+			}
+			e.Query = content
+			if city := cityByRow[i]; city != "" && !strings.Contains(strings.ToLower(content), strings.ToLower(city)) {
+				e.Query = content + " " + city
+			}
+			results := a.Engine.Search(e.Query, a.k())
+			e.Retrieved = len(results)
+			e.Votes = map[string]int{}
+			for _, r := range results {
+				pred := a.Classifier.Predict(textproc.Extract(r.Snippet))
+				if _, in := gamma[pred]; in {
+					e.Votes[pred]++
+				}
+			}
+			if typ, score, ok := majorityType(e.Votes, e.Retrieved); ok {
+				e.Verdict, e.Score = typ, score
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package annotate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestExplainTable(t *testing.T) {
+	f := newFixture(t)
+	tbl := poiTable(t)
+	a := f.annotator()
+	exps := a.ExplainTable(tbl)
+	if len(exps) != tbl.NumRows()*tbl.NumCols() {
+		t.Fatalf("explanations = %d, want one per cell (%d)", len(exps), tbl.NumRows()*tbl.NumCols())
+	}
+	byCell := map[[2]int]CellExplanation{}
+	for _, e := range exps {
+		byCell[[2]int{e.Row, e.Col}] = e
+	}
+	// Name cell: queried, votes recorded, verdict museum.
+	name := byCell[[2]int{1, 1}]
+	if name.Skipped != SkipNone || name.Query == "" || name.Retrieved == 0 {
+		t.Errorf("name cell explanation incomplete: %+v", name)
+	}
+	if name.Verdict != "museum" {
+		t.Errorf("name verdict = %q, want museum", name.Verdict)
+	}
+	if name.Votes["museum"] == 0 {
+		t.Errorf("votes missing: %v", name.Votes)
+	}
+	// Phone cell: skipped with reason, never queried.
+	phone := byCell[[2]int{1, 2}]
+	if phone.Skipped != SkipPhone || phone.Query != "" {
+		t.Errorf("phone cell explanation = %+v", phone)
+	}
+	// String rendering carries the essentials.
+	s := name.String()
+	if !strings.Contains(s, "museum") || !strings.Contains(s, "T(1,1)") {
+		t.Errorf("String() = %q", s)
+	}
+	ps := phone.String()
+	if !strings.Contains(ps, "skipped: phone number") {
+		t.Errorf("skip String() = %q", ps)
+	}
+}
+
+func TestExplainAbstention(t *testing.T) {
+	f := newFixture(t)
+	tbl := table.New("amb", table.Column{Header: "Name", Type: table.Text})
+	if err := tbl.AppendRow("Melisse"); err != nil {
+		t.Fatal(err)
+	}
+	exps := f.annotator().ExplainTable(tbl)
+	e := exps[0]
+	if e.Verdict == "" && !strings.Contains(e.String(), "abstained") {
+		t.Errorf("abstention not rendered: %q", e.String())
+	}
+	// Whatever the verdict, the votes must sum to at most the retrieved
+	// snippet count.
+	total := 0
+	for _, v := range e.Votes {
+		total += v
+	}
+	if total > e.Retrieved {
+		t.Errorf("votes %d exceed retrieved %d", total, e.Retrieved)
+	}
+}
+
+func TestExplainColumnTypeSkip(t *testing.T) {
+	f := newFixture(t)
+	tbl := table.New("loc",
+		table.Column{Header: "Address", Type: table.Location},
+	)
+	if err := tbl.AppendRow("Ocean Drive, Santa Monica"); err != nil {
+		t.Fatal(err)
+	}
+	exps := f.annotator().ExplainTable(tbl)
+	if exps[0].Skipped != SkipColumnType {
+		t.Errorf("Location column not marked column-type skipped: %+v", exps[0])
+	}
+}

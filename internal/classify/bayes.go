@@ -1,0 +1,85 @@
+package classify
+
+import (
+	"math"
+
+	"repro/internal/textproc"
+)
+
+// BayesTrainer trains a multinomial Naive Bayes classifier. PriorCount is the
+// additive smoothing mass per (term, class) pair; the paper sets it to 1.0
+// and disables length normalization (§6.1), which this implementation matches
+// by scoring raw normalized frequencies without rescaling by snippet length.
+type BayesTrainer struct {
+	PriorCount float64
+}
+
+// Train builds the classifier. A zero PriorCount is replaced by 1.0.
+func (t BayesTrainer) Train(d Dataset) Classifier {
+	alpha := t.PriorCount
+	if alpha <= 0 {
+		alpha = 1.0
+	}
+	nb := &NaiveBayes{
+		Alpha:      alpha,
+		classCount: map[string]float64{},
+		termCount:  map[string]map[string]float64{},
+		classTotal: map[string]float64{},
+		vocab:      map[string]struct{}{},
+	}
+	for _, ex := range d.Examples {
+		nb.classCount[ex.Label]++
+		tc := nb.termCount[ex.Label]
+		if tc == nil {
+			tc = map[string]float64{}
+			nb.termCount[ex.Label] = tc
+		}
+		for term, v := range ex.Features {
+			tc[term] += v
+			nb.classTotal[ex.Label] += v
+			nb.vocab[term] = struct{}{}
+		}
+	}
+	nb.total = float64(len(d.Examples))
+	return nb
+}
+
+// NaiveBayes is a trained multinomial Naive Bayes model over sparse
+// normalized-frequency features.
+type NaiveBayes struct {
+	Alpha      float64
+	classCount map[string]float64
+	termCount  map[string]map[string]float64
+	classTotal map[string]float64
+	vocab      map[string]struct{}
+	total      float64
+}
+
+// Scores returns the per-class log-probability scores for f.
+func (nb *NaiveBayes) Scores(f textproc.Features) map[string]float64 {
+	v := float64(len(nb.vocab))
+	scores := make(map[string]float64, len(nb.classCount))
+	for class, count := range nb.classCount {
+		score := math.Log(count / nb.total)
+		tc := nb.termCount[class]
+		denom := nb.classTotal[class] + nb.Alpha*v
+		for term, freq := range f {
+			score += freq * math.Log((tc[term]+nb.Alpha)/denom)
+		}
+		scores[class] = score
+	}
+	return scores
+}
+
+// Predict returns the class with the highest posterior score; ties break
+// toward the lexicographically smaller label for determinism.
+func (nb *NaiveBayes) Predict(f textproc.Features) string {
+	scores := nb.Scores(f)
+	best, bestScore := "", math.Inf(-1)
+	for class, s := range scores {
+		if s > bestScore || (s == bestScore && (best == "" || class < best)) {
+			best, bestScore = class, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,126 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConfusionMatrix counts predictions per (gold, predicted) label pair. It is
+// the diagnostic behind the subsumption analysis of §6.2 (does the
+// classifier confuse universities with schools, Simpsons episodes with
+// films?).
+type ConfusionMatrix struct {
+	counts map[[2]string]int
+	labels map[string]struct{}
+}
+
+// NewConfusionMatrix returns an empty matrix.
+func NewConfusionMatrix() *ConfusionMatrix {
+	return &ConfusionMatrix{
+		counts: map[[2]string]int{},
+		labels: map[string]struct{}{},
+	}
+}
+
+// Observe records one (gold, predicted) pair.
+func (cm *ConfusionMatrix) Observe(gold, predicted string) {
+	cm.counts[[2]string{gold, predicted}]++
+	cm.labels[gold] = struct{}{}
+	cm.labels[predicted] = struct{}{}
+}
+
+// Count returns the number of examples with the given gold label predicted
+// as the given label.
+func (cm *ConfusionMatrix) Count(gold, predicted string) int {
+	return cm.counts[[2]string{gold, predicted}]
+}
+
+// Labels returns the sorted label set seen so far.
+func (cm *ConfusionMatrix) Labels() []string {
+	out := make([]string, 0, len(cm.labels))
+	for l := range cm.labels {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Accuracy returns the fraction of observations on the diagonal.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	total, correct := 0, 0
+	for key, n := range cm.counts {
+		total += n
+		if key[0] == key[1] {
+			correct += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MostConfused returns the off-diagonal (gold, predicted) pairs sorted by
+// descending count — the subsumption confusions surface at the top.
+func (cm *ConfusionMatrix) MostConfused(n int) [][2]string {
+	type pair struct {
+		key   [2]string
+		count int
+	}
+	var pairs []pair
+	for key, c := range cm.counts {
+		if key[0] != key[1] && c > 0 {
+			pairs = append(pairs, pair{key, c})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].count != pairs[j].count {
+			return pairs[i].count > pairs[j].count
+		}
+		return pairs[i].key[0]+pairs[i].key[1] < pairs[j].key[0]+pairs[j].key[1]
+	})
+	if n > 0 && len(pairs) > n {
+		pairs = pairs[:n]
+	}
+	out := make([][2]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.key
+	}
+	return out
+}
+
+// String renders the matrix as an aligned table, gold labels on rows.
+func (cm *ConfusionMatrix) String() string {
+	labels := cm.Labels()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s", "gold\\pred")
+	for _, p := range labels {
+		fmt.Fprintf(&sb, "%8s", clipLabel(p))
+	}
+	sb.WriteByte('\n')
+	for _, g := range labels {
+		fmt.Fprintf(&sb, "%-18s", clipLabel(g))
+		for _, p := range labels {
+			fmt.Fprintf(&sb, "%8d", cm.Count(g, p))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func clipLabel(s string) string {
+	if len(s) > 7 {
+		return s[:7]
+	}
+	return s
+}
+
+// Confusion runs the classifier over the test set and returns the matrix.
+func Confusion(c Classifier, test Dataset) *ConfusionMatrix {
+	cm := NewConfusionMatrix()
+	for _, ex := range test.Examples {
+		cm.Observe(ex.Label, c.Predict(ex.Features))
+	}
+	return cm
+}

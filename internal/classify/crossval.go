@@ -1,0 +1,53 @@
+package classify
+
+import "math/rand"
+
+// CrossValidate performs k-fold cross validation and returns the mean
+// accuracy across folds. The paper selects the C-SVC hyper-parameters with
+// 10-fold cross validation following the LibSVM practical guide (§6.1).
+func CrossValidate(t Trainer, d Dataset, k int, rng *rand.Rand) float64 {
+	shuffled := Dataset{Examples: append([]Example(nil), d.Examples...)}
+	shuffled.Shuffle(rng)
+	folds := shuffled.Folds(k)
+	var sum float64
+	counted := 0
+	for i := range folds {
+		if folds[i].Len() == 0 {
+			continue
+		}
+		model := t.Train(Without(folds, i))
+		acc, _ := Evaluate(model, folds[i])
+		sum += acc
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return sum / float64(counted)
+}
+
+// GridPoint is one (C, gamma) combination evaluated by the grid search.
+type GridPoint struct {
+	C, Gamma float64
+	Accuracy float64
+}
+
+// GridSearchRBF evaluates a C-SVC over the cross product of the given C and
+// gamma grids using k-fold cross validation and returns every grid point with
+// its accuracy plus the best one. Mirrors the grid-search procedure of Hsu,
+// Chang & Lin that the paper followed, which selected C = 8, γ = 8.
+func GridSearchRBF(d Dataset, cs, gammas []float64, k int, seed int64) (best GridPoint, all []GridPoint) {
+	for _, c := range cs {
+		for _, g := range gammas {
+			trainer := KernelSVMTrainer{C: c, Kernel: RBFKernel(g), Seed: seed}
+			rng := rand.New(rand.NewSource(seed))
+			acc := CrossValidate(trainer, d, k, rng)
+			pt := GridPoint{C: c, Gamma: g, Accuracy: acc}
+			all = append(all, pt)
+			if acc > best.Accuracy {
+				best = pt
+			}
+		}
+	}
+	return best, all
+}

@@ -1,0 +1,125 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+func TestLogisticLearnsSeparableClasses(t *testing.T) {
+	d := synthDataset(200, 31)
+	d.Shuffle(rand.New(rand.NewSource(32)))
+	train, test := d.Split(0.75)
+	model := LogisticTrainer{Seed: 33}.Train(train)
+	acc, _ := Evaluate(model, test)
+	if acc < 0.9 {
+		t.Errorf("logistic accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+func TestLogisticScoresAreProbabilities(t *testing.T) {
+	d := synthDataset(100, 34)
+	model := LogisticTrainer{Seed: 35}.Train(d).(*Logistic)
+	f := textproc.Extract("museum gallery exhibition")
+	scores := model.Scores(f)
+	var sum float64
+	for _, p := range scores {
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v out of range", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestLogisticEmptyDataset(t *testing.T) {
+	model := LogisticTrainer{}.Train(Dataset{})
+	if got := model.Predict(textproc.Extract("anything")); got != "" {
+		t.Errorf("empty model predicted %q", got)
+	}
+}
+
+func TestLogisticDeterministic(t *testing.T) {
+	d := synthDataset(80, 36)
+	f := textproc.Extract("menu chef dining")
+	m1 := LogisticTrainer{Seed: 9}.Train(d)
+	m2 := LogisticTrainer{Seed: 9}.Train(d)
+	if m1.Predict(f) != m2.Predict(f) {
+		t.Error("logistic training not deterministic")
+	}
+}
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	cm := NewConfusionMatrix()
+	cm.Observe("a", "a")
+	cm.Observe("a", "a")
+	cm.Observe("a", "b")
+	cm.Observe("b", "b")
+	if cm.Count("a", "a") != 2 || cm.Count("a", "b") != 1 || cm.Count("b", "a") != 0 {
+		t.Error("counts wrong")
+	}
+	if acc := cm.Accuracy(); acc != 0.75 {
+		t.Errorf("accuracy = %v, want 0.75", acc)
+	}
+	labels := cm.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Errorf("labels = %v", labels)
+	}
+	top := cm.MostConfused(5)
+	if len(top) != 1 || top[0] != [2]string{"a", "b"} {
+		t.Errorf("MostConfused = %v", top)
+	}
+	if !strings.Contains(cm.String(), "gold\\pred") {
+		t.Error("String() missing header")
+	}
+}
+
+func TestConfusionMatrixEmpty(t *testing.T) {
+	cm := NewConfusionMatrix()
+	if cm.Accuracy() != 0 {
+		t.Error("empty matrix accuracy should be 0")
+	}
+	if got := cm.MostConfused(3); len(got) != 0 {
+		t.Errorf("MostConfused on empty = %v", got)
+	}
+}
+
+func TestConfusionFromClassifier(t *testing.T) {
+	d := synthDataset(200, 37)
+	d.Shuffle(rand.New(rand.NewSource(38)))
+	train, test := d.Split(0.75)
+	model := BayesTrainer{}.Train(train)
+	cm := Confusion(model, test)
+	if cm.Accuracy() < 0.85 {
+		t.Errorf("confusion accuracy = %.3f", cm.Accuracy())
+	}
+	total := 0
+	for _, g := range cm.Labels() {
+		for _, p := range cm.Labels() {
+			total += cm.Count(g, p)
+		}
+	}
+	if total != test.Len() {
+		t.Errorf("matrix holds %d observations, want %d", total, test.Len())
+	}
+}
+
+func TestAllClassifiersAgreeOnEasyData(t *testing.T) {
+	d := synthDataset(150, 39)
+	probe := textproc.Extract("museum gallery art collection exhibition paintings")
+	classifiers := []Classifier{
+		BayesTrainer{}.Train(d),
+		LinearSVMTrainer{Seed: 1}.Train(d),
+		LogisticTrainer{Seed: 1}.Train(d),
+	}
+	for i, c := range classifiers {
+		if got := c.Predict(probe); got != "museum" {
+			t.Errorf("classifier %d predicted %q for museum snippet", i, got)
+		}
+	}
+}

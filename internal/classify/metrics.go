@@ -1,0 +1,83 @@
+package classify
+
+// Metrics aggregates the precision/recall/F-measure counters used throughout
+// the evaluation (§6.2): P = C/A, R = C/T, F = 2PR/(P+R), where C is the
+// number of correct positive predictions, A the number of positive
+// predictions and T the number of true positives in the gold standard.
+type Metrics struct {
+	Correct   int // C: correctly annotated entities
+	Annotated int // A: entities the system annotated with the type
+	Truth     int // T: entities of the type in the gold standard
+}
+
+// Add accumulates another metrics counter into m.
+func (m *Metrics) Add(o Metrics) {
+	m.Correct += o.Correct
+	m.Annotated += o.Annotated
+	m.Truth += o.Truth
+}
+
+// Precision returns C/A, or 0 when nothing was annotated.
+func (m Metrics) Precision() float64 {
+	if m.Annotated == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(m.Annotated)
+}
+
+// Recall returns C/T, or 0 when the gold standard is empty.
+func (m Metrics) Recall() float64 {
+	if m.Truth == 0 {
+		return 0
+	}
+	return float64(m.Correct) / float64(m.Truth)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Evaluate runs the classifier over the test set and returns both the overall
+// accuracy and the per-label binary metrics (one-vs-rest), which is how the
+// per-type F-measures of Table 2 are computed.
+func Evaluate(c Classifier, test Dataset) (accuracy float64, perLabel map[string]Metrics) {
+	perLabel = map[string]Metrics{}
+	correct := 0
+	for _, ex := range test.Examples {
+		pred := c.Predict(ex.Features)
+		if pred == ex.Label {
+			correct++
+		}
+		mt := perLabel[ex.Label]
+		mt.Truth++
+		if pred == ex.Label {
+			mt.Correct++
+		}
+		perLabel[ex.Label] = mt
+
+		mp := perLabel[pred]
+		mp.Annotated++
+		perLabel[pred] = mp
+	}
+	if len(test.Examples) > 0 {
+		accuracy = float64(correct) / float64(len(test.Examples))
+	}
+	return accuracy, perLabel
+}
+
+// MacroF1 averages the per-label F-measures with equal label weight.
+func MacroF1(perLabel map[string]Metrics) float64 {
+	if len(perLabel) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range perLabel {
+		sum += m.F1()
+	}
+	return sum / float64(len(perLabel))
+}

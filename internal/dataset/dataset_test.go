@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+	"repro/internal/world"
+)
+
+func TestBuildGFTShape(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 21, KBPerType: 10})
+	ds := BuildGFT(w, 21)
+	if n := len(ds.Tables); n < 35 || n > 45 {
+		t.Errorf("GFT dataset has %d tables, want ~40", n)
+	}
+	// Gold counts match the paper's per-type entity counts.
+	counts := ds.Gold.CountByType()
+	for typ, want := range world.TableEntityCounts {
+		if got := counts[string(typ)]; got != want {
+			t.Errorf("gold %s = %d, want %d", typ, got, want)
+		}
+	}
+	// Mixed and type-word tables exist.
+	var mixed, typeword int
+	for _, tbl := range ds.Tables {
+		if strings.HasPrefix(tbl.Name, "gft_mixed") {
+			mixed++
+		}
+		if strings.HasPrefix(tbl.Name, "gft_typeword") {
+			typeword++
+		}
+	}
+	if mixed != 2 {
+		t.Errorf("mixed tables = %d, want 2", mixed)
+	}
+	if typeword != 1 {
+		t.Errorf("type-word tables = %d, want 1", typeword)
+	}
+}
+
+func TestGFTGoldPointsAtRealNames(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 22, KBPerType: 10})
+	ds := BuildGFT(w, 22)
+	for _, tbl := range ds.Tables {
+		for key, typ := range ds.Gold[tbl.Name] {
+			cell := tbl.Cell(key.Row, key.Col)
+			es := w.ByName(cell)
+			if len(es) == 0 {
+				t.Fatalf("gold cell %q in %s matches no entity", cell, tbl.Name)
+			}
+			found := false
+			for _, e := range es {
+				if string(e.Type) == typ {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("gold cell %q typed %q but no entity of that type has the name", cell, typ)
+			}
+		}
+	}
+}
+
+func TestGFTTablesAreRectangularWithGFTTypes(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 23, KBPerType: 10})
+	ds := BuildGFT(w, 23)
+	spatialTables := 0
+	for _, tbl := range ds.Tables {
+		for _, row := range tbl.Rows {
+			if len(row) != tbl.NumCols() {
+				t.Fatalf("table %s has a ragged row", tbl.Name)
+			}
+		}
+		if len(tbl.ColumnIndexesOfType(table.Location)) > 0 {
+			spatialTables++
+		}
+	}
+	if spatialTables == 0 {
+		t.Error("no tables with Location columns; disambiguation cannot be exercised")
+	}
+}
+
+func TestGFTAddressesPartiallyTruncated(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 24, KBPerType: 10})
+	ds := BuildGFT(w, 24)
+	full, partial := 0, 0
+	for _, tbl := range ds.Tables {
+		for _, j := range tbl.ColumnIndexesOfType(table.Location) {
+			for _, v := range tbl.ColumnValues(j) {
+				if v == "" {
+					continue
+				}
+				if strings.Contains(v, ",") {
+					full++
+				} else {
+					partial++
+				}
+			}
+		}
+	}
+	if partial == 0 || full == 0 {
+		t.Errorf("want a mix of full (%d) and partial (%d) addresses", full, partial)
+	}
+}
+
+func TestBuildWikiManualShape(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 25, KBPerType: 10})
+	ds := BuildWikiManual(w, 25)
+	if len(ds.Tables) != 36 {
+		t.Errorf("wiki dataset has %d tables, want 36", len(ds.Tables))
+	}
+	totalGold := 0
+	for _, cells := range ds.Gold {
+		totalGold += len(cells)
+	}
+	wantEntities := len(world.AllTypes) * 20
+	if totalGold != wantEntities {
+		t.Errorf("wiki gold has %d entities, want %d", totalGold, wantEntities)
+	}
+	// Wiki tables carry no useful context: all columns Text.
+	for _, tbl := range ds.Tables {
+		for _, c := range tbl.Columns {
+			if c.Type != table.Text {
+				t.Errorf("wiki table %s has typed column %v", tbl.Name, c.Type)
+			}
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	w := world.Generate(world.Config{Seed: 26, KBPerType: 10})
+	a := BuildGFT(w, 26)
+	b := BuildGFT(w, 26)
+	if len(a.Tables) != len(b.Tables) {
+		t.Fatal("table counts differ")
+	}
+	for i := range a.Tables {
+		if a.Tables[i].Name != b.Tables[i].Name || a.Tables[i].NumRows() != b.Tables[i].NumRows() {
+			t.Fatalf("table %d differs", i)
+		}
+		if a.Tables[i].NumRows() > 0 && a.Tables[i].Cell(1, 1) != b.Tables[i].Cell(1, 1) {
+			t.Fatalf("table %d content differs", i)
+		}
+	}
+}
+
+func TestGoldAddAndCount(t *testing.T) {
+	g := Gold{}
+	g.Add("t1", 1, 1, world.Museum)
+	g.Add("t1", 2, 1, world.Museum)
+	g.Add("t2", 1, 1, world.Restaurant)
+	counts := g.CountByType()
+	if counts["museum"] != 2 || counts["restaurant"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,186 @@
+// Package disambig implements the PageRank-style toponym disambiguation of
+// §5.2.2: every ambiguous address cell contributes one node per candidate
+// geocoder interpretation, candidates that share a geographic container and
+// sit in the same row or column vote for each other, and iterative score
+// propagation selects the interpretation with the largest score.
+package disambig
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/gazetteer"
+)
+
+// CellRef identifies a table cell by 1-based row and column indexes, matching
+// the paper's T(i,j) notation.
+type CellRef struct {
+	Row, Col int
+}
+
+// Interpretation is the geocoder output for one cell: the candidate locations
+// the cell's address may denote.
+type Interpretation struct {
+	Cell       CellRef
+	Candidates []gazetteer.LocID
+}
+
+// node is one (cell, candidate) pair in the voting graph.
+type node struct {
+	cell CellRef
+	loc  gazetteer.LocID
+	in   []int // indexes of nodes voting for this node
+}
+
+// Graph is the voting graph of Figure 7b.
+type Graph struct {
+	nodes []node
+	g     *gazetteer.Gazetteer
+}
+
+// BuildGraph constructs the voting graph. A directed edge v -> w exists iff
+// v and w belong to cells in the same row or the same column (but not the
+// same cell) and their locations share a geographic container in the paper's
+// sense: equal direct containers, or one location being the direct container
+// of the other (the street "Pennsylvania Ave, Washington" votes for the city
+// "Washington, D.C." in the same row, and vice versa).
+func BuildGraph(interps []Interpretation, g *gazetteer.Gazetteer) *Graph {
+	gr := &Graph{g: g}
+	for _, it := range interps {
+		for _, loc := range it.Candidates {
+			gr.nodes = append(gr.nodes, node{cell: it.Cell, loc: loc})
+		}
+	}
+	for i := range gr.nodes {
+		for j := range gr.nodes {
+			if i == j {
+				continue
+			}
+			a, b := &gr.nodes[i], &gr.nodes[j]
+			if a.cell == b.cell {
+				continue
+			}
+			if a.cell.Row != b.cell.Row && a.cell.Col != b.cell.Col {
+				continue
+			}
+			if gr.shareContainer(a.loc, b.loc) {
+				b.in = append(b.in, i)
+			}
+		}
+	}
+	return gr
+}
+
+// shareContainer implements the paper's "same direct geographic container"
+// relation, extended to the container relation itself so that a street and
+// the city containing it are recognised as geographically coherent.
+func (gr *Graph) shareContainer(l1, l2 gazetteer.LocID) bool {
+	p1, p2 := gr.g.Parent(l1), gr.g.Parent(l2)
+	return (p1 != gazetteer.NoLocation && p1 == p2) || p1 == l2 || p2 == l1
+}
+
+// EdgeCount returns the number of directed edges; exposed for tests.
+func (gr *Graph) EdgeCount() int {
+	n := 0
+	for i := range gr.nodes {
+		n += len(gr.nodes[i].in)
+	}
+	return n
+}
+
+// NodeCount returns the number of nodes.
+func (gr *Graph) NodeCount() int { return len(gr.nodes) }
+
+// Resolve runs the iterative vote propagation and picks, for every cell, the
+// candidate whose node accumulated the largest score. Scores start at
+// 1/|L_ij| (an unambiguous cell casts a full-weight vote). Each iteration
+// recomputes S(n) = Σ_{v∈IN(n)} S(v); scores are then re-normalised within
+// every cell's candidate set so the iteration reaches a fixed point — the raw
+// update of the paper grows without bound on cyclic graphs, and per-cell
+// normalisation preserves the ranking while guaranteeing convergence (see
+// DESIGN.md). Cells whose candidates receive no votes keep their uniform
+// prior. Ties select the smallest LocID for determinism (the paper chooses
+// randomly).
+func Resolve(interps []Interpretation, g *gazetteer.Gazetteer) map[CellRef]gazetteer.LocID {
+	choice, _ := ResolveScores(interps, g)
+	return choice
+}
+
+// ResolveScores is Resolve but also returns the final per-node scores keyed
+// by cell and location, for diagnostics and tests.
+func ResolveScores(interps []Interpretation, g *gazetteer.Gazetteer) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64) {
+	gr := BuildGraph(interps, g)
+	n := len(gr.nodes)
+	scores := make([]float64, n)
+
+	// Group node indexes per cell for the normalisation step.
+	cellNodes := map[CellRef][]int{}
+	for i, nd := range gr.nodes {
+		cellNodes[nd.cell] = append(cellNodes[nd.cell], i)
+	}
+	for _, idxs := range cellNodes {
+		init := 1.0 / float64(len(idxs))
+		for _, i := range idxs {
+			scores[i] = init
+		}
+	}
+
+	const (
+		maxIter = 100
+		eps     = 1e-9
+	)
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range gr.nodes {
+			var sum float64
+			for _, v := range gr.nodes[i].in {
+				sum += scores[v]
+			}
+			next[i] = sum
+		}
+		// Per-cell normalisation; a cell whose candidates all scored 0
+		// reverts to its uniform prior.
+		for _, idxs := range cellNodes {
+			var total float64
+			for _, i := range idxs {
+				total += next[i]
+			}
+			if total == 0 {
+				u := 1.0 / float64(len(idxs))
+				for _, i := range idxs {
+					next[i] = u
+				}
+				continue
+			}
+			for _, i := range idxs {
+				next[i] /= total
+			}
+		}
+		var delta float64
+		for i := range scores {
+			delta = math.Max(delta, math.Abs(next[i]-scores[i]))
+		}
+		copy(scores, next)
+		if delta < eps {
+			break
+		}
+	}
+
+	choice := make(map[CellRef]gazetteer.LocID, len(cellNodes))
+	detail := make(map[CellRef]map[gazetteer.LocID]float64, len(cellNodes))
+	for cell, idxs := range cellNodes {
+		sort.Ints(idxs)
+		best, bestScore := gazetteer.NoLocation, math.Inf(-1)
+		m := make(map[gazetteer.LocID]float64, len(idxs))
+		for _, i := range idxs {
+			nd := gr.nodes[i]
+			m[nd.loc] = scores[i]
+			if scores[i] > bestScore || (scores[i] == bestScore && nd.loc < best) {
+				best, bestScore = nd.loc, scores[i]
+			}
+		}
+		choice[cell] = best
+		detail[cell] = m
+	}
+	return choice, detail
+}

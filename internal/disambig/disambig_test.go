@@ -1,0 +1,259 @@
+package disambig
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gazetteer"
+)
+
+// figure7 reconstructs the exact scenario of Figure 7 in the paper: column 1
+// holds partial street addresses, column 2 holds city references; correct
+// interpretations share containers along rows.
+func figure7(t *testing.T) (*gazetteer.Gazetteer, []Interpretation, map[CellRef]string) {
+	t.Helper()
+	g := gazetteer.Synthetic(1)
+
+	find := func(street, city string) gazetteer.LocID {
+		for _, s := range g.Lookup(street, gazetteer.Street) {
+			if g.Name(g.CityOf(s)) == city {
+				return s
+			}
+		}
+		t.Fatalf("street %q in %q not found", street, city)
+		return gazetteer.NoLocation
+	}
+	findCity := func(city, state string) gazetteer.LocID {
+		for _, c := range g.Lookup(city, gazetteer.City) {
+			if g.Name(g.Parent(c)) == state {
+				return c
+			}
+		}
+		t.Fatalf("city %q, %q not found", city, state)
+		return gazetteer.NoLocation
+	}
+
+	interps := []Interpretation{
+		{Cell: CellRef{12, 1}, Candidates: []gazetteer.LocID{
+			find("Pennsylvania Avenue", "Baltimore"),
+			find("Pennsylvania Avenue", "Washington"),
+		}},
+		{Cell: CellRef{13, 1}, Candidates: []gazetteer.LocID{
+			find("Wofford Lane", "College Park"),
+			find("Wofford Lane", "Lockhart"),
+			find("Wofford Lane", "Conway"),
+		}},
+		{Cell: CellRef{20, 1}, Candidates: []gazetteer.LocID{
+			find("Clarksville Street", "Paris"),
+			find("Clarksville Street", "Bogata"),
+			find("Clarksville Street", "Trenton"),
+		}},
+		{Cell: CellRef{12, 2}, Candidates: []gazetteer.LocID{
+			findCity("Washington", "D.C."),
+			findCity("Washington", "GA"),
+		}},
+		{Cell: CellRef{13, 2}, Candidates: []gazetteer.LocID{
+			findCity("College Park", "MD"),
+			findCity("College Park", "GA"),
+		}},
+		{Cell: CellRef{20, 2}, Candidates: []gazetteer.LocID{
+			findCity("Paris", "TX"),
+			findCity("Paris", "Île-de-France"),
+			findCity("Paris", "TN"),
+		}},
+	}
+	want := map[CellRef]string{
+		{12, 1}: "Washington",
+		{13, 1}: "College Park",
+		{20, 1}: "Paris",
+		{12, 2}: "Washington",
+		{13, 2}: "College Park",
+		{20, 2}: "Paris",
+	}
+	return g, interps, want
+}
+
+func TestFigure7Resolution(t *testing.T) {
+	g, interps, want := figure7(t)
+	choice := Resolve(interps, g)
+	if len(choice) != len(interps) {
+		t.Fatalf("resolved %d cells, want %d", len(choice), len(interps))
+	}
+	for cell, wantCity := range want {
+		loc := choice[cell]
+		gotCity := g.Name(g.CityOf(loc))
+		if gotCity != wantCity {
+			t.Errorf("cell %v resolved to city %q, want %q", cell, gotCity, wantCity)
+		}
+	}
+	// The street picks in column 1 must be the streets *in* the chosen
+	// cities, not merely same-named streets elsewhere.
+	if g.Kind(choice[CellRef{12, 1}]) != gazetteer.Street {
+		t.Errorf("cell (12,1) should resolve to a street")
+	}
+	// Row 12's correct state: D.C., not GA.
+	wash := choice[CellRef{12, 2}]
+	if g.Name(g.Parent(wash)) != "D.C." {
+		t.Errorf("Washington resolved under state %q, want D.C.", g.Name(g.Parent(wash)))
+	}
+	// Row 20: Paris, TX (voted by Clarksville Street), not France.
+	paris := choice[CellRef{20, 2}]
+	if g.Name(g.Parent(paris)) != "TX" {
+		t.Errorf("Paris resolved under %q, want TX", g.Name(g.Parent(paris)))
+	}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g, interps, _ := figure7(t)
+	gr := BuildGraph(interps, g)
+	if gr.NodeCount() != 15 {
+		t.Errorf("node count = %d, want 15 (sum of candidate set sizes)", gr.NodeCount())
+	}
+	if gr.EdgeCount() == 0 {
+		t.Error("graph has no edges; voting cannot happen")
+	}
+}
+
+func TestUnambiguousCellKeepsItsOnlyCandidate(t *testing.T) {
+	g := gazetteer.Synthetic(2)
+	balt := g.Lookup("Baltimore", gazetteer.City)
+	if len(balt) != 1 {
+		t.Fatalf("Baltimore should be unambiguous, got %d", len(balt))
+	}
+	interps := []Interpretation{{Cell: CellRef{1, 1}, Candidates: balt}}
+	choice := Resolve(interps, g)
+	if choice[CellRef{1, 1}] != balt[0] {
+		t.Errorf("single candidate was not selected")
+	}
+}
+
+func TestIsolatedAmbiguousCellPicksDeterministically(t *testing.T) {
+	g := gazetteer.Synthetic(3)
+	parises := g.Lookup("Paris", gazetteer.City)
+	if len(parises) < 2 {
+		t.Fatalf("need ambiguous Paris")
+	}
+	interps := []Interpretation{{Cell: CellRef{5, 5}, Candidates: parises}}
+	c1 := Resolve(interps, g)
+	c2 := Resolve(interps, g)
+	if c1[CellRef{5, 5}] != c2[CellRef{5, 5}] {
+		t.Errorf("isolated ambiguous cell resolution is nondeterministic")
+	}
+}
+
+func TestUnambiguousNeighbourDominatesVote(t *testing.T) {
+	// A row contains an unambiguous city and an ambiguous street; the
+	// street interpretation in that city must win.
+	g := gazetteer.Synthetic(4)
+	var balt gazetteer.LocID
+	for _, c := range g.Lookup("Baltimore", gazetteer.City) {
+		balt = c
+	}
+	streets := g.Lookup("Pennsylvania Avenue", gazetteer.Street)
+	if len(streets) < 2 {
+		t.Fatalf("need ambiguous Pennsylvania Avenue")
+	}
+	interps := []Interpretation{
+		{Cell: CellRef{1, 1}, Candidates: streets},
+		{Cell: CellRef{1, 2}, Candidates: []gazetteer.LocID{balt}},
+	}
+	choice := Resolve(interps, g)
+	if g.CityOf(choice[CellRef{1, 1}]) != balt {
+		t.Errorf("street resolved to %q, want the Baltimore street",
+			g.FullName(choice[CellRef{1, 1}]))
+	}
+}
+
+func TestNoCrossCellEdgesWithinSameCell(t *testing.T) {
+	g := gazetteer.Synthetic(5)
+	streets := g.Lookup("Main Street", gazetteer.Street)
+	if len(streets) < 2 {
+		t.Fatal("need ambiguous Main Street")
+	}
+	// Candidates of the same cell never vote for each other even though
+	// some may share a container.
+	interps := []Interpretation{{Cell: CellRef{1, 1}, Candidates: streets}}
+	gr := BuildGraph(interps, g)
+	if gr.EdgeCount() != 0 {
+		t.Errorf("edges within a single cell: %d, want 0", gr.EdgeCount())
+	}
+}
+
+func TestDiagonalCellsDoNotVote(t *testing.T) {
+	g := gazetteer.Synthetic(6)
+	a := g.Lookup("Pennsylvania Avenue", gazetteer.Street)
+	b := g.Lookup("Washington", gazetteer.City)
+	interps := []Interpretation{
+		{Cell: CellRef{1, 1}, Candidates: a},
+		{Cell: CellRef{2, 2}, Candidates: b}, // different row AND column
+	}
+	gr := BuildGraph(interps, g)
+	if gr.EdgeCount() != 0 {
+		t.Errorf("diagonal cells should not vote: %d edges", gr.EdgeCount())
+	}
+}
+
+// TestScoresAreDistributions: after resolution every cell's candidate scores
+// form a probability distribution.
+func TestScoresAreDistributions(t *testing.T) {
+	g, interps, _ := figure7(t)
+	_, detail := ResolveScores(interps, g)
+	for cell, m := range detail {
+		var sum float64
+		for _, s := range m {
+			if s < 0 || s > 1+1e-9 {
+				t.Errorf("cell %v has out-of-range score %v", cell, s)
+			}
+			sum += s
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("cell %v scores sum to %v, want 1", cell, sum)
+		}
+	}
+}
+
+// TestResolveTotal: every input cell gets exactly one interpretation, chosen
+// from its own candidate set.
+func TestResolveTotal(t *testing.T) {
+	g := gazetteer.Synthetic(7)
+	cities := g.Cities()
+	f := func(seed uint32) bool {
+		// Build a random 3x2 grid of interpretations from real
+		// ambiguous names.
+		state := seed
+		next := func(n int) int {
+			state = state*1664525 + 1013904223
+			return int(state % uint32(n))
+		}
+		var interps []Interpretation
+		for r := 1; r <= 3; r++ {
+			for c := 1; c <= 2; c++ {
+				city := cities[next(len(cities))]
+				cands := g.Lookup(g.Name(city), gazetteer.City)
+				interps = append(interps, Interpretation{
+					Cell: CellRef{r, c}, Candidates: cands,
+				})
+			}
+		}
+		choice := Resolve(interps, g)
+		for _, it := range interps {
+			sel, ok := choice[it.Cell]
+			if !ok {
+				return false
+			}
+			found := false
+			for _, c := range it.Candidates {
+				if c == sel {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

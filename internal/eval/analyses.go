@@ -1,0 +1,233 @@
+package eval
+
+import (
+	"repro/internal/annotate"
+	"repro/internal/table"
+	"repro/internal/world"
+)
+
+// KSweepRow reports the quality/cost trade-off for one top-k setting.
+type KSweepRow struct {
+	K       int
+	MicroF  float64
+	Queries int
+}
+
+// KSweep varies k, the number of snippets fetched per query (the paper fixes
+// k = 10), and reports the micro-averaged F over the GFT dataset. The sweep
+// shows the majority rule degrading for tiny k (too few votes) and
+// saturating once the dominant sense fills the window.
+func (l *Lab) KSweep(ks []int) []KSweepRow {
+	types := TypeStrings()
+	var rows []KSweepRow
+	for _, k := range ks {
+		a := l.annotator(l.SVM, true, false)
+		a.K = k
+		l.Engine.ResetCounters()
+		per := ScoreDataset(l.GFT, runDataset(l.GFT, a.AnnotateTable))
+		rows = append(rows, KSweepRow{
+			K:       k,
+			MicroF:  MicroAverage(per, types).F1(),
+			Queries: l.Engine.QueryCount(),
+		})
+	}
+	return rows
+}
+
+// CoverageReport quantifies the §1 claim that only ~22% of the entities in
+// the evaluation tables exist in the knowledge base, and what that coverage
+// means for a catalogue-only annotator.
+type CoverageReport struct {
+	TableEntities int
+	InKB          int
+	Coverage      float64
+	// CatalogueRecall is the catalogue annotator's micro recall on the
+	// GFT dataset — structurally bounded by Coverage.
+	CatalogueRecall float64
+}
+
+// Coverage computes the report over the GFT dataset's entity pools.
+func (l *Lab) Coverage() CoverageReport {
+	var rep CoverageReport
+	for _, t := range world.AllTypes {
+		for _, e := range l.World.TableEntities(t) {
+			rep.TableEntities++
+			if e.InKB {
+				rep.InKB++
+			}
+		}
+	}
+	if rep.TableEntities > 0 {
+		rep.Coverage = float64(rep.InKB) / float64(rep.TableEntities)
+	}
+	types := TypeStrings()
+	cat := &annotate.CatalogueAnnotator{Catalogue: l.KB.Catalogue()}
+	per := ScoreDataset(l.GFT, runDataset(l.GFT, func(t *table.Table) *annotate.Result {
+		return cat.AnnotateTable(t, types)
+	}))
+	rep.CatalogueRecall = MicroAverage(per, types).Recall()
+	return rep
+}
+
+// ClusterAblationRow compares the flat Eq. 1 majority rule with the
+// cluster-separated decision (§5.2 future work) on one type group.
+type ClusterAblationRow struct {
+	Group    string
+	FlatF    float64
+	ClusterF float64
+}
+
+// ClusterAblation runs both decision rules over the GFT dataset and reports
+// the macro F per type group. The clustered rule matters most for the
+// ambiguous people names.
+func (l *Lab) ClusterAblation(threshold float64) []ClusterAblationRow {
+	flat := ScoreDataset(l.GFT, runDataset(l.GFT, l.annotator(l.SVM, true, false).AnnotateTable))
+	ca := l.annotator(l.SVM, true, false)
+	ca.ClusterThreshold = threshold
+	clustered := ScoreDataset(l.GFT, runDataset(l.GFT, ca.AnnotateTable))
+
+	groups := []struct {
+		name  string
+		types []world.Type
+	}{
+		{"poi", world.POITypes},
+		{"people", world.PeopleTypes},
+		{"cinema", world.CinemaTypes},
+	}
+	var rows []ClusterAblationRow
+	for _, g := range groups {
+		names := make([]string, len(g.types))
+		for i, t := range g.types {
+			names[i] = string(t)
+		}
+		_, _, fFlat := MacroAverage(flat, names)
+		_, _, fClus := MacroAverage(clustered, names)
+		rows = append(rows, ClusterAblationRow{Group: g.name, FlatF: fFlat, ClusterF: fClus})
+	}
+	return rows
+}
+
+// SubsumptionRow reports how a subtype's gold entities were annotated: with
+// the correct fine-grained type, with its supertype (the confusion the paper
+// probes in §6.2), with something else, or not at all.
+type SubsumptionRow struct {
+	Subtype      string
+	Supertype    string
+	Correct      int
+	AsSupertype  int
+	AsOther      int
+	NotAnnotated int
+}
+
+// SubsumptionReport measures the two subsumption pairs over the GFT dataset
+// with the full pipeline. The paper reports "no particular problems" with
+// these pairs; the report quantifies that claim.
+func (l *Lab) SubsumptionReport() []SubsumptionRow {
+	results := runDataset(l.GFT, l.annotator(l.SVM, true, false).AnnotateTable)
+	var rows []SubsumptionRow
+	for _, sub := range world.AllTypes {
+		super, ok := world.Supertype(sub)
+		if !ok {
+			continue
+		}
+		row := SubsumptionRow{Subtype: string(sub), Supertype: string(super)}
+		for tableName, cells := range l.GFT.Gold {
+			res := results[tableName]
+			annotated := map[annotate.CellKey]annotate.Annotation{}
+			if res != nil {
+				for _, ann := range res.Annotations {
+					annotated[annotate.CellKey{Row: ann.Row, Col: ann.Col}] = ann
+				}
+			}
+			for key, goldType := range cells {
+				if goldType != string(sub) {
+					continue
+				}
+				ann, ok := annotated[annotate.CellKey{Row: key.Row, Col: key.Col}]
+				switch {
+				case !ok:
+					row.NotAnnotated++
+				case ann.Type == string(sub):
+					row.Correct++
+				case ann.Type == string(super):
+					row.AsSupertype++
+				default:
+					row.AsOther++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AmbiguitySweepRow reports annotation quality at one confuser-sense rate.
+type AmbiguitySweepRow struct {
+	Rate    float64
+	PeopleF float64
+	POIF    float64
+}
+
+// AmbiguitySweep rebuilds the universe at increasing ambiguity rates and
+// measures the people and POI macro F of the full pipeline. It quantifies
+// the paper's §6.2 observation that ambiguous names (people) degrade the
+// algorithm while long POI names stay safe. Each point constructs a full
+// lab, so the sweep is an explicit analysis, not part of the default run.
+func AmbiguitySweep(rates []float64, base LabConfig) []AmbiguitySweepRow {
+	peopleNames := make([]string, len(world.PeopleTypes))
+	for i, t := range world.PeopleTypes {
+		peopleNames[i] = string(t)
+	}
+	poiNames := make([]string, len(world.POITypes))
+	for i, t := range world.POITypes {
+		poiNames[i] = string(t)
+	}
+	var rows []AmbiguitySweepRow
+	for _, rate := range rates {
+		cfg := base
+		cfg.AmbiguityRate = rate
+		l := NewLab(cfg)
+		per := ScoreDataset(l.GFT, runDataset(l.GFT, l.annotator(l.SVM, true, false).AnnotateTable))
+		_, _, peopleF := MacroAverage(per, peopleNames)
+		_, _, poiF := MacroAverage(per, poiNames)
+		rows = append(rows, AmbiguitySweepRow{Rate: rate, PeopleF: peopleF, POIF: poiF})
+	}
+	return rows
+}
+
+// HybridReport compares discovery-only annotation against the hybrid
+// catalogue+discovery annotator the paper proposes in §6.4.
+type HybridReport struct {
+	DiscoveryF       float64
+	DiscoveryQueries int
+	HybridF          float64
+	HybridQueries    int
+	// QuerySavings is the fraction of search queries the catalogue
+	// eliminated.
+	QuerySavings float64
+}
+
+// HybridAnalysis runs both pipelines over the GFT dataset.
+func (l *Lab) HybridAnalysis() HybridReport {
+	types := TypeStrings()
+	var rep HybridReport
+
+	l.Engine.ResetCounters()
+	discPer := ScoreDataset(l.GFT, runDataset(l.GFT, l.annotator(l.SVM, true, false).AnnotateTable))
+	rep.DiscoveryQueries = l.Engine.QueryCount()
+	rep.DiscoveryF = MicroAverage(discPer, types).F1()
+
+	h := &annotate.Hybrid{
+		Catalogue: &annotate.CatalogueAnnotator{Catalogue: l.KB.Catalogue()},
+		Discovery: l.annotator(l.SVM, true, false),
+	}
+	l.Engine.ResetCounters()
+	hybPer := ScoreDataset(l.GFT, runDataset(l.GFT, h.AnnotateTable))
+	rep.HybridQueries = l.Engine.QueryCount()
+	rep.HybridF = MicroAverage(hybPer, types).F1()
+
+	if rep.DiscoveryQueries > 0 {
+		rep.QuerySavings = 1 - float64(rep.HybridQueries)/float64(rep.DiscoveryQueries)
+	}
+	return rep
+}

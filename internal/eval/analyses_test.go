@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+func TestKSweep(t *testing.T) {
+	l := getLab(t)
+	rows := l.KSweep([]int{1, 10})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// k=10 (the paper's setting) should beat k=1: a single snippet gives
+	// the majority rule no redundancy against noisy results.
+	if rows[1].MicroF < rows[0].MicroF-0.02 {
+		t.Errorf("F(k=10)=%.3f should be >= F(k=1)=%.3f", rows[1].MicroF, rows[0].MicroF)
+	}
+	for _, r := range rows {
+		if r.Queries == 0 {
+			t.Errorf("k=%d issued no queries", r.K)
+		}
+		if r.MicroF <= 0 || r.MicroF > 1 {
+			t.Errorf("k=%d F=%v out of range", r.K, r.MicroF)
+		}
+	}
+}
+
+func TestCoverageMatchesPaperClaim(t *testing.T) {
+	l := getLab(t)
+	rep := l.Coverage()
+	if rep.TableEntities == 0 {
+		t.Fatal("no table entities counted")
+	}
+	// The universe is generated with 22% KB coverage (§1's observation).
+	if rep.Coverage < 0.15 || rep.Coverage > 0.30 {
+		t.Errorf("coverage = %.2f, want ~0.22", rep.Coverage)
+	}
+	// Catalogue recall cannot exceed coverage by much (it can fall below:
+	// pre-processing and type restriction lose a few known entities).
+	if rep.CatalogueRecall > rep.Coverage+0.05 {
+		t.Errorf("catalogue recall %.2f exceeds KB coverage %.2f", rep.CatalogueRecall, rep.Coverage)
+	}
+}
+
+func TestClusterAblation(t *testing.T) {
+	l := getLab(t)
+	rows := l.ClusterAblation(0.4)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FlatF < 0 || r.FlatF > 1 || r.ClusterF < 0 || r.ClusterF > 1 {
+			t.Errorf("group %s has out-of-range F: %+v", r.Group, r)
+		}
+	}
+}
+
+func TestHybridAnalysis(t *testing.T) {
+	l := getLab(t)
+	rep := l.HybridAnalysis()
+	if rep.HybridQueries >= rep.DiscoveryQueries {
+		t.Errorf("hybrid queries = %d, want < %d (catalogue must save queries)",
+			rep.HybridQueries, rep.DiscoveryQueries)
+	}
+	if rep.QuerySavings <= 0 {
+		t.Errorf("query savings = %.2f, want > 0", rep.QuerySavings)
+	}
+	// Quality must not collapse when the catalogue takes over known
+	// cells.
+	if rep.HybridF < rep.DiscoveryF-0.10 {
+		t.Errorf("hybrid F %.2f fell too far below discovery F %.2f", rep.HybridF, rep.DiscoveryF)
+	}
+}
+
+func TestSubsumptionReport(t *testing.T) {
+	l := getLab(t)
+	rows := l.SubsumptionReport()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (university/school, simpsons/film)", len(rows))
+	}
+	for _, r := range rows {
+		total := r.Correct + r.AsSupertype + r.AsOther + r.NotAnnotated
+		if total == 0 {
+			t.Errorf("%s: no gold entities counted", r.Subtype)
+		}
+		// The paper reports no particular subsumption problems: the
+		// correct fine-grained type must dominate the supertype
+		// confusion.
+		if r.Correct <= r.AsSupertype {
+			t.Errorf("%s: correct %d <= as-supertype %d", r.Subtype, r.Correct, r.AsSupertype)
+		}
+	}
+}
+
+func TestAmbiguitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep builds one lab per point")
+	}
+	rows := AmbiguitySweep([]float64{0.1, 0.8}, LabConfig{
+		Seed: 7, KBPerType: 30, SnippetsPerEntity: 4, MaxTrainEntities: 30,
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PeopleF <= 0 || r.PeopleF > 1 || r.POIF <= 0 || r.POIF > 1 {
+			t.Errorf("out-of-range F: %+v", r)
+		}
+		// POI names are long compounds; ambiguity hits people harder.
+		if r.POIF < r.PeopleF {
+			t.Errorf("rate %.2f: POI F %.2f below people F %.2f", r.Rate, r.POIF, r.PeopleF)
+		}
+	}
+}
+
+func TestEfficiencyLatencyScaling(t *testing.T) {
+	l := getLab(t)
+	fast := l.Efficiency([]int{50}, 100*time.Millisecond)[0]
+	slow := l.Efficiency([]int{50}, 500*time.Millisecond)[0]
+	if slow.EstSecondsPerRow <= fast.EstSecondsPerRow {
+		t.Errorf("estimate should grow with latency: %.3f vs %.3f",
+			fast.EstSecondsPerRow, slow.EstSecondsPerRow)
+	}
+}

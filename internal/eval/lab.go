@@ -1,0 +1,133 @@
+// Package eval wires the complete reproduction together (universe → corpus →
+// knowledge base → classifiers → datasets) and provides one runner per table
+// and analysis of the paper's evaluation section: Table 1 (methods × types),
+// Table 2 (classifier training), Table 3 (post-processing and disambiguation
+// ablation), the Wiki Manual comparison of §6.3 and the efficiency analysis
+// of §6.4.
+package eval
+
+import (
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/kb"
+	"repro/internal/search"
+	"repro/internal/webgen"
+	"repro/internal/world"
+)
+
+// LabConfig scales the experiment. The zero value selects the full-size
+// configuration used by cmd/experiments; tests use smaller settings.
+type LabConfig struct {
+	Seed int64
+	// KBPerType is the number of knowledge-base entities per type
+	// (default 240; the training corpus scales with it).
+	KBPerType int
+	// SnippetsPerEntity caps snippets per training entity (default 8,
+	// paper uses up to 10).
+	SnippetsPerEntity int
+	// MaxTrainEntities caps the sampled P set per type (default 0 = all).
+	MaxTrainEntities int
+	// K is the top-k snippet count at annotation time (default 10).
+	K int
+	// SVMEpochs tunes the linear SVM (default 10).
+	SVMEpochs int
+	// AmbiguityRate overrides the universe's confuser-sense rate
+	// (0 keeps the world default of 0.35). Used by the ambiguity sweep.
+	AmbiguityRate float64
+}
+
+func (c LabConfig) withDefaults() LabConfig {
+	if c.KBPerType == 0 {
+		c.KBPerType = 240
+	}
+	if c.SnippetsPerEntity == 0 {
+		c.SnippetsPerEntity = 8
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.SVMEpochs == 0 {
+		c.SVMEpochs = 10
+	}
+	return c
+}
+
+// Lab holds every component of the reproduction, built once and shared by
+// the experiment runners.
+type Lab struct {
+	Cfg    LabConfig
+	World  *world.World
+	KB     *kb.KB
+	Engine *search.Engine
+
+	SVM   classify.Classifier
+	Bayes classify.Classifier
+
+	// TrainStats are the per-type |TR|/|TE| sizes (Table 2).
+	TrainStats []kb.CorpusStats
+	// TestPerType holds the per-type one-vs-rest F of both classifiers
+	// on the held-out snippet test set (Table 2).
+	TestPerType map[string]struct{ SVM, Bayes float64 }
+
+	GFT  *dataset.Dataset
+	Wiki *dataset.Dataset
+}
+
+// TypeStrings returns Γ as strings in evaluation order.
+func TypeStrings() []string {
+	out := make([]string, len(world.AllTypes))
+	for i, t := range world.AllTypes {
+		out[i] = string(t)
+	}
+	return out
+}
+
+// NewLab builds the full experimental apparatus deterministically from the
+// configuration.
+func NewLab(cfg LabConfig) *Lab {
+	cfg = cfg.withDefaults()
+	l := &Lab{Cfg: cfg}
+
+	l.World = world.Generate(world.Config{
+		Seed:          cfg.Seed,
+		KBPerType:     cfg.KBPerType,
+		AmbiguityRate: cfg.AmbiguityRate,
+	})
+	docs := webgen.BuildCorpus(l.World, webgen.Config{Seed: cfg.Seed + 1})
+	ix := search.NewIndex()
+	for _, d := range docs {
+		ix.Add(d)
+	}
+	l.Engine = search.NewEngine(ix)
+	l.KB = kb.FromWorld(l.World, cfg.Seed+2)
+
+	builder := &kb.TrainingBuilder{
+		KB:                l.KB,
+		Engine:            l.Engine,
+		SnippetsPerEntity: cfg.SnippetsPerEntity,
+		MaxEntities:       cfg.MaxTrainEntities,
+		Seed:              cfg.Seed + 3,
+	}
+	train, test, stats := builder.Collect(world.AllTypes)
+	l.TrainStats = stats
+
+	l.SVM = classify.LinearSVMTrainer{Epochs: cfg.SVMEpochs, Seed: cfg.Seed + 4}.Train(train)
+	l.Bayes = classify.BayesTrainer{}.Train(train)
+
+	l.TestPerType = map[string]struct{ SVM, Bayes float64 }{}
+	_, svmPer := classify.Evaluate(l.SVM, test)
+	_, bayesPer := classify.Evaluate(l.Bayes, test)
+	for _, t := range world.AllTypes {
+		l.TestPerType[string(t)] = struct{ SVM, Bayes float64 }{
+			SVM:   svmPer[string(t)].F1(),
+			Bayes: bayesPer[string(t)].F1(),
+		}
+	}
+
+	l.GFT = dataset.BuildGFT(l.World, cfg.Seed+5)
+	l.Wiki = dataset.BuildWikiManual(l.World, cfg.Seed+6)
+
+	// Reset accounting so experiment-time query counts are clean.
+	l.Engine.ResetCounters()
+	return l
+}

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"repro/internal/annotate"
+	"repro/internal/classify"
+	"repro/internal/dataset"
+)
+
+// ScoreDataset compares per-table annotation results against the gold
+// standard and returns the P/R/F counters per type, using the definitions of
+// §6.2: C_t are the correct annotations of type t, A_t all annotations of
+// type t, T_t the gold entities of type t.
+func ScoreDataset(ds *dataset.Dataset, results map[string]*annotate.Result) map[string]classify.Metrics {
+	per := map[string]classify.Metrics{}
+	for _, cells := range ds.Gold {
+		for _, typ := range cells {
+			m := per[typ]
+			m.Truth++
+			per[typ] = m
+		}
+	}
+	for tableName, res := range results {
+		gold := ds.Gold[tableName]
+		for _, ann := range res.Annotations {
+			m := per[ann.Type]
+			m.Annotated++
+			if gold != nil && gold[dataset.CellKey{Row: ann.Row, Col: ann.Col}] == ann.Type {
+				m.Correct++
+			}
+			per[ann.Type] = m
+		}
+	}
+	return per
+}
+
+// MicroAverage sums the counters over the given types — the dataset-level
+// F-measure used for the Wiki Manual comparison.
+func MicroAverage(per map[string]classify.Metrics, types []string) classify.Metrics {
+	var total classify.Metrics
+	for _, t := range types {
+		total.Add(per[t])
+	}
+	return total
+}
+
+// MacroAverage arithmetically averages P, R and F over the given types — the
+// AVERAGE rows of Table 1.
+func MacroAverage(per map[string]classify.Metrics, types []string) (p, r, f float64) {
+	if len(types) == 0 {
+		return 0, 0, 0
+	}
+	for _, t := range types {
+		m := per[t]
+		p += m.Precision()
+		r += m.Recall()
+		f += m.F1()
+	}
+	n := float64(len(types))
+	return p / n, r / n, f / n
+}

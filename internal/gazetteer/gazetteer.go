@@ -1,0 +1,160 @@
+// Package gazetteer provides the geographic substrate that replaces the
+// Google Geocoding API used in §5.2.2 of the paper. It models geographic
+// locations in a strict containment hierarchy (streets ⊂ cities ⊂ states ⊂
+// countries), formats and parses postal addresses — including the partial,
+// ambiguous addresses the paper highlights — and geocodes an address string
+// to the set of candidate interpretations.
+package gazetteer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a location in the containment hierarchy.
+type Kind int
+
+// The hierarchy levels, from most to least specific.
+const (
+	Street Kind = iota
+	City
+	State
+	Country
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Street:
+		return "street"
+	case City:
+		return "city"
+	case State:
+		return "state"
+	case Country:
+		return "country"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// LocID identifies a location inside a Gazetteer. The zero LocID is invalid.
+type LocID int
+
+// NoLocation is the invalid LocID.
+const NoLocation LocID = 0
+
+// location is the internal record for one geographic location.
+type location struct {
+	name   string
+	kind   Kind
+	parent LocID // direct container; NoLocation for countries
+}
+
+// Gazetteer is an in-memory geographic database.
+type Gazetteer struct {
+	locs   []location // index 0 unused so that LocID 0 stays invalid
+	byName map[string][]LocID
+}
+
+// New returns an empty gazetteer.
+func New() *Gazetteer {
+	return &Gazetteer{
+		locs:   make([]location, 1),
+		byName: map[string][]LocID{},
+	}
+}
+
+// Add inserts a location under the given parent and returns its id. Countries
+// take parent = NoLocation. Add panics if the parent/kind combination
+// violates the hierarchy, since that is a programming error in dataset
+// construction, not a runtime condition.
+func (g *Gazetteer) Add(name string, kind Kind, parent LocID) LocID {
+	if kind == Country {
+		if parent != NoLocation {
+			panic("gazetteer: country cannot have a parent")
+		}
+	} else {
+		if parent == NoLocation {
+			panic("gazetteer: " + kind.String() + " requires a parent")
+		}
+		pk := g.locs[parent].kind
+		if pk != kind+1 {
+			panic(fmt.Sprintf("gazetteer: %s cannot be contained in %s", kind, pk))
+		}
+	}
+	id := LocID(len(g.locs))
+	g.locs = append(g.locs, location{name: name, kind: kind, parent: parent})
+	key := normalizeName(name)
+	g.byName[key] = append(g.byName[key], id)
+	return id
+}
+
+// Len returns the number of locations stored.
+func (g *Gazetteer) Len() int { return len(g.locs) - 1 }
+
+// Name returns the bare name of a location.
+func (g *Gazetteer) Name(id LocID) string { return g.locs[id].name }
+
+// Kind returns the hierarchy level of a location.
+func (g *Gazetteer) Kind(id LocID) Kind { return g.locs[id].kind }
+
+// Parent returns the direct geographic container of a location (the "most
+// specific container" of the paper), or NoLocation for countries.
+func (g *Gazetteer) Parent(id LocID) LocID { return g.locs[id].parent }
+
+// Containers returns the chain of containers from the direct one up to the
+// country.
+func (g *Gazetteer) Containers(id LocID) []LocID {
+	var out []LocID
+	for p := g.Parent(id); p != NoLocation; p = g.Parent(p) {
+		out = append(out, p)
+	}
+	return out
+}
+
+// CityOf returns the city containing the location (or the location itself if
+// it is a city), or NoLocation when the location sits above city level.
+func (g *Gazetteer) CityOf(id LocID) LocID {
+	for cur := id; cur != NoLocation; cur = g.Parent(cur) {
+		if g.Kind(cur) == City {
+			return cur
+		}
+	}
+	return NoLocation
+}
+
+// Lookup returns all locations of the given kind with the given name,
+// sorted by id. Name matching is case-insensitive.
+func (g *Gazetteer) Lookup(name string, kind Kind) []LocID {
+	var out []LocID
+	for _, id := range g.byName[normalizeName(name)] {
+		if g.locs[id].kind == kind {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LookupAny returns all locations with the given name regardless of kind.
+func (g *Gazetteer) LookupAny(name string) []LocID {
+	out := append([]LocID(nil), g.byName[normalizeName(name)]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FullName renders the location with its full container chain, e.g.
+// "Pennsylvania Avenue, Washington, D.C., USA".
+func (g *Gazetteer) FullName(id LocID) string {
+	parts := []string{g.Name(id)}
+	for _, c := range g.Containers(id) {
+		parts = append(parts, g.Name(c))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// normalizeName lower-cases and collapses whitespace for name keys.
+func normalizeName(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}

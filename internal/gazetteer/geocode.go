@@ -1,0 +1,149 @@
+package gazetteer
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Address is a structured postal address. Any component other than Street may
+// be empty; the paper notes that real-table addresses are frequently partial
+// ("just the street number and name and, possibly, the zip code").
+type Address struct {
+	StreetNumber int
+	Street       string
+	City         string
+	State        string
+	Country      string
+	Zip          string
+}
+
+// Format renders the address in the comma-separated convention used by the
+// synthetic tables: "12 Main Street, Springfield, IL, USA".
+func (a Address) Format() string {
+	var parts []string
+	if a.Street != "" {
+		s := a.Street
+		if a.StreetNumber > 0 {
+			s = strconv.Itoa(a.StreetNumber) + " " + s
+		}
+		parts = append(parts, s)
+	}
+	if a.City != "" {
+		parts = append(parts, a.City)
+	}
+	if a.State != "" {
+		parts = append(parts, a.State)
+	}
+	if a.Zip != "" {
+		parts = append(parts, a.Zip)
+	}
+	if a.Country != "" {
+		parts = append(parts, a.Country)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseAddress splits a comma-separated address string into its raw segments,
+// extracting a leading street number from the first segment and recognising
+// all-digit segments as zip codes.
+func ParseAddress(s string) Address {
+	var a Address
+	segs := strings.Split(s, ",")
+	rest := segs[:0]
+	for _, seg := range segs {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		if isZip(seg) {
+			a.Zip = seg
+			continue
+		}
+		rest = append(rest, seg)
+	}
+	if len(rest) == 0 {
+		return a
+	}
+	first := rest[0]
+	if i := strings.IndexByte(first, ' '); i > 0 {
+		if n, err := strconv.Atoi(first[:i]); err == nil {
+			a.StreetNumber = n
+			first = strings.TrimSpace(first[i+1:])
+		}
+	}
+	a.Street = first
+	if len(rest) > 1 {
+		a.City = rest[1]
+	}
+	if len(rest) > 2 {
+		a.State = rest[2]
+	}
+	if len(rest) > 3 {
+		a.Country = rest[3]
+	}
+	return a
+}
+
+func isZip(s string) bool {
+	if len(s) < 4 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Geocode resolves an address string to its candidate interpretations, most
+// specific first. Like the Google Geocoding API, a partial address yields
+// every location it may refer to: a bare street name returns one candidate
+// per city containing a street of that name; a bare city name returns every
+// city so named. Later segments narrow the candidates: "Main Street,
+// Springfield" keeps only Main Streets whose city is named Springfield.
+// An unresolvable address returns nil.
+func (g *Gazetteer) Geocode(address string) []LocID {
+	a := ParseAddress(address)
+	if a.Street == "" {
+		return nil
+	}
+
+	// The first segment may be a street name or, for street-less
+	// addresses ("Washington, D.C., USA"), a city name. Try street
+	// first; fall back to city.
+	cands := g.Lookup(a.Street, Street)
+	qualifiers := []string{a.City, a.State, a.Country}
+	if len(cands) == 0 {
+		cands = g.Lookup(a.Street, City)
+		qualifiers = []string{a.City, a.State} // segments shift up one level
+		if len(cands) == 0 {
+			return nil
+		}
+	}
+	for _, q := range qualifiers {
+		if q == "" {
+			continue
+		}
+		cands = g.narrow(cands, q)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	return cands
+}
+
+// narrow keeps the candidates that have a container (at any level) whose name
+// matches the qualifier.
+func (g *Gazetteer) narrow(cands []LocID, qualifier string) []LocID {
+	q := normalizeName(qualifier)
+	out := cands[:0]
+	for _, id := range cands {
+		for _, c := range g.Containers(id) {
+			if normalizeName(g.Name(c)) == q {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}

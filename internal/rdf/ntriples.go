@@ -1,0 +1,79 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadNTriples parses the serialisation produced by WriteNTriples — one
+// `subject predicate "object" .` statement per line — and loads it into a
+// new store. Blank lines and `#` comment lines are ignored, so hand-edited
+// repository dumps load cleanly. Together with WriteNTriples this gives the
+// POI repository durable save/load, used by poibrowse's -save/-load flags.
+func ReadNTriples(r io.Reader) (*Store, error) {
+	store := NewStore()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ntriples: line %d: %w", lineNo, err)
+		}
+		store.Add(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: %w", err)
+	}
+	return store, nil
+}
+
+// parseNTripleLine parses `subj pred "obj with spaces" .`.
+func parseNTripleLine(line string) (Triple, error) {
+	if !strings.HasSuffix(line, ".") {
+		return Triple{}, fmt.Errorf("statement does not end with '.'")
+	}
+	line = strings.TrimSpace(strings.TrimSuffix(line, "."))
+
+	sp := strings.IndexByte(line, ' ')
+	if sp < 0 {
+		return Triple{}, fmt.Errorf("missing predicate")
+	}
+	subj := line[:sp]
+	rest := strings.TrimSpace(line[sp+1:])
+
+	sp = strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return Triple{}, fmt.Errorf("missing object")
+	}
+	pred := rest[:sp]
+	objRaw := strings.TrimSpace(rest[sp+1:])
+	if objRaw == "" {
+		return Triple{}, fmt.Errorf("empty object")
+	}
+
+	var obj string
+	if strings.HasPrefix(objRaw, "\"") {
+		// %q-quoted literal; strconv handles the escapes WriteNTriples
+		// produced.
+		unq, err := strconv.Unquote(objRaw)
+		if err != nil {
+			return Triple{}, fmt.Errorf("bad literal %s: %w", objRaw, err)
+		}
+		obj = unq
+	} else {
+		if strings.ContainsRune(objRaw, ' ') {
+			return Triple{}, fmt.Errorf("unquoted object %q contains spaces", objRaw)
+		}
+		obj = objRaw
+	}
+	return Triple{S: subj, P: pred, O: obj}, nil
+}

@@ -1,0 +1,55 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	s := seeded()
+	s.Add(Triple{"poi:4", PredLabel, `He said "hi" \ bye`}) // escapes survive
+	text := s.WriteNTriples()
+	loaded, err := ReadNTriples(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("loaded %d triples, want %d", loaded.Len(), s.Len())
+	}
+	for _, tr := range s.Query("", "", "") {
+		if got := loaded.Query(tr.S, tr.P, tr.O); len(got) != 1 {
+			t.Errorf("triple %v lost in round trip", tr)
+		}
+	}
+}
+
+func TestReadNTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	in := `
+# POI repository dump
+poi:1 rdf:type "restaurant" .
+
+poi:1 rdfs:label "Chez Martin" .
+`
+	s, err := ReadNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`poi:1 rdf:type "restaurant"`,    // no trailing dot
+		`poi:1 .`,                        // missing predicate
+		`poi:1 rdf:type .`,               // missing object
+		`poi:1 rdf:type "unterminated .`, // bad literal
+		`poi:1 rdf:type two words .`,     // unquoted object with spaces
+	}
+	for _, line := range bad {
+		if _, err := ReadNTriples(strings.NewReader(line)); err == nil {
+			t.Errorf("ReadNTriples(%q) accepted", line)
+		}
+	}
+}

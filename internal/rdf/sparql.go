@@ -1,0 +1,346 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// This file implements the SPARQL subset the repository understands:
+//
+//	SELECT [DISTINCT] ?v1 ?v2 | * WHERE { pattern . pattern ... } [LIMIT n]
+//
+// where every pattern is three terms — a ?variable, a "quoted literal" or a
+// bare IRI token like rdf:type. It is the query language behind poibrowse
+// and the moral equivalent of the iterated SPARQL containment queries the
+// paper runs against DBpedia (§5.2.1).
+
+// Term is one position of a triple pattern.
+type Term struct {
+	// Value is the variable name (without '?') or the constant value.
+	Value string
+	// IsVar marks a variable term.
+	IsVar bool
+}
+
+// Pattern is a triple pattern.
+type Pattern struct {
+	S, P, O Term
+}
+
+// SelectQuery is a parsed SELECT query.
+type SelectQuery struct {
+	Vars     []string // projected variables, nil for SELECT *
+	Distinct bool
+	Patterns []Pattern
+	Limit    int // 0 = no limit
+}
+
+// Binding maps variable names to values for one solution row.
+type Binding map[string]string
+
+// ParseSPARQL parses the supported subset. Errors carry the offending token.
+func ParseSPARQL(query string) (*SelectQuery, error) {
+	toks, err := lexSPARQL(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &sparqlParser{toks: toks}
+	return p.parse()
+}
+
+// lexSPARQL splits the query into tokens: punctuation ({ } .), quoted
+// literals, and bare words (keywords, IRIs, ?variables, numbers).
+func lexSPARQL(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '{' || c == '}':
+			toks = append(toks, string(c))
+			i++
+		case c == '.':
+			toks = append(toks, ".")
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("sparql: unterminated string literal at offset %d", i)
+			}
+			toks = append(toks, s[i:j+1])
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && !unicode.IsSpace(rune(s[j])) && s[j] != '{' && s[j] != '}' && s[j] != '"' {
+				j++
+			}
+			word := s[i:j]
+			// A trailing '.' ends a pattern rather than belonging
+			// to the token ("rdf:type ." vs "example.com").
+			if strings.HasSuffix(word, ".") && len(word) > 1 {
+				toks = append(toks, word[:len(word)-1], ".")
+			} else {
+				toks = append(toks, word)
+			}
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type sparqlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sparqlParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *sparqlParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *sparqlParser) expect(keyword string) error {
+	if !strings.EqualFold(p.peek(), keyword) {
+		return fmt.Errorf("sparql: expected %q, got %q", keyword, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *sparqlParser) parse() (*SelectQuery, error) {
+	q := &SelectQuery{}
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(p.peek(), "DISTINCT") {
+		q.Distinct = true
+		p.pos++
+	}
+	switch {
+	case p.peek() == "*":
+		p.pos++
+	default:
+		for strings.HasPrefix(p.peek(), "?") {
+			q.Vars = append(q.Vars, strings.TrimPrefix(p.next(), "?"))
+		}
+		if len(q.Vars) == 0 {
+			return nil, fmt.Errorf("sparql: SELECT needs variables or *, got %q", p.peek())
+		}
+	}
+	if err := p.expect("WHERE"); err != nil {
+		return nil, err
+	}
+	if p.next() != "{" {
+		return nil, fmt.Errorf("sparql: expected '{' after WHERE")
+	}
+	for p.peek() != "}" {
+		if p.peek() == "" {
+			return nil, fmt.Errorf("sparql: unterminated pattern block")
+		}
+		var terms [3]Term
+		for i := 0; i < 3; i++ {
+			tok := p.next()
+			if tok == "" || tok == "." || tok == "}" {
+				return nil, fmt.Errorf("sparql: incomplete triple pattern")
+			}
+			terms[i] = parseTerm(tok)
+		}
+		q.Patterns = append(q.Patterns, Pattern{S: terms[0], P: terms[1], O: terms[2]})
+		if p.peek() == "." {
+			p.pos++
+		}
+	}
+	p.pos++ // consume '}'
+	if strings.EqualFold(p.peek(), "LIMIT") {
+		p.pos++
+		if _, err := fmt.Sscanf(p.next(), "%d", &q.Limit); err != nil {
+			return nil, fmt.Errorf("sparql: bad LIMIT: %w", err)
+		}
+	}
+	if p.peek() != "" {
+		return nil, fmt.Errorf("sparql: trailing token %q", p.peek())
+	}
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("sparql: empty pattern block")
+	}
+	return q, nil
+}
+
+func parseTerm(tok string) Term {
+	if strings.HasPrefix(tok, "?") {
+		return Term{Value: strings.TrimPrefix(tok, "?"), IsVar: true}
+	}
+	if strings.HasPrefix(tok, "\"") && strings.HasSuffix(tok, "\"") && len(tok) >= 2 {
+		return Term{Value: tok[1 : len(tok)-1]}
+	}
+	return Term{Value: tok}
+}
+
+// Select runs a parsed query against the store and returns the solution
+// bindings restricted to the projected variables, in a deterministic order.
+func (s *Store) Select(q *SelectQuery) []Binding {
+	// Order patterns most-selective first: constants beat variables and
+	// bound-by-earlier-pattern variables beat fresh ones. A simple
+	// greedy ordering is enough at this scale.
+	patterns := append([]Pattern(nil), q.Patterns...)
+	sort.SliceStable(patterns, func(i, j int) bool {
+		return patternConstants(patterns[i]) > patternConstants(patterns[j])
+	})
+
+	var solutions []Binding
+	var walk func(i int, bound Binding)
+	walk = func(i int, bound Binding) {
+		if q.Limit > 0 && len(solutions) >= q.Limit && !q.Distinct {
+			return
+		}
+		if i == len(patterns) {
+			solutions = append(solutions, cloneBinding(bound))
+			return
+		}
+		pat := patterns[i]
+		subj := resolveTerm(pat.S, bound)
+		pred := resolveTerm(pat.P, bound)
+		obj := resolveTerm(pat.O, bound)
+		for _, tr := range s.Query(subj, pred, obj) {
+			next := bound
+			added := []string{}
+			bindVar := func(term Term, val string) bool {
+				if !term.IsVar || resolveTerm(term, next) != "" {
+					// Constant or already bound: Query matched it.
+					if term.IsVar && next[term.Value] != val {
+						return false
+					}
+					return true
+				}
+				next[term.Value] = val
+				added = append(added, term.Value)
+				return true
+			}
+			ok := bindVar(pat.S, tr.S) && bindVar(pat.P, tr.P) && bindVar(pat.O, tr.O)
+			if ok {
+				walk(i+1, next)
+			}
+			for _, v := range added {
+				delete(next, v)
+			}
+		}
+	}
+	walk(0, Binding{})
+
+	out := project(solutions, q)
+	sortBindings(out, q)
+	if q.Distinct {
+		out = dedupeBindings(out)
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// SelectSPARQL parses and runs a query in one call.
+func (s *Store) SelectSPARQL(query string) ([]Binding, error) {
+	q, err := ParseSPARQL(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.Select(q), nil
+}
+
+func patternConstants(p Pattern) int {
+	n := 0
+	for _, t := range []Term{p.S, p.P, p.O} {
+		if !t.IsVar {
+			n++
+		}
+	}
+	return n
+}
+
+// resolveTerm returns the concrete value a term imposes on the store query:
+// its constant, its bound value, or "" (wildcard) for a fresh variable.
+func resolveTerm(t Term, bound Binding) string {
+	if !t.IsVar {
+		return t.Value
+	}
+	return bound[t.Value]
+}
+
+func cloneBinding(b Binding) Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// project restricts solutions to the selected variables (all for SELECT *).
+func project(solutions []Binding, q *SelectQuery) []Binding {
+	if q.Vars == nil {
+		return solutions
+	}
+	out := make([]Binding, len(solutions))
+	for i, sol := range solutions {
+		row := make(Binding, len(q.Vars))
+		for _, v := range q.Vars {
+			if val, ok := sol[v]; ok {
+				row[v] = val
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// sortBindings orders rows lexicographically over the projected variables so
+// results are deterministic.
+func sortBindings(rows []Binding, q *SelectQuery) {
+	vars := q.Vars
+	if vars == nil {
+		seen := map[string]struct{}{}
+		for _, row := range rows {
+			for v := range row {
+				seen[v] = struct{}{}
+			}
+		}
+		for v := range seen {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, v := range vars {
+			if rows[i][v] != rows[j][v] {
+				return rows[i][v] < rows[j][v]
+			}
+		}
+		return false
+	})
+}
+
+func dedupeBindings(rows []Binding) []Binding {
+	var out []Binding
+	var prev string
+	for _, row := range rows {
+		key := fmt.Sprint(row)
+		if key != prev {
+			out = append(out, row)
+			prev = key
+		}
+	}
+	return out
+}

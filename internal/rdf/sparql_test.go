@@ -1,0 +1,196 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSPARQLBasics(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT ?name WHERE { ?poi rdf:type "restaurant" . ?poi rdfs:label ?name }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Vars) != 1 || q.Vars[0] != "name" {
+		t.Errorf("vars = %v", q.Vars)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("patterns = %d", len(q.Patterns))
+	}
+	p0 := q.Patterns[0]
+	if !p0.S.IsVar || p0.S.Value != "poi" {
+		t.Errorf("subject = %+v", p0.S)
+	}
+	if p0.P.IsVar || p0.P.Value != "rdf:type" {
+		t.Errorf("predicate = %+v", p0.P)
+	}
+	if p0.O.IsVar || p0.O.Value != "restaurant" {
+		t.Errorf("object = %+v", p0.O)
+	}
+}
+
+func TestParseSPARQLDistinctStarLimit(t *testing.T) {
+	q, err := ParseSPARQL(`SELECT DISTINCT * WHERE { ?s ?p ?o . } LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct || q.Vars != nil || q.Limit != 5 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseSPARQLErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`WHERE { ?s ?p ?o }`,
+		`SELECT ?x { ?s ?p ?o }`,            // missing WHERE
+		`SELECT ?x WHERE { ?s ?p }`,         // incomplete pattern
+		`SELECT ?x WHERE { ?s ?p ?o`,        // unterminated block
+		`SELECT ?x WHERE { }`,               // empty block
+		`SELECT ?x WHERE { ?s ?p ?o } x`,    // trailing garbage
+		`SELECT ?x WHERE { ?s ?p "unterm }`, // unterminated literal... lexer sees quote
+		`SELECT WHERE { ?s ?p ?o }`,         // no vars
+		`SELECT ?x WHERE { ?s ?p ?o } LIMIT abc`,
+	}
+	for _, query := range bad {
+		if _, err := ParseSPARQL(query); err == nil {
+			t.Errorf("ParseSPARQL(%q) accepted", query)
+		}
+	}
+}
+
+func TestSelectJoin(t *testing.T) {
+	s := seeded()
+	rows, err := s.SelectSPARQL(`SELECT ?name ?city WHERE {
+		?poi rdf:type "restaurant" .
+		?poi rdfs:label ?name .
+		?poi poi:city ?city .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Deterministic order: sorted by ?city then... sorted by projected
+	// vars ("city" precedes "name" in Vars order given).
+	if rows[0]["name"] != "Chez Martin" || rows[0]["city"] != "Paris" {
+		t.Errorf("row0 = %v", rows[0])
+	}
+	if rows[1]["name"] != "The Golden Fig" || rows[1]["city"] != "Lyon" {
+		t.Errorf("row1 = %v", rows[1])
+	}
+}
+
+func TestSelectSharedVariableJoin(t *testing.T) {
+	s := seeded()
+	// Which types appear in Paris?
+	rows, err := s.SelectSPARQL(`SELECT DISTINCT ?type WHERE {
+		?poi poi:city "Paris" .
+		?poi rdf:type ?type .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	types := []string{rows[0]["type"], rows[1]["type"]}
+	if types[0] != "museum" || types[1] != "restaurant" {
+		t.Errorf("types = %v", types)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := seeded()
+	rows, err := s.SelectSPARQL(`SELECT * WHERE { ?poi rdf:type ?type }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r["poi"] == "" || r["type"] == "" {
+			t.Errorf("incomplete binding %v", r)
+		}
+	}
+}
+
+func TestSelectLimit(t *testing.T) {
+	s := seeded()
+	rows, err := s.SelectSPARQL(`SELECT ?s WHERE { ?s ?p ?o } LIMIT 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(rows))
+	}
+}
+
+func TestSelectNoMatch(t *testing.T) {
+	s := seeded()
+	rows, err := s.SelectSPARQL(`SELECT ?x WHERE { ?x rdf:type "castle" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("rows = %v, want none", rows)
+	}
+}
+
+func TestSelectConstantOnlyPattern(t *testing.T) {
+	s := seeded()
+	// A fully constant pattern acts as an existence check that keeps or
+	// kills all other solutions.
+	rows, err := s.SelectSPARQL(`SELECT ?name WHERE {
+		poi:1 rdf:type "restaurant" .
+		poi:1 rdfs:label ?name .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["name"] != "Chez Martin" {
+		t.Errorf("rows = %v", rows)
+	}
+	rows, err = s.SelectSPARQL(`SELECT ?name WHERE {
+		poi:1 rdf:type "museum" .
+		poi:1 rdfs:label ?name .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("existence check failed: %v", rows)
+	}
+}
+
+func TestSelectSameVariableTwiceInPattern(t *testing.T) {
+	s := NewStore()
+	s.Add(Triple{"a", "links", "a"})
+	s.Add(Triple{"a", "links", "b"})
+	rows, err := s.SelectSPARQL(`SELECT ?x WHERE { ?x links ?x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["x"] != "a" {
+		t.Errorf("self-link rows = %v, want just a", rows)
+	}
+}
+
+func TestSelectAgainstExtractedRepository(t *testing.T) {
+	// End-to-end: SPARQL over a store built by the seeded fixture, as
+	// the faceted browser would issue it.
+	s := seeded()
+	query := `SELECT ?name WHERE {
+		?poi rdf:type "museum" .
+		?poi poi:city "Paris" .
+		?poi rdfs:label ?name .
+	}`
+	rows, err := s.SelectSPARQL(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0]["name"], "Lavande") {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,80 @@
+package search
+
+import (
+	"sync"
+	"time"
+)
+
+// Engine wraps an Index behind the query interface the annotator uses, and
+// models the dominant cost the paper measures in §6.4: the latency of
+// talking to a remote search API. Latency is accounted virtually by default
+// (no real sleeping), so experiments can report wall-clock estimates without
+// slowing the test suite; RealSleep enables actual sleeping for demos.
+type Engine struct {
+	index *Index
+
+	// Latency is the simulated round-trip time per query. The paper
+	// observes ~0.5 s per processed row dominated by this cost.
+	Latency time.Duration
+	// RealSleep makes Search actually block for Latency.
+	RealSleep bool
+
+	mu        sync.Mutex
+	queries   int
+	simulated time.Duration
+}
+
+// NewEngine builds an engine over a pre-built index.
+func NewEngine(ix *Index) *Engine {
+	return &Engine{index: ix}
+}
+
+// Search returns the top-k results for query, accruing simulated latency.
+func (e *Engine) Search(query string, k int) []Result {
+	e.account()
+	return e.index.Search(query, k)
+}
+
+// SearchPhrase is Search with phrase semantics for double-quoted segments
+// (see Index.SearchPhrase); the paper submits its training queries as
+// phrases (§5.2.1).
+func (e *Engine) SearchPhrase(query string, k int) []Result {
+	e.account()
+	return e.index.SearchPhrase(query, k)
+}
+
+func (e *Engine) account() {
+	e.mu.Lock()
+	e.queries++
+	e.simulated += e.Latency
+	e.mu.Unlock()
+	if e.RealSleep && e.Latency > 0 {
+		time.Sleep(e.Latency)
+	}
+}
+
+// QueryCount returns the number of queries issued so far.
+func (e *Engine) QueryCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queries
+}
+
+// SimulatedTime returns the total latency the queries would have cost
+// against a real remote engine.
+func (e *Engine) SimulatedTime() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.simulated
+}
+
+// ResetCounters zeroes the query and latency accounting.
+func (e *Engine) ResetCounters() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queries = 0
+	e.simulated = 0
+}
+
+// IndexSize returns the number of documents behind the engine.
+func (e *Engine) IndexSize() int { return e.index.Len() }

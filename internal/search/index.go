@@ -1,0 +1,187 @@
+// Package search implements the web search engine substrate that replaces
+// the Bing API of §5.2: an inverted index with BM25 ranking over a synthetic
+// web corpus, returning for each query the top-k results as (URL, title,
+// snippet) triples, with per-query latency accounting so the efficiency
+// analysis of §6.4 can be reproduced without real network calls.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/textproc"
+)
+
+// Document is one synthetic web page.
+type Document struct {
+	ID    int
+	URL   string
+	Title string
+	Body  string
+	// Lang is an ISO language tag; the engine only returns English
+	// results, as the paper's algorithm requests (§5, step 2).
+	Lang string
+}
+
+// Result is one search hit.
+type Result struct {
+	URL     string
+	Title   string
+	Snippet string
+	Score   float64
+}
+
+// posting records one document containing a term.
+type posting struct {
+	doc int // index into docs
+	tf  int
+}
+
+// Index is an in-memory inverted index with BM25 ranking.
+type Index struct {
+	docs     []Document
+	bodyToks [][]string // raw body words per doc, for snippet windows
+	postings map[string][]posting
+	docLen   []int
+	totalLen int
+	byURL    map[string]int // lazy, built by docByURL
+}
+
+// BM25 parameters (standard values).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// SnippetWords is the window length of generated snippets; the paper notes
+// most snippets are under 20 words.
+const SnippetWords = 11
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{postings: map[string][]posting{}}
+}
+
+// Add indexes a document. Title terms are indexed alongside body terms (with
+// the title counted twice, approximating field weighting).
+func (ix *Index) Add(doc Document) {
+	if doc.Lang == "" {
+		doc.Lang = "en"
+	}
+	id := len(ix.docs)
+	doc.ID = id
+	ix.docs = append(ix.docs, doc)
+	ix.bodyToks = append(ix.bodyToks, strings.Fields(doc.Body))
+
+	terms := textproc.NormalizeTokens(doc.Title)
+	terms = append(terms, textproc.NormalizeTokens(doc.Title)...)
+	terms = append(terms, textproc.NormalizeTokens(doc.Body)...)
+	tf := map[string]int{}
+	for _, t := range terms {
+		tf[t]++
+	}
+	for t, n := range tf {
+		ix.postings[t] = append(ix.postings[t], posting{doc: id, tf: n})
+	}
+	ix.docLen = append(ix.docLen, len(terms))
+	ix.totalLen += len(terms)
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Search returns the top-k English documents for the query under BM25,
+// highest score first. Ties break by document id for determinism.
+func (ix *Index) Search(query string, k int) []Result {
+	if k <= 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	qterms := textproc.NormalizeTokens(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+	n := float64(len(ix.docs))
+	avgLen := float64(ix.totalLen) / n
+	scores := map[int]float64{}
+	for _, t := range qterms {
+		plist := ix.postings[t]
+		if len(plist) == 0 {
+			continue
+		}
+		df := float64(len(plist))
+		idf := math.Log((n-df+0.5)/(df+0.5) + 1)
+		for _, p := range plist {
+			tf := float64(p.tf)
+			dl := float64(ix.docLen[p.doc])
+			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+		}
+	}
+	type hit struct {
+		doc   int
+		score float64
+	}
+	hits := make([]hit, 0, len(scores))
+	for d, s := range scores {
+		if ix.docs[d].Lang != "en" {
+			continue
+		}
+		hits = append(hits, hit{d, s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].score != hits[j].score {
+			return hits[i].score > hits[j].score
+		}
+		return hits[i].doc < hits[j].doc
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	out := make([]Result, len(hits))
+	for i, h := range hits {
+		d := ix.docs[h.doc]
+		out[i] = Result{
+			URL:     d.URL,
+			Title:   d.Title,
+			Snippet: ix.snippet(h.doc, qterms),
+			Score:   h.score,
+		}
+	}
+	return out
+}
+
+// snippet extracts a SnippetWords-word window around the first body word
+// whose stem matches a query term, or the leading window when no term
+// matches (title-only hits).
+func (ix *Index) snippet(doc int, qterms []string) string {
+	words := ix.bodyToks[doc]
+	if len(words) == 0 {
+		return ix.docs[doc].Title
+	}
+	qset := make(map[string]struct{}, len(qterms))
+	for _, t := range qterms {
+		qset[t] = struct{}{}
+	}
+	at := 0
+	for i, w := range words {
+		norm := textproc.NormalizeTokens(w)
+		if len(norm) == 1 {
+			if _, ok := qset[norm[0]]; ok {
+				at = i
+				break
+			}
+		}
+	}
+	start := at - SnippetWords/3
+	if start < 0 {
+		start = 0
+	}
+	end := start + SnippetWords
+	if end > len(words) {
+		end = len(words)
+		if start = end - SnippetWords; start < 0 {
+			start = 0
+		}
+	}
+	return strings.Join(words[start:end], " ")
+}

@@ -1,0 +1,180 @@
+package search
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Index persistence: a compact binary snapshot so a corpus indexed once can
+// be reloaded without re-tokenising (building the synthetic web index is the
+// slowest part of system construction). Format (little-endian):
+//
+//	magic "TIDX" | version u32
+//	docCount u32, then per doc: url, title, body, lang (len-prefixed strings)
+//	termCount u32, then per term: term string, postings u32,
+//	    then per posting: doc u32, tf u32
+//
+// Document lengths and body tokens are reconstructed on load from the stored
+// bodies, keeping the file small at the cost of a cheap re-scan.
+
+const (
+	indexMagic   = "TIDX"
+	indexVersion = 1
+)
+
+// WriteTo serialises the index. It returns the byte count written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(data any) error {
+		return binary.Write(bw, binary.LittleEndian, data)
+	}
+	writeString := func(s string) error {
+		if err := write(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.Write([]byte(s))
+		return err
+	}
+
+	if _, err := bw.Write([]byte(indexMagic)); err != nil {
+		return bw.n, err
+	}
+	if err := write(uint32(indexVersion)); err != nil {
+		return bw.n, err
+	}
+	if err := write(uint32(len(ix.docs))); err != nil {
+		return bw.n, err
+	}
+	for _, d := range ix.docs {
+		for _, s := range []string{d.URL, d.Title, d.Body, d.Lang} {
+			if err := writeString(s); err != nil {
+				return bw.n, err
+			}
+		}
+	}
+	if err := write(uint32(len(ix.postings))); err != nil {
+		return bw.n, err
+	}
+	for term, plist := range ix.postings {
+		if err := writeString(term); err != nil {
+			return bw.n, err
+		}
+		if err := write(uint32(len(plist))); err != nil {
+			return bw.n, err
+		}
+		for _, p := range plist {
+			if err := write(uint32(p.doc)); err != nil {
+				return bw.n, err
+			}
+			if err := write(uint32(p.tf)); err != nil {
+				return bw.n, err
+			}
+		}
+	}
+	return bw.n, bw.w.(*bufio.Writer).Flush()
+}
+
+// ReadIndex loads an index previously written with WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	read := func(data any) error {
+		return binary.Read(br, binary.LittleEndian, data)
+	}
+	readString := func() (string, error) {
+		var n uint32
+		if err := read(&n); err != nil {
+			return "", err
+		}
+		if n > 1<<26 {
+			return "", fmt.Errorf("search: corrupt index (string length %d)", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("search: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("search: bad magic %q", magic)
+	}
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("search: unsupported index version %d", version)
+	}
+
+	// Rebuild by re-adding the documents: postings, lengths and body
+	// tokens are all derived state, and re-deriving them guarantees the
+	// loaded index behaves identically to a freshly built one.
+	var docCount uint32
+	if err := read(&docCount); err != nil {
+		return nil, err
+	}
+	ix := NewIndex()
+	for i := uint32(0); i < docCount; i++ {
+		var fields [4]string
+		for f := range fields {
+			s, err := readString()
+			if err != nil {
+				return nil, fmt.Errorf("search: doc %d: %w", i, err)
+			}
+			fields[f] = s
+		}
+		ix.Add(Document{URL: fields[0], Title: fields[1], Body: fields[2], Lang: fields[3]})
+	}
+
+	// Verify the stored postings match the rebuilt ones (an integrity
+	// check that also keeps the format honest).
+	var termCount uint32
+	if err := read(&termCount); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < termCount; i++ {
+		term, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		var n uint32
+		if err := read(&n); err != nil {
+			return nil, err
+		}
+		rebuilt := ix.postings[term]
+		if uint32(len(rebuilt)) != n {
+			return nil, fmt.Errorf("search: postings mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
+		}
+		for j := uint32(0); j < n; j++ {
+			var doc, tf uint32
+			if err := read(&doc); err != nil {
+				return nil, err
+			}
+			if err := read(&tf); err != nil {
+				return nil, err
+			}
+			if rebuilt[j].doc != int(doc) || rebuilt[j].tf != int(tf) {
+				return nil, fmt.Errorf("search: posting %d of %q differs", j, term)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

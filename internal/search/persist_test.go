@@ -1,0 +1,74 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	ix := smallIndex()
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ix.Len() {
+		t.Fatalf("loaded %d docs, want %d", loaded.Len(), ix.Len())
+	}
+	// Identical search behaviour.
+	for _, q := range []string{"louvre museum", "melisse", "melisse santa monica", "forecast"} {
+		a := ix.Search(q, 5)
+		b := loaded.Search(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("query %q result %d differs: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadIndexRejectsGarbage(t *testing.T) {
+	if _, err := ReadIndex(bytes.NewReader([]byte("not an index at all"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestReadIndexRejectsTruncated(t *testing.T) {
+	ix := smallIndex()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, 9, len(data) / 2, len(data) - 3} {
+		if _, err := ReadIndex(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadIndexRejectsWrongVersion(t *testing.T) {
+	ix := smallIndex()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version accepted")
+	}
+}

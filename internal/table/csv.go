@@ -1,0 +1,109 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a table from CSV. The first record is the header row.
+// Column types are inferred from the data (see InferColumnType), since plain
+// CSV — unlike GFT — carries no type metadata.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table %q: empty CSV", name)
+	}
+	header := records[0]
+	t := &Table{Name: name}
+	for _, h := range header {
+		t.Columns = append(t.Columns, Column{Header: strings.TrimSpace(h)})
+	}
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("table %q: row %d has %d cells, want %d", name, i+1, len(rec), len(header))
+		}
+		row := make([]string, len(rec))
+		for j, c := range rec {
+			row[j] = strings.TrimSpace(c)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for j := range t.Columns {
+		t.Columns[j].Type = InferColumnType(t.ColumnValues(j + 1))
+	}
+	return t, nil
+}
+
+// WriteCSV emits the table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for j, c := range t.Columns {
+		header[j] = c.Header
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+var (
+	dateRe = regexp.MustCompile(`^(\d{4}-\d{2}-\d{2}|\d{1,2}/\d{1,2}/\d{2,4}|(January|February|March|April|May|June|July|August|September|October|November|December)\s+\d{1,2},?\s+\d{4})$`)
+	// streetSuffixRe recognises address-like cells by their street
+	// designator.
+	streetSuffixRe = regexp.MustCompile(`(?i)\b(street|avenue|ave|road|lane|boulevard|blvd|drive|way|court|place|plaza|st|rd)\b`)
+	coordRe        = regexp.MustCompile(`^-?\d{1,3}\.\d+[, ]\s*-?\d{1,3}\.\d+$`)
+)
+
+// InferColumnType guesses a GFT type for a column from its values: a column
+// is typed Number/Date/Location when at least 60% of its non-empty cells look
+// like that type, Text otherwise.
+func InferColumnType(values []string) ColumnType {
+	var n, numbers, dates, locations int
+	for _, v := range values {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		n++
+		if _, err := strconv.ParseFloat(strings.ReplaceAll(v, ",", ""), 64); err == nil {
+			numbers++
+			continue
+		}
+		if dateRe.MatchString(v) {
+			dates++
+			continue
+		}
+		if coordRe.MatchString(v) || streetSuffixRe.MatchString(v) {
+			locations++
+		}
+	}
+	if n == 0 {
+		return Text
+	}
+	threshold := (n*6 + 9) / 10 // ceil(0.6*n)
+	switch {
+	case numbers >= threshold:
+		return Number
+	case dates >= threshold:
+		return Date
+	case locations >= threshold:
+		return Location
+	}
+	return Text
+}

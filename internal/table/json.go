@@ -1,0 +1,119 @@
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JSON interchange format. Unlike CSV, it carries the GFT column types
+// explicitly, mirroring what the GFT API returns for a table's schema; a
+// table round-trips losslessly.
+//
+//	{
+//	  "name": "pois",
+//	  "columns": [{"header": "Name", "type": "Text"}, ...],
+//	  "rows": [["Musée du Louvre", ...], ...]
+//	}
+
+type tableJSON struct {
+	Name    string       `json:"name"`
+	Columns []columnJSON `json:"columns"`
+	Rows    [][]string   `json:"rows"`
+}
+
+type columnJSON struct {
+	Header string `json:"header"`
+	Type   string `json:"type"`
+}
+
+// WriteJSON serialises the table.
+func WriteJSON(w io.Writer, t *Table) error {
+	out := tableJSON{Name: t.Name, Rows: t.Rows}
+	for _, c := range t.Columns {
+		out.Columns = append(out.Columns, columnJSON{Header: c.Header, Type: c.Type.String()})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a table, validating column types and row widths.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var in tableJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("table json: %w", err)
+	}
+	if len(in.Columns) == 0 {
+		return nil, fmt.Errorf("table json: table %q has no columns", in.Name)
+	}
+	t := &Table{Name: in.Name}
+	for i, c := range in.Columns {
+		ct, err := ParseColumnType(c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("table json: column %d: %w", i, err)
+		}
+		t.Columns = append(t.Columns, Column{Header: c.Header, Type: ct})
+	}
+	for i, row := range in.Rows {
+		if err := t.AppendRow(row...); err != nil {
+			return nil, fmt.Errorf("table json: row %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// ParseColumnType parses a GFT type name ("Text", "Number", "Location",
+// "Date"), case-insensitively.
+func ParseColumnType(s string) (ColumnType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "text", "":
+		return Text, nil
+	case "number":
+		return Number, nil
+	case "location":
+		return Location, nil
+	case "date":
+		return Date, nil
+	}
+	return Text, fmt.Errorf("unknown column type %q", s)
+}
+
+// ColumnStats summarises one column's content; the annotator's diagnostics
+// use it to explain pre-processing decisions.
+type ColumnStats struct {
+	NonEmpty  int
+	Empty     int
+	Distinct  int
+	MaxWords  int
+	MeanWords float64
+}
+
+// Stats computes the statistics of 1-based column j.
+func (t *Table) Stats(j int) ColumnStats {
+	var st ColumnStats
+	distinct := map[string]struct{}{}
+	totalWords := 0
+	for i := 1; i <= t.NumRows(); i++ {
+		cell := strings.TrimSpace(t.Cell(i, j))
+		if cell == "" {
+			st.Empty++
+			continue
+		}
+		st.NonEmpty++
+		distinct[strings.ToLower(cell)] = struct{}{}
+		words := len(strings.Fields(cell))
+		totalWords += words
+		if words > st.MaxWords {
+			st.MaxWords = words
+		}
+	}
+	st.Distinct = len(distinct)
+	if st.NonEmpty > 0 {
+		st.MeanWords = float64(totalWords) / float64(st.NonEmpty)
+	}
+	return st
+}

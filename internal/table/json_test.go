@@ -1,0 +1,98 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tbl := sample(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tbl.Name || got.NumRows() != tbl.NumRows() || got.NumCols() != tbl.NumCols() {
+		t.Fatalf("shape differs after round trip")
+	}
+	// Column types survive exactly (unlike CSV re-inference).
+	for j, c := range tbl.Columns {
+		if got.Columns[j] != c {
+			t.Errorf("column %d = %+v, want %+v", j, got.Columns[j], c)
+		}
+	}
+	for i := 1; i <= tbl.NumRows(); i++ {
+		for j := 1; j <= tbl.NumCols(); j++ {
+			if got.Cell(i, j) != tbl.Cell(i, j) {
+				t.Errorf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{`,
+		`{"name":"x","columns":[],"rows":[]}`,
+		`{"name":"x","columns":[{"header":"a","type":"Blob"}],"rows":[]}`,
+		`{"name":"x","columns":[{"header":"a","type":"Text"}],"rows":[["1","2"]]}`,
+		`{"name":"x","columns":[{"header":"a","type":"Text"}],"unknown":1}`,
+	}
+	for _, in := range bad {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSON(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseColumnType(t *testing.T) {
+	cases := map[string]ColumnType{
+		"Text": Text, "text": Text, " TEXT ": Text, "": Text,
+		"Number": Number, "Location": Location, "date": Date,
+	}
+	for in, want := range cases {
+		got, err := ParseColumnType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseColumnType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseColumnType("geo"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	tbl := New("s", Column{Header: "c", Type: Text})
+	for _, v := range []string{"alpha", "alpha", "beta gamma delta", "", "  "} {
+		if err := tbl.AppendRow(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tbl.Stats(1)
+	if st.NonEmpty != 3 || st.Empty != 2 {
+		t.Errorf("counts = %+v", st)
+	}
+	if st.Distinct != 2 {
+		t.Errorf("distinct = %d, want 2", st.Distinct)
+	}
+	if st.MaxWords != 3 {
+		t.Errorf("max words = %d, want 3", st.MaxWords)
+	}
+	want := (1.0 + 1.0 + 3.0) / 3.0
+	if st.MeanWords != want {
+		t.Errorf("mean words = %v, want %v", st.MeanWords, want)
+	}
+}
+
+func TestColumnStatsEmptyTable(t *testing.T) {
+	tbl := New("s", Column{Header: "c", Type: Text})
+	st := tbl.Stats(1)
+	if st.NonEmpty != 0 || st.MeanWords != 0 {
+		t.Errorf("empty table stats = %+v", st)
+	}
+}

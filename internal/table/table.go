@@ -1,0 +1,97 @@
+// Package table models Google-Fusion-Tables-style tables (§3): a flat n×m
+// grid — no column ever branches into subcolumns — where every column carries
+// one of the four GFT types (Text, Number, Location, Date). The package also
+// provides CSV input/output, column-type inference for tables arriving
+// without type information, and an indexed Store playing the role of the GFT
+// service: keyword retrieval plus an SQL-ish row filter, like the GFT API.
+package table
+
+import "fmt"
+
+// ColumnType is a GFT column type.
+type ColumnType int
+
+// The four GFT column types.
+const (
+	Text ColumnType = iota
+	Number
+	Location
+	Date
+)
+
+// String returns the GFT display name of the type.
+func (ct ColumnType) String() string {
+	switch ct {
+	case Text:
+		return "Text"
+	case Number:
+		return "Number"
+	case Location:
+		return "Location"
+	case Date:
+		return "Date"
+	}
+	return fmt.Sprintf("ColumnType(%d)", int(ct))
+}
+
+// Column is one table column: a header plus a GFT type.
+type Column struct {
+	Header string
+	Type   ColumnType
+}
+
+// Table is a GFT-style table. Rows hold the cell values; every row has
+// exactly len(Columns) cells.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    [][]string
+}
+
+// New creates an empty table with the given columns.
+func New(name string, cols ...Column) *Table {
+	return &Table{Name: name, Columns: cols}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// AppendRow adds a row; it returns an error when the cell count does not
+// match the column count, since GFT tables are strictly rectangular.
+func (t *Table) AppendRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("table %q: row has %d cells, want %d", t.Name, len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// Cell returns T(i, j) with the paper's 1-based indexing; it panics on
+// out-of-range indexes, which are programming errors.
+func (t *Table) Cell(i, j int) string {
+	return t.Rows[i-1][j-1]
+}
+
+// ColumnValues returns every cell of 1-based column j in row order.
+func (t *Table) ColumnValues(j int) []string {
+	out := make([]string, len(t.Rows))
+	for i, row := range t.Rows {
+		out[i] = row[j-1]
+	}
+	return out
+}
+
+// ColumnIndexesOfType returns the 1-based indexes of columns with the given
+// GFT type.
+func (t *Table) ColumnIndexesOfType(ct ColumnType) []int {
+	var out []int
+	for j, c := range t.Columns {
+		if c.Type == ct {
+			out = append(out, j+1)
+		}
+	}
+	return out
+}

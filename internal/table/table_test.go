@@ -1,0 +1,198 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample(t *testing.T) *Table {
+	t.Helper()
+	tbl := New("pois",
+		Column{Header: "Name", Type: Text},
+		Column{Header: "Address", Type: Location},
+		Column{Header: "Visitors", Type: Number},
+	)
+	rows := [][]string{
+		{"Musée du Louvre", "Rue de Rivoli, Paris", "9600000"},
+		{"Metropolitan Museum of Art", "1000 Fifth Avenue, New York", "6200000"},
+		{"Chez Panisse", "1517 Shattuck Avenue, Berkeley", "120000"},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestCellOneBased(t *testing.T) {
+	tbl := sample(t)
+	if got := tbl.Cell(1, 1); got != "Musée du Louvre" {
+		t.Errorf("Cell(1,1) = %q", got)
+	}
+	if got := tbl.Cell(3, 2); got != "1517 Shattuck Avenue, Berkeley" {
+		t.Errorf("Cell(3,2) = %q", got)
+	}
+	if tbl.NumRows() != 3 || tbl.NumCols() != 3 {
+		t.Errorf("dims = %dx%d, want 3x3", tbl.NumRows(), tbl.NumCols())
+	}
+}
+
+func TestAppendRowRejectsRagged(t *testing.T) {
+	tbl := sample(t)
+	if err := tbl.AppendRow("only", "two"); err == nil {
+		t.Error("ragged row accepted")
+	}
+}
+
+func TestColumnValuesAndTypeIndexes(t *testing.T) {
+	tbl := sample(t)
+	vals := tbl.ColumnValues(1)
+	if len(vals) != 3 || vals[2] != "Chez Panisse" {
+		t.Errorf("ColumnValues(1) = %v", vals)
+	}
+	locs := tbl.ColumnIndexesOfType(Location)
+	if len(locs) != 1 || locs[0] != 2 {
+		t.Errorf("Location columns = %v, want [2]", locs)
+	}
+}
+
+func TestInferColumnType(t *testing.T) {
+	cases := []struct {
+		vals []string
+		want ColumnType
+	}{
+		{[]string{"12", "34.5", "1,000"}, Number},
+		{[]string{"2021-03-18", "12/31/2020", "March 18, 2013"}, Date},
+		{[]string{"12 Main Street", "Oak Avenue, Springfield", "5 Park Road"}, Location},
+		{[]string{"48.8566, 2.3522", "40.7128, -74.0060"}, Location},
+		{[]string{"Louvre", "Uffizi", "Prado"}, Text},
+		{[]string{"", "", ""}, Text},
+		{[]string{"12", "hello", "world", "foo"}, Text}, // below threshold
+	}
+	for _, c := range cases {
+		if got := InferColumnType(c.vals); got != c.want {
+			t.Errorf("InferColumnType(%v) = %v, want %v", c.vals, got, c.want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := sample(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "pois")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tbl.NumRows() || got.NumCols() != tbl.NumCols() {
+		t.Fatalf("round trip dims differ")
+	}
+	for i := 1; i <= tbl.NumRows(); i++ {
+		for j := 1; j <= tbl.NumCols(); j++ {
+			if got.Cell(i, j) != tbl.Cell(i, j) {
+				t.Errorf("cell (%d,%d) = %q, want %q", i, j, got.Cell(i, j), tbl.Cell(i, j))
+			}
+		}
+	}
+	// Types re-inferred from data.
+	if got.Columns[1].Type != Location {
+		t.Errorf("address column inferred as %v, want Location", got.Columns[1].Type)
+	}
+	if got.Columns[2].Type != Number {
+		t.Errorf("visitors column inferred as %v, want Number", got.Columns[2].Type)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	// Ragged CSV rejected with a helpful error.
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), "x"); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}
+
+func TestStoreAddGetDuplicate(t *testing.T) {
+	s := NewStore()
+	tbl := sample(t)
+	if err := s.Add(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(tbl); err == nil {
+		t.Error("duplicate table name accepted")
+	}
+	got, ok := s.Get("pois")
+	if !ok || got != tbl {
+		t.Error("Get failed")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreSearch(t *testing.T) {
+	s := NewStore()
+	if err := s.Add(sample(t)); err != nil {
+		t.Fatal(err)
+	}
+	other := New("films", Column{Header: "Title", Type: Text})
+	if err := other.AppendRow("The Last Empire"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(other); err != nil {
+		t.Fatal(err)
+	}
+
+	hits := s.Search("museum")
+	if len(hits) != 1 || hits[0].Name != "pois" {
+		t.Errorf("Search(museum) = %v tables", len(hits))
+	}
+	// Stemming: "museums" matches "Museum".
+	if hits := s.Search("museums"); len(hits) != 1 {
+		t.Errorf("stemmed search failed: %d hits", len(hits))
+	}
+	// AND semantics.
+	if hits := s.Search("museum empire"); len(hits) != 0 {
+		t.Errorf("AND search should be empty, got %d", len(hits))
+	}
+	if hits := s.Search(""); hits != nil {
+		t.Errorf("empty query should return nil")
+	}
+	if hits := s.Search("zzzznope"); hits != nil {
+		t.Errorf("unknown term should return nil")
+	}
+}
+
+func TestStoreSelect(t *testing.T) {
+	s := NewStore()
+	if err := s.Add(sample(t)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Select("pois", func(row []string) bool {
+		return strings.Contains(row[1], "Paris")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "Musée du Louvre" {
+		t.Errorf("Select returned %v", rows)
+	}
+	all, err := s.Select("pois", nil)
+	if err != nil || len(all) != 3 {
+		t.Errorf("Select(nil) = %d rows, err %v", len(all), err)
+	}
+	if _, err := s.Select("missing", nil); err == nil {
+		t.Error("Select on missing table should error")
+	}
+	// Mutating returned rows must not corrupt the table.
+	all[0][0] = "CORRUPTED"
+	tbl, _ := s.Get("pois")
+	if tbl.Cell(1, 1) == "CORRUPTED" {
+		t.Error("Select rows alias the table storage")
+	}
+}

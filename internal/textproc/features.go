@@ -1,0 +1,57 @@
+package textproc
+
+import "sort"
+
+// Features maps a (stemmed) token to its normalized frequency in a snippet:
+// the number of occurrences divided by the snippet length in tokens, exactly
+// the feature representation of §5.2.1.
+type Features map[string]float64
+
+// Extract computes the feature map for a snippet.
+func Extract(snippet string) Features {
+	toks := NormalizeTokens(snippet)
+	if len(toks) == 0 {
+		return Features{}
+	}
+	f := make(Features, len(toks))
+	inv := 1.0 / float64(len(toks))
+	for _, t := range toks {
+		f[t] += inv
+	}
+	return f
+}
+
+// Terms returns the feature terms in sorted order, for deterministic
+// iteration in training and tests.
+func (f Features) Terms() []string {
+	terms := make([]string, 0, len(f))
+	for t := range f {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// Dot computes the inner product of two sparse feature vectors.
+func (f Features) Dot(g Features) float64 {
+	a, b := f, g
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var sum float64
+	for t, v := range a {
+		if w, ok := b[t]; ok {
+			sum += v * w
+		}
+	}
+	return sum
+}
+
+// Norm2 returns the squared Euclidean norm of the feature vector.
+func (f Features) Norm2() float64 {
+	var sum float64
+	for _, v := range f {
+		sum += v * v
+	}
+	return sum
+}

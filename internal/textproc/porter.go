@@ -1,0 +1,358 @@
+package textproc
+
+// Stem applies the Porter stemming algorithm (Porter, 1980) to a lower-case
+// word and returns the stem. Words of length <= 2 are returned unchanged, as
+// in the reference implementation. The paper stems snippet tokens with this
+// algorithm (§5.2.1, citing van Rijsbergen, Robertson & Porter).
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	s := &stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+// stemmer holds the word being stemmed. All operations follow the original
+// 1980 paper; b is the current buffer, j marks the end of the stem during a
+// rule application.
+type stemmer struct {
+	b []byte
+	j int
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// 'y' is a consonant when it follows a vowel position or starts the word.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m for the stem b[0..j]: the number of VC sequences in the
+// form [C](VC)^m[V].
+func (s *stemmer) measure() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.isConsonant(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleC reports whether b[i-1..i] is a double consonant.
+func (s *stemmer) doubleC(i int) bool {
+	if i < 1 {
+		return false
+	}
+	if s.b[i] != s.b[i-1] {
+		return false
+	}
+	return s.isConsonant(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant where the final
+// consonant is not w, x or y (the *o condition).
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the buffer ends with suf and, if so, sets j to
+// the offset just before the suffix.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b) - len(suf)
+	if n < 0 {
+		return false
+	}
+	if string(s.b[n:]) != suf {
+		return false
+	}
+	s.j = n - 1
+	return true
+}
+
+// setTo replaces the current suffix (everything after j) with rep.
+func (s *stemmer) setTo(rep string) {
+	s.b = append(s.b[:s.j+1], rep...)
+}
+
+// replaceIfM replaces the suffix with rep when the measure of the stem is
+// positive.
+func (s *stemmer) replaceIfM(suf, rep string) bool {
+	if s.hasSuffix(suf) {
+		if s.measure() > 0 {
+			s.setTo(rep)
+		}
+		return true
+	}
+	return false
+}
+
+func (s *stemmer) step1a() {
+	if s.b[len(s.b)-1] != 's' {
+		return
+	}
+	switch {
+	case s.hasSuffix("sses"):
+		s.setTo("ss")
+	case s.hasSuffix("ies"):
+		s.setTo("i")
+	case s.hasSuffix("ss"):
+		// keep as is
+	case s.hasSuffix("s"):
+		s.setTo("")
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure() > 0 {
+			s.setTo("ee")
+		}
+		return
+	}
+	applied := false
+	if s.hasSuffix("ed") {
+		if s.vowelInStem() {
+			s.setTo("")
+			applied = true
+		}
+	} else if s.hasSuffix("ing") {
+		if s.vowelInStem() {
+			s.setTo("")
+			applied = true
+		}
+	}
+	if !applied {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"):
+		s.setTo("ate")
+	case s.hasSuffix("bl"):
+		s.setTo("ble")
+	case s.hasSuffix("iz"):
+		s.setTo("ize")
+	case s.doubleC(len(s.b) - 1):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	default:
+		s.j = len(s.b) - 1
+		if s.measure() == 1 && s.cvc(len(s.b)-1) {
+			s.b = append(s.b, 'e')
+		}
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.vowelInStem() {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+func (s *stemmer) step2() {
+	if len(s.b) < 3 {
+		return
+	}
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		if s.replaceIfM("ational", "ate") {
+			return
+		}
+		s.replaceIfM("tional", "tion")
+	case 'c':
+		if s.replaceIfM("enci", "ence") {
+			return
+		}
+		s.replaceIfM("anci", "ance")
+	case 'e':
+		s.replaceIfM("izer", "ize")
+	case 'l':
+		if s.replaceIfM("abli", "able") {
+			return
+		}
+		if s.replaceIfM("alli", "al") {
+			return
+		}
+		if s.replaceIfM("entli", "ent") {
+			return
+		}
+		if s.replaceIfM("eli", "e") {
+			return
+		}
+		s.replaceIfM("ousli", "ous")
+	case 'o':
+		if s.replaceIfM("ization", "ize") {
+			return
+		}
+		if s.replaceIfM("ation", "ate") {
+			return
+		}
+		s.replaceIfM("ator", "ate")
+	case 's':
+		if s.replaceIfM("alism", "al") {
+			return
+		}
+		if s.replaceIfM("iveness", "ive") {
+			return
+		}
+		if s.replaceIfM("fulness", "ful") {
+			return
+		}
+		s.replaceIfM("ousness", "ous")
+	case 't':
+		if s.replaceIfM("aliti", "al") {
+			return
+		}
+		if s.replaceIfM("iviti", "ive") {
+			return
+		}
+		s.replaceIfM("biliti", "ble")
+	}
+}
+
+func (s *stemmer) step3() {
+	switch s.b[len(s.b)-1] {
+	case 'e':
+		if s.replaceIfM("icate", "ic") {
+			return
+		}
+		if s.replaceIfM("ative", "") {
+			return
+		}
+		s.replaceIfM("alize", "al")
+	case 'i':
+		s.replaceIfM("iciti", "ic")
+	case 'l':
+		if s.replaceIfM("ical", "ic") {
+			return
+		}
+		s.replaceIfM("ful", "")
+	case 's':
+		s.replaceIfM("ness", "")
+	}
+}
+
+func (s *stemmer) step4() {
+	if len(s.b) < 3 {
+		return
+	}
+	var matched bool
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		matched = s.hasSuffix("al")
+	case 'c':
+		matched = s.hasSuffix("ance") || s.hasSuffix("ence")
+	case 'e':
+		matched = s.hasSuffix("er")
+	case 'i':
+		matched = s.hasSuffix("ic")
+	case 'l':
+		matched = s.hasSuffix("able") || s.hasSuffix("ible")
+	case 'n':
+		matched = s.hasSuffix("ant") || s.hasSuffix("ement") ||
+			s.hasSuffix("ment") || s.hasSuffix("ent")
+	case 'o':
+		if s.hasSuffix("ion") && s.j >= 0 && (s.b[s.j] == 's' || s.b[s.j] == 't') {
+			matched = true
+		} else {
+			matched = s.hasSuffix("ou")
+		}
+	case 's':
+		matched = s.hasSuffix("ism")
+	case 't':
+		matched = s.hasSuffix("ate") || s.hasSuffix("iti")
+	case 'u':
+		matched = s.hasSuffix("ous")
+	case 'v':
+		matched = s.hasSuffix("ive")
+	case 'z':
+		matched = s.hasSuffix("ize")
+	}
+	if matched && s.measure() > 1 {
+		s.setTo("")
+	}
+}
+
+func (s *stemmer) step5a() {
+	if s.b[len(s.b)-1] != 'e' {
+		return
+	}
+	s.j = len(s.b) - 2
+	m := s.measure()
+	if m > 1 || (m == 1 && !s.cvc(len(s.b)-2)) {
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n < 2 || s.b[n-1] != 'l' {
+		return
+	}
+	s.j = n - 1
+	if s.doubleC(n-1) && s.measure() > 1 {
+		s.b = s.b[:n-1]
+	}
+}

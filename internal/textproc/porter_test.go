@@ -1,0 +1,160 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestStemKnownPairs checks the stemmer against vocabulary pairs from
+// Porter's published sample vocabulary.
+func TestStemKnownPairs(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		"museum":         "museum",
+		"museums":        "museum",
+		"restaurant":     "restaur",
+		"restaurants":    "restaur",
+		"dining":         "dine",
+		"university":     "univers",
+		"universities":   "univers",
+		"theatres":       "theatr",
+		"singer":         "singer",
+		"singers":        "singer",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "at", "is", "be"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+// TestStemAlphabetic verifies that stemming a lowercase alphabetic word
+// yields a lowercase alphabetic, non-empty stem. (The Porter stemmer is
+// deliberately NOT idempotent — e.g. "happyful"-like words go y->i on a
+// second pass — so idempotence is not asserted.)
+func TestStemAlphabetic(t *testing.T) {
+	f := func(seed uint32) bool {
+		w := randomWord(seed)
+		s := Stem(w)
+		if s == "" {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			if s[i] < 'a' || s[i] > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStemNeverGrows verifies that stemming never lengthens a word beyond the
+// +1 allowed by the 1b "cvc -> add e" rule.
+func TestStemNeverGrows(t *testing.T) {
+	f := func(seed uint32) bool {
+		w := randomWord(seed)
+		return len(Stem(w)) <= len(w)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomWord deterministically derives a pseudo-random lowercase word of
+// length 3..12 from a seed.
+func randomWord(seed uint32) string {
+	n := 3 + int(seed%10)
+	var sb strings.Builder
+	state := seed
+	for i := 0; i < n; i++ {
+		state = state*1664525 + 1013904223
+		sb.WriteByte(byte('a' + state%26))
+	}
+	return sb.String()
+}

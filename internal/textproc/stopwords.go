@@ -1,0 +1,40 @@
+package textproc
+
+// stopwords is the classic English stopword list (the SMART/van Rijsbergen
+// list trimmed to the words that actually occur in web snippets). The paper
+// removes English stopwords before stemming (§5.2.1).
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range stopwordList {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the (already lower-cased) token is an English
+// stopword.
+func IsStopword(tok string) bool {
+	_, ok := stopwords[tok]
+	return ok
+}
+
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am", "an",
+	"and", "any", "are", "aren", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+	"doing", "don", "down", "during", "each", "few", "for", "from",
+	"further", "had", "hadn", "has", "hasn", "have", "haven", "having",
+	"he", "her", "here", "hers", "herself", "him", "himself", "his", "how",
+	"i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+	"let", "me", "more", "most", "mustn", "my", "myself", "no", "nor",
+	"not", "of", "off", "on", "once", "only", "or", "other", "ought",
+	"our", "ours", "ourselves", "out", "over", "own", "same", "shan",
+	"she", "should", "shouldn", "so", "some", "such", "than", "that",
+	"the", "their", "theirs", "them", "themselves", "then", "there",
+	"these", "they", "this", "those", "through", "to", "too", "under",
+	"until", "up", "very", "was", "wasn", "we", "were", "weren", "what",
+	"when", "where", "which", "while", "who", "whom", "why", "will",
+	"with", "won", "would", "wouldn", "you", "your", "yours", "yourself",
+	"yourselves",
+}

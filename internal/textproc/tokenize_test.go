@@ -1,0 +1,135 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"Musée du Louvre", []string{"musée", "du", "louvre"}},
+		{"the museum's 3 galleries", []string{"the", "museum", "3", "galleries"}},
+		{"foo-bar baz_qux", []string{"foo", "bar", "baz", "qux"}},
+		{"  spaces   everywhere  ", []string{"spaces", "everywhere"}},
+		{"A.B.C.", []string{"a", "b", "c"}},
+		{"'quoted'", []string{"quoted"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsNumericToken(t *testing.T) {
+	yes := []string{"3", "1234", "3.14", "1,000", "555-1234"}
+	no := []string{"", "abc", "a1", "...", "--", "3a"}
+	for _, s := range yes {
+		if !IsNumericToken(s) {
+			t.Errorf("IsNumericToken(%q) = false, want true", s)
+		}
+	}
+	for _, s := range no {
+		if IsNumericToken(s) {
+			t.Errorf("IsNumericToken(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestNormalizeTokensDropsStopwordsAndNumbers(t *testing.T) {
+	got := NormalizeTokens("The 12 museums of the city are wonderful")
+	for _, tok := range got {
+		if IsStopword(tok) {
+			t.Errorf("stopword %q survived normalization", tok)
+		}
+		if IsNumericToken(tok) {
+			t.Errorf("numeric token %q survived normalization", tok)
+		}
+	}
+	want := []string{"museum", "citi", "wonder"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NormalizeTokens = %v, want %v", got, want)
+	}
+}
+
+func TestExtractNormalizedFrequency(t *testing.T) {
+	f := Extract("museum museum gallery")
+	if len(f) != 2 {
+		t.Fatalf("want 2 features, got %v", f)
+	}
+	if f["museum"] != 2.0/3.0 {
+		t.Errorf("museum freq = %v, want 2/3", f["museum"])
+	}
+	if f["galleri"] != 1.0/3.0 {
+		t.Errorf("galleri freq = %v, want 1/3", f["galleri"])
+	}
+}
+
+// TestExtractSumsToOne: the normalized frequencies of a snippet always sum to
+// 1 when the snippet has at least one content token.
+func TestExtractSumsToOne(t *testing.T) {
+	f := func(seed uint32) bool {
+		words := make([]string, 1+seed%8)
+		for i := range words {
+			words[i] = randomWord(seed + uint32(i)*7919)
+		}
+		feats := Extract(join(words))
+		if len(feats) == 0 {
+			return true // all tokens were stopwords; acceptable
+		}
+		var sum float64
+		for _, v := range feats {
+			sum += v
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeatureDotSymmetric(t *testing.T) {
+	a := Extract("museum gallery art exhibition")
+	b := Extract("art museum paintings collection")
+	if d1, d2 := a.Dot(b), b.Dot(a); d1 != d2 {
+		t.Errorf("Dot not symmetric: %v vs %v", d1, d2)
+	}
+	if a.Dot(b) <= 0 {
+		t.Errorf("overlapping snippets should have positive dot product")
+	}
+	empty := Features{}
+	if a.Dot(empty) != 0 {
+		t.Errorf("dot with empty vector should be 0")
+	}
+}
+
+func TestTermsSorted(t *testing.T) {
+	f := Extract("zebra museum apple gallery")
+	terms := f.Terms()
+	for i := 1; i < len(terms); i++ {
+		if terms[i-1] >= terms[i] {
+			t.Errorf("Terms not sorted: %v", terms)
+		}
+	}
+}
+
+func join(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}

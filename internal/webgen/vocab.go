@@ -1,0 +1,151 @@
+// Package webgen generates the synthetic web corpus the search engine
+// indexes: descriptive pages for every entity (with type-specific
+// vocabulary), review and listicle pages whose snippets resemble entity
+// descriptions (the misannotation hazard of §5.3), pages about confuser
+// senses of ambiguous names (the "Melisse" jazz-label problem of §5.2), and
+// generic noise pages.
+package webgen
+
+import "repro/internal/world"
+
+// typeVocab is the distinctive vocabulary of each entity type. Types in a
+// subsumption relation (school/university, film/Simpsons episode) share part
+// of their vocabulary, so the classifier must rely on the distinctive
+// remainder — the difficulty the paper probes in §6.2.
+var typeVocab = map[world.Type][]string{
+	world.Restaurant: {
+		"restaurant", "menu", "cuisine", "chef", "dining", "dishes",
+		"reservations", "wine", "flavors", "tasting", "seafood",
+		"dessert", "bistro", "kitchen", "lunch", "dinner", "plates",
+	},
+	world.Museum: {
+		"museum", "gallery", "exhibition", "collection", "paintings",
+		"artifacts", "curator", "exhibits", "sculpture", "heritage",
+		"galleries", "masterpieces", "archive", "antiquities", "admission",
+	},
+	world.Theatre: {
+		"theatre", "stage", "performance", "play", "drama", "audience",
+		"productions", "actors", "curtain", "ballet", "opera", "premiere",
+		"matinee", "playwright", "auditorium", "tickets",
+	},
+	world.Hotel: {
+		"hotel", "rooms", "suites", "guests", "booking", "amenities",
+		"lobby", "concierge", "breakfast", "spa", "accommodation",
+		"check-in", "housekeeping", "nightly", "reception", "stay",
+	},
+	world.School: {
+		"school", "students", "pupils", "teachers", "grade", "elementary",
+		"classrooms", "curriculum", "enrollment", "principal",
+		"kindergarten", "homework", "playground", "education",
+	},
+	world.University: {
+		"university", "campus", "faculty", "undergraduate", "graduate",
+		"degree", "research", "students", "professors", "lectures",
+		"departments", "admissions", "tuition", "alumni", "education",
+	},
+	world.Mine: {
+		"mine", "mining", "ore", "shaft", "extraction", "deposits",
+		"miners", "tunnels", "seam", "quarry", "mineral", "excavation",
+		"smelter", "geology", "pit", "drilling",
+	},
+	world.Actor: {
+		"actor", "starred", "film", "role", "movie", "screen",
+		"performance", "cast", "hollywood", "award", "drama", "starring",
+		"filmography", "celebrity", "scenes", "director",
+	},
+	world.Singer: {
+		"singer", "album", "song", "tour", "vocals", "chart", "band",
+		"concert", "recording", "billboard", "lyrics", "studio", "single",
+		"music", "stage", "grammy",
+	},
+	world.Scientist: {
+		"scientist", "research", "physics", "chemistry", "discovery",
+		"professor", "laboratory", "theory", "published", "experiments",
+		"nobel", "science", "journal", "doctorate", "hypothesis",
+	},
+	world.Film: {
+		"film", "directed", "cast", "screenplay", "premiere", "box",
+		"office", "starring", "cinema", "scenes", "studio", "thriller",
+		"drama", "soundtrack", "sequel", "critics",
+	},
+	world.SimpsonsEpisode: {
+		"episode", "season", "springfield", "homer", "aired", "animated",
+		"simpsons", "bart", "marge", "couch", "gag", "writers", "fox",
+		"directed", "guest", "voiced",
+	},
+}
+
+// sharedFiller is vocabulary that appears in pages of every type, diluting
+// the signal the classifier can rely on.
+var sharedFiller = []string{
+	"visit", "located", "popular", "famous", "known", "opened", "history",
+	"offers", "features", "quality", "best", "great", "world", "place",
+	"people", "first", "years", "experience", "local", "area", "guide",
+	"official", "website", "information", "top", "find", "near", "city",
+	"center", "open", "daily", "hours", "tickets", "tour", "visitors",
+	"events", "community", "building", "street", "district", "founded",
+	"renowned", "landmark", "destination", "according", "established",
+	"annual", "public", "national", "award", "winning", "celebrated",
+}
+
+// reviewVocab builds review/phrase pages ("Review of X", "Top 10 ..."), whose
+// snippets blend type vocabulary with opinion words. Queries for non-entity
+// phrases hit these pages.
+var reviewVocab = []string{
+	"review", "rating", "stars", "visited", "recommend", "amazing",
+	"disappointing", "opinion", "verdict", "overall", "definitely",
+	"worth", "loved", "terrible", "excellent", "service", "tips",
+	"ranked", "list", "roundup", "comparison", "favorites",
+}
+
+// confuserVocab gives each confuser kind its own lexical field so that pages
+// about the alternate sense of an ambiguous name do not look like Γ-type
+// descriptions.
+var confuserVocab = map[string][]string{
+	"jazz label":       {"jazz", "label", "records", "vinyl", "saxophone", "quartet", "improvisation", "releases", "pressing", "catalogue"},
+	"rock band":        {"band", "guitar", "drummer", "riff", "garage", "tour", "amplifier", "setlist", "bassist", "punk"},
+	"novel":            {"novel", "author", "chapters", "protagonist", "publisher", "fiction", "narrative", "paperback", "bestseller", "plot"},
+	"software company": {"software", "startup", "platform", "developers", "cloud", "api", "funding", "enterprise", "saas", "release"},
+	"perfume":          {"perfume", "fragrance", "scent", "notes", "bottle", "floral", "musk", "eau", "parfum", "cologne"},
+	"racehorse":        {"racehorse", "stakes", "jockey", "furlong", "thoroughbred", "derby", "trainer", "paddock", "odds", "gallop"},
+	"yacht":            {"yacht", "hull", "knots", "marina", "sailing", "regatta", "deck", "mast", "harbor", "crew"},
+	"board game":       {"board", "game", "players", "dice", "cards", "strategy", "tokens", "rulebook", "turns", "expansion"},
+	"fashion brand":    {"fashion", "brand", "collection", "runway", "designer", "couture", "fabric", "boutique", "apparel", "season"},
+	"cocktail":         {"cocktail", "shaker", "garnish", "bitters", "gin", "vermouth", "muddle", "glassware", "bartender", "recipe"},
+}
+
+// noiseTopics generate unrelated background pages.
+var noiseTopics = [][]string{
+	{"weather", "forecast", "temperature", "rainfall", "climate", "storm", "humidity", "wind"},
+	{"election", "parliament", "policy", "minister", "campaign", "votes", "debate", "coalition"},
+	{"football", "league", "goals", "match", "championship", "referee", "transfer", "stadium"},
+	{"recipe", "baking", "flour", "oven", "ingredients", "dough", "whisk", "tablespoon"},
+	{"gardening", "seeds", "soil", "pruning", "compost", "blossom", "perennial", "mulch"},
+	{"finance", "stocks", "dividend", "portfolio", "earnings", "markets", "investor", "bonds"},
+}
+
+// contaminants maps each type to a related type whose vocabulary naturally
+// bleeds into its pages: actor pages discuss films, Simpsons episode pages
+// read like film pages, scientists are affiliated with universities,
+// restaurant reviews mention the hotel they are in, and so on. This
+// cross-type contamination is what makes real snippets hard for a classifier
+// that assumes feature independence — the paper observes Naive Bayes losing
+// precision on exactly these short, blended texts (§6.2).
+var contaminants = map[world.Type]world.Type{
+	world.Restaurant:      world.Hotel,
+	world.Hotel:           world.Restaurant,
+	world.Museum:          world.Theatre,
+	world.Theatre:         world.Museum,
+	world.School:          world.University,
+	world.University:      world.School,
+	world.Actor:           world.Singer,
+	world.Singer:          world.Actor,
+	world.Scientist:       world.University,
+	world.Film:            world.Actor,
+	world.SimpsonsEpisode: world.Film,
+	world.Mine:            world.Museum, // heritage mines run visitor museums
+}
+
+// Vocab exposes the distinctive vocabulary of a type, for tests and
+// diagnostics.
+func Vocab(t world.Type) []string { return typeVocab[t] }

@@ -1,0 +1,153 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// nameGen produces entity names from type-specific grammars. POI grammars
+// yield long, distinctive compounds; person names combine restricted
+// first/last pools, making collisions across the three person types common.
+type nameGen struct {
+	rng    *rand.Rand
+	cities []string
+	// peopleFirst/peopleLast bound the person-name pools. They are sized
+	// by the universe generator so the pool holds roughly three times as
+	// many combinations as there are people — enough collisions that the
+	// "people" category stays hard (as in §6.2) without poisoning the
+	// training labels of the knowledge-base pool.
+	peopleFirst, peopleLast int
+}
+
+func pick(rng *rand.Rand, pool []string) string { return pool[rng.Intn(len(pool))] }
+
+// Name draws a fresh name for an entity of type t located in city (which may
+// be empty for non-spatial types).
+func (n *nameGen) Name(t Type, city string) string {
+	r := n.rng
+	if city == "" && len(n.cities) > 0 {
+		city = pick(r, n.cities)
+	}
+	switch t {
+	case Restaurant:
+		switch r.Intn(6) {
+		case 0:
+			return "Chez " + pick(r, surnames)
+		case 1:
+			return "The " + pick(r, adjectives) + " " + pick(r, foodNouns)
+		case 2:
+			return pick(r, surnames) + "'s " + pick(r, eateryWords)
+		case 3:
+			return "La " + pick(r, foodNouns) + " " + pick(r, eateryWords)
+		case 4:
+			return pick(r, adjectives) + " " + pick(r, eateryWords)
+		default:
+			// Single-word names ("Melisse") — the ambiguous case.
+			return pick(r, foodNouns)
+		}
+	case Museum:
+		switch r.Intn(5) {
+		case 0:
+			return city + " Museum of " + pick(r, subjects)
+		case 1:
+			return "National Museum of " + pick(r, subjects)
+		case 2:
+			return pick(r, surnames) + " Gallery of " + pick(r, subjects)
+		case 3:
+			return "Musée " + pick(r, surnames)
+		default:
+			return "The " + pick(r, surnames) + " Collection"
+		}
+	case Theatre:
+		switch r.Intn(4) {
+		case 0:
+			return pick(r, surnames) + " Theatre"
+		case 1:
+			return "Royal " + pick(r, genericNouns) + " Theatre"
+		case 2:
+			return city + " Playhouse"
+		default:
+			return "The " + pick(r, adjectives) + " Stage"
+		}
+	case Hotel:
+		switch r.Intn(5) {
+		case 0:
+			return "Hotel " + pick(r, genericNouns)
+		case 1:
+			return "The " + pick(r, adjectives) + " " + pick(r, genericNouns) + " Inn"
+		case 2:
+			return "Grand " + pick(r, genericNouns) + " Hotel"
+		case 3:
+			return city + " Plaza Hotel"
+		default:
+			return pick(r, genericNouns) + " Lodge"
+		}
+	case School:
+		switch r.Intn(4) {
+		case 0:
+			return pick(r, surnames) + " Elementary School"
+		case 1:
+			return pick(r, genericNouns) + " High School"
+		case 2:
+			return "St. " + pick(r, firstNames) + " School"
+		default:
+			return city + " Academy"
+		}
+	case University:
+		switch r.Intn(4) {
+		case 0:
+			return "University of " + city
+		case 1:
+			return city + " State University"
+		case 2:
+			return pick(r, surnames) + " University"
+		default:
+			return city + " Institute of Technology"
+		}
+	case Mine:
+		switch r.Intn(3) {
+		case 0:
+			return pick(r, mineWords) + " " + pick(r, genericNouns) + " Mine"
+		case 1:
+			return pick(r, genericNouns) + " Colliery"
+		default:
+			return pick(r, mineWords) + " Quarry No. " + fmt.Sprint(1+r.Intn(12))
+		}
+	case Actor, Singer, Scientist:
+		// Person names draw from deliberately restricted pools so that
+		// the same name has several bearers across the three person
+		// types (and confuser senses), reproducing the heavy ambiguity
+		// the paper reports for its "people" category (§6.2).
+		nf, nl := n.peopleFirst, n.peopleLast
+		if nf <= 0 || nf > len(firstNames) {
+			nf = len(firstNames)
+		}
+		if nl <= 0 || nl > len(surnames) {
+			nl = len(surnames)
+		}
+		return pick(r, firstNames[:nf]) + " " + pick(r, surnames[:nl])
+	case Film:
+		switch r.Intn(4) {
+		case 0:
+			return "The " + pick(r, filmNouns) + " of the " + pick(r, filmNouns)
+		case 1:
+			return pick(r, adjectives) + " " + pick(r, filmNouns)
+		case 2:
+			return "Return to " + city
+		default:
+			return "The Last " + pick(r, filmNouns)
+		}
+	case SimpsonsEpisode:
+		switch r.Intn(4) {
+		case 0:
+			return "Homer the " + pick(r, simpsonsNouns)
+		case 1:
+			return "Bart's " + pick(r, filmNouns)
+		case 2:
+			return "Lisa vs. the " + pick(r, simpsonsNouns)
+		default:
+			return "Marge and the " + pick(r, simpsonsNouns)
+		}
+	}
+	return pick(r, genericNouns) + " " + pick(r, genericNouns)
+}

@@ -1,0 +1,98 @@
+package world
+
+// Word pools backing the name grammars. The person-name pools are kept small
+// on purpose: collisions across actors, singers and scientists reproduce the
+// heavy name ambiguity of the paper's "people" category, whereas POI names
+// are long compounds that are rarely ambiguous (§6.2 observes exactly this
+// asymmetry).
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+	"Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+	"Daniel", "Nancy", "Laura", "Paul", "Emma", "Mark", "Claire", "George",
+	"Alice", "Henri", "Sofia", "Louis", "Marie", "Pierre", "Anna", "Carlo",
+}
+
+var surnames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Martinez", "Wilson", "Anderson", "Taylor", "Thomas", "Moore",
+	"Martin", "Lee", "Thompson", "White", "Harris", "Clark", "Lewis",
+	"Walker", "Hall", "Young", "King", "Wright", "Scott", "Green", "Baker",
+	"Adams", "Nelson", "Carter", "Mitchell", "Turner", "Phillips",
+	"Campbell", "Parker", "Evans", "Edwards", "Collins", "Stewart",
+	"Morris", "Murphy", "Cook", "Rogers", "Bell", "Bailey", "Cooper",
+	"Richardson", "Cox", "Ward", "Peterson", "Gray", "James", "Watson",
+	"Brooks", "Kelly", "Sanders", "Price", "Bennett", "Wood", "Barnes",
+	"Ross", "Henderson", "Coleman", "Jenkins", "Perry", "Powell", "Long",
+	"Hughes", "Flores", "Washington", "Butler", "Simmons", "Foster",
+	"Gonzales", "Bryant", "Alexander", "Russell", "Griffin", "Diaz",
+	"Moreau", "Lefevre", "Rossi", "Bianchi", "Dubois", "Laurent",
+}
+
+var adjectives = []string{
+	"Golden", "Silver", "Royal", "Grand", "Little", "Old", "New",
+	"Hidden", "Blue", "Red", "Green", "White", "Black", "Crimson",
+	"Emerald", "Velvet", "Rustic", "Modern", "Ancient", "Quiet",
+	"Lucky", "Happy", "Wild", "Gentle", "Noble", "Bright", "Silent",
+	"Copper", "Iron", "Crystal", "Amber", "Ivory", "Scarlet", "Azure",
+}
+
+var foodNouns = []string{
+	"Olive", "Basil", "Saffron", "Truffle", "Fig", "Pepper", "Thyme",
+	"Rosemary", "Cinnamon", "Ginger", "Lemon", "Pomegranate", "Walnut",
+	"Almond", "Honey", "Clove", "Juniper", "Lavender", "Mint", "Sage",
+	"Tamarind", "Vanilla", "Nutmeg", "Chestnut", "Apricot", "Plum",
+	"Melisse", "Verbena", "Sorrel", "Fennel",
+}
+
+var eateryWords = []string{
+	"Kitchen", "Bistro", "Grill", "Table", "Trattoria", "Brasserie",
+	"Osteria", "Tavern", "Cantina", "Diner", "Eatery", "Chophouse",
+}
+
+var subjects = []string{
+	"Art", "History", "Science", "Natural History", "Modern Art",
+	"Archaeology", "Maritime History", "Fine Arts", "Photography",
+	"Aviation", "Railway", "Folk Art", "Ceramics", "Design",
+	"Anthropology", "Geology", "Astronomy", "Cinema", "Music",
+	"Industry",
+}
+
+var genericNouns = []string{
+	"Crown", "Anchor", "Harbor", "Garden", "Meadow", "Summit", "Canyon",
+	"Harvest", "Beacon", "Compass", "Lantern", "Orchard", "Willow",
+	"Falcon", "Heron", "Pioneer", "Voyager", "Horizon", "Cascade",
+	"Prairie", "Ridge", "Grove", "Haven", "Crossing", "Junction",
+	"Windmill", "Lighthouse", "Fountain", "Terrace", "Pavilion",
+}
+
+var filmNouns = []string{
+	"Shadow", "Empire", "Storm", "Whisper", "Kingdom", "Phantom",
+	"Journey", "Secret", "Legacy", "Labyrinth", "Mirage", "Eclipse",
+	"Tempest", "Serpent", "Citadel", "Voyage", "Requiem", "Odyssey",
+	"Masquerade", "Vendetta", "Paradox", "Chronicle", "Covenant",
+	"Awakening", "Reckoning",
+}
+
+var simpsonsNouns = []string{
+	"Genius", "Vigilante", "Heretic", "Astronaut", "Plumber", "Mayor",
+	"Prophet", "Gardener", "Detective", "Champion", "Imposter",
+	"Daredevil", "Critic", "Barber", "Inventor", "Substitute",
+	"Chaperone", "Smuggler", "Curator", "Conductor",
+}
+
+var mineWords = []string{
+	"Copper", "Coal", "Silver", "Gold", "Iron", "Granite", "Slate",
+	"Quartz", "Nickel", "Zinc", "Cobalt", "Tin", "Salt", "Opal",
+	"Diamond", "Emerald",
+}
+
+// confuserKinds are the non-Γ senses an ambiguous name may also denote; the
+// paper's running example is "Melisse", both a restaurant and a French jazz
+// label. Web pages for these senses use their own vocabulary, so snippets
+// about them dilute the per-type vote of an ambiguous query.
+var confuserKinds = []string{
+	"jazz label", "rock band", "novel", "software company", "perfume",
+	"racehorse", "yacht", "board game", "fashion brand", "cocktail",
+}

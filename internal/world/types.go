@@ -1,0 +1,104 @@
+// Package world generates the seeded synthetic universe that stands in for
+// the paper's external data: the entities behind the DBpedia knowledge base,
+// the web corpus, and the evaluation tables. The twelve entity types and the
+// three category groups follow §6.2 exactly.
+package world
+
+// Type is a fine-grained entity type (a concept of the application ontology).
+type Type string
+
+// The twelve types evaluated in the paper.
+const (
+	Restaurant      Type = "restaurant"
+	Museum          Type = "museum"
+	Theatre         Type = "theatre"
+	Hotel           Type = "hotel"
+	School          Type = "school"
+	University      Type = "university"
+	Mine            Type = "mine"
+	Actor           Type = "actor"
+	Singer          Type = "singer"
+	Scientist       Type = "scientist"
+	Film            Type = "film"
+	SimpsonsEpisode Type = "simpsons episode"
+)
+
+// POITypes are the "points of interest of cities" group (§6.2, category 1).
+var POITypes = []Type{Restaurant, Museum, Theatre, Hotel, School, University, Mine}
+
+// PeopleTypes are the "people" group (category 2), whose names the paper
+// notes are highly ambiguous.
+var PeopleTypes = []Type{Actor, Singer, Scientist}
+
+// CinemaTypes are the "cinema" group (category 3). SimpsonsEpisode is a
+// subtype of Film, mirroring the subsumption pairs the paper tests.
+var CinemaTypes = []Type{Film, SimpsonsEpisode}
+
+// AllTypes lists every type in evaluation order.
+var AllTypes = []Type{
+	Restaurant, Museum, Theatre, Hotel, School, University, Mine,
+	Actor, Singer, Scientist,
+	Film, SimpsonsEpisode,
+}
+
+// Category returns the evaluation group of a type: "poi", "people" or
+// "cinema".
+func Category(t Type) string {
+	switch t {
+	case Actor, Singer, Scientist:
+		return "people"
+	case Film, SimpsonsEpisode:
+		return "cinema"
+	default:
+		return "poi"
+	}
+}
+
+// HasSpatial reports whether tables of this type carry address columns. All
+// POI types do except mines, matching §6.2 ("except Mines, they all have
+// spatial information").
+func HasSpatial(t Type) bool {
+	switch t {
+	case Restaurant, Museum, Theatre, Hotel, School, University:
+		return true
+	}
+	return false
+}
+
+// TypeName returns the human name of a type as it would appear in text
+// ("restaurant", "museum", ...). It is the word the TIN/TIS baselines look
+// for and the disambiguating word appended to training queries.
+func TypeName(t Type) string { return string(t) }
+
+// Supertype returns the broader type a type is subsumed by, if any: the
+// paper deliberately evaluates two subsumption pairs — Universities ⊂
+// Schools and Simpsons episodes ⊂ Films (§6.2) — to probe whether the
+// classifier can separate a subtype from its supertype.
+func Supertype(t Type) (Type, bool) {
+	switch t {
+	case University:
+		return School, true
+	case SimpsonsEpisode:
+		return Film, true
+	}
+	return "", false
+}
+
+// TableEntityCounts reproduces the per-type entity counts of the paper's
+// 40-table GFT dataset (§6.2): 287 restaurants, 240 museums, 160 theatres,
+// 67 hotels, 109 schools, 150 universities, 30 mines, 50 actors, 120
+// singers, 100 scientists, 24 films, 34 Simpsons episodes.
+var TableEntityCounts = map[Type]int{
+	Restaurant:      287,
+	Museum:          240,
+	Theatre:         160,
+	Hotel:           67,
+	School:          109,
+	University:      150,
+	Mine:            30,
+	Actor:           50,
+	Singer:          120,
+	Scientist:       100,
+	Film:            24,
+	SimpsonsEpisode: 34,
+}

@@ -1,0 +1,192 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gazetteer"
+)
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(Config{Seed: 42, KBPerType: 60})
+}
+
+func TestGenerateCounts(t *testing.T) {
+	w := testWorld(t)
+	for _, typ := range AllTypes {
+		got := len(w.TableEntities(typ))
+		want := TableEntityCounts[typ]
+		if got != want {
+			t.Errorf("table entities of %s = %d, want %d", typ, got, want)
+		}
+	}
+	if len(w.OfType(Restaurant)) != 60+287+20 {
+		t.Errorf("restaurant total = %d, want %d", len(w.OfType(Restaurant)), 60+287+20)
+	}
+	// Reduced KB pools for sparse DBpedia types.
+	if n := len(w.OfType(Mine)); n != 20+30+20 {
+		t.Errorf("mine total = %d, want 70", n)
+	}
+	for _, typ := range AllTypes {
+		if n := len(w.WikiEntities(typ)); n != 20 {
+			t.Errorf("wiki entities of %s = %d, want 20", typ, n)
+		}
+	}
+}
+
+func TestWikiPoolHighCoverage(t *testing.T) {
+	w := Generate(Config{Seed: 5, KBPerType: 10})
+	inKB, total := 0, 0
+	for _, typ := range AllTypes {
+		for _, e := range w.WikiEntities(typ) {
+			total++
+			if e.InKB {
+				inKB++
+			}
+		}
+	}
+	frac := float64(inKB) / float64(total)
+	if frac < 0.75 {
+		t.Errorf("wiki KB coverage = %.2f, want ~0.85", frac)
+	}
+}
+
+func TestKBCoverageFraction(t *testing.T) {
+	w := Generate(Config{Seed: 1, KBPerType: 10})
+	inKB, total := 0, 0
+	for _, typ := range AllTypes {
+		for _, e := range w.TableEntities(typ) {
+			total++
+			if e.InKB {
+				inKB++
+			}
+		}
+	}
+	frac := float64(inKB) / float64(total)
+	if frac < 0.15 || frac > 0.30 {
+		t.Errorf("KB coverage of table entities = %.2f, want ~0.22", frac)
+	}
+	// Every KBPool entity must be in the KB.
+	for _, e := range w.Entities {
+		if e.Pool == KBPool && !e.InKB {
+			t.Fatalf("KBPool entity %q not marked InKB", e.Name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w1 := Generate(Config{Seed: 99, KBPerType: 30})
+	w2 := Generate(Config{Seed: 99, KBPerType: 30})
+	if len(w1.Entities) != len(w2.Entities) {
+		t.Fatalf("entity counts differ: %d vs %d", len(w1.Entities), len(w2.Entities))
+	}
+	for i := range w1.Entities {
+		a, b := w1.Entities[i], w2.Entities[i]
+		if a.Name != b.Name || a.Type != b.Type || a.City != b.City || a.InKB != b.InKB {
+			t.Fatalf("entity %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestPOIEntitiesHaveAddresses(t *testing.T) {
+	w := testWorld(t)
+	for _, typ := range POITypes {
+		for _, e := range w.OfType(typ) {
+			if e.City == gazetteer.NoLocation {
+				t.Fatalf("%s %q has no city", typ, e.Name)
+			}
+			addr := e.Address(w.Gaz)
+			if e.Street != gazetteer.NoLocation && addr.Street == "" {
+				t.Fatalf("%s %q has street id but empty address", typ, e.Name)
+			}
+		}
+	}
+	for _, typ := range PeopleTypes {
+		for _, e := range w.OfType(typ) {
+			if e.City != gazetteer.NoLocation {
+				t.Fatalf("person %q should not have a city", e.Name)
+			}
+		}
+	}
+}
+
+func TestPersonNamesAmbiguous(t *testing.T) {
+	w := testWorld(t)
+	collisions := 0
+	seen := map[string]Type{}
+	for _, typ := range PeopleTypes {
+		for _, e := range w.OfType(typ) {
+			key := strings.ToLower(e.Name)
+			if prev, ok := seen[key]; ok && prev != typ {
+				collisions++
+			}
+			seen[key] = typ
+		}
+	}
+	if collisions == 0 {
+		t.Error("no cross-type person name collisions; people ambiguity not reproduced")
+	}
+}
+
+func TestConfusersRegistered(t *testing.T) {
+	w := testWorld(t)
+	if len(w.Confusers) == 0 {
+		t.Fatal("no confuser senses generated")
+	}
+	for _, c := range w.Confusers {
+		if len(w.ByName(c.Name)) == 0 {
+			t.Errorf("confuser %q does not match any entity", c.Name)
+		}
+		if c.Kind == "" {
+			t.Errorf("confuser %q has empty kind", c.Name)
+		}
+	}
+}
+
+func TestDescriptionsAreVerbose(t *testing.T) {
+	w := testWorld(t)
+	for _, e := range w.Entities[:50] {
+		if n := len(strings.Fields(e.Description)); n <= 10 {
+			t.Errorf("description of %q has %d words, want > 10 (must trip the length filter)", e.Name, n)
+		}
+	}
+}
+
+func TestAttributesWellFormed(t *testing.T) {
+	w := testWorld(t)
+	for _, e := range w.Entities[:100] {
+		if !strings.HasPrefix(e.URL, "http://") {
+			t.Errorf("URL %q malformed", e.URL)
+		}
+		if !strings.Contains(e.Email, "@") {
+			t.Errorf("email %q malformed", e.Email)
+		}
+		if !strings.Contains(e.Phone, "555-") {
+			t.Errorf("phone %q malformed", e.Phone)
+		}
+	}
+}
+
+func TestCategoryAndSpatial(t *testing.T) {
+	if Category(Restaurant) != "poi" || Category(Actor) != "people" || Category(Film) != "cinema" {
+		t.Error("Category misassigns groups")
+	}
+	if !HasSpatial(Hotel) || HasSpatial(Mine) || HasSpatial(Singer) {
+		t.Error("HasSpatial wrong: hotels yes, mines and singers no")
+	}
+}
+
+func TestNamesUniquePerType(t *testing.T) {
+	w := testWorld(t)
+	for _, typ := range AllTypes {
+		seen := map[string]bool{}
+		for _, e := range w.OfType(typ) {
+			key := strings.ToLower(e.Name)
+			if seen[key] {
+				t.Errorf("duplicate %s name %q", typ, e.Name)
+			}
+			seen[key] = true
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package repro is a from-scratch Go reproduction of "Entity Discovery and
+// Annotation in Tables" (Quercini & Reynaud, EDBT 2013): an algorithm that
+// finds the rows and cells of a table containing entities of ontology types
+// by querying a (simulated) web search engine with cell content and
+// classifying the returned snippets, then cleaning the result with a
+// column-coherence post-processing step and a spatial toponym-voting
+// disambiguator.
+//
+// The facade in this package wires the full pipeline over the built-in
+// synthetic universe (see DESIGN.md for the substitution table); the
+// underlying packages live in internal/ and are exercised through the
+// examples, the cmd/ tools, and the root benchmark suite.
+package repro
+
+import (
+	"repro/internal/annotate"
+	"repro/internal/classify"
+	"repro/internal/eval"
+	"repro/internal/gazetteer"
+	"repro/internal/kb"
+	"repro/internal/search"
+	"repro/internal/table"
+	"repro/internal/world"
+)
+
+// Convenient aliases so facade users work with one import.
+type (
+	// Table is a GFT-style table (§3).
+	Table = table.Table
+	// Column is a table column with a GFT type.
+	Column = table.Column
+	// Annotator runs the paper's §5 pipeline.
+	Annotator = annotate.Annotator
+	// Annotation is one annotated cell with its Eq. 1 score.
+	Annotation = annotate.Annotation
+	// Result is the annotation output for one table.
+	Result = annotate.Result
+)
+
+// GFT column types re-exported for table construction.
+const (
+	Text     = table.Text
+	Number   = table.Number
+	Location = table.Location
+	Date     = table.Date
+)
+
+// Options configures System construction.
+type Options struct {
+	// Seed drives every random choice; equal seeds give equal systems.
+	Seed int64
+	// Scale selects the corpus size: "small" (fast, demo quality) or
+	// "full" (paper scale). Default "small".
+	Scale string
+	// Classifier selects "svm" (default) or "bayes".
+	Classifier string
+}
+
+// System is a ready-to-use annotation pipeline over the synthetic universe:
+// a populated search engine, a trained snippet classifier, a knowledge base
+// and a gazetteer.
+type System struct {
+	lab *eval.Lab
+}
+
+// NewSystem builds the pipeline. The first call does the expensive work
+// (corpus generation, indexing, classifier training); reuse the System for
+// every table you annotate.
+func NewSystem(opts Options) *System {
+	cfg := eval.LabConfig{Seed: opts.Seed}
+	if opts.Scale != "full" {
+		cfg.KBPerType = 60
+		cfg.SnippetsPerEntity = 5
+		cfg.MaxTrainEntities = 60
+	}
+	return &System{lab: eval.NewLab(cfg)}
+}
+
+// Annotator returns the paper's annotator (SVM classifier, post-processing
+// and spatial disambiguation on), configured with all twelve types.
+func (s *System) Annotator() *Annotator {
+	return &annotate.Annotator{
+		Engine:       s.lab.Engine,
+		Classifier:   s.Classifier("svm"),
+		Types:        eval.TypeStrings(),
+		Postprocess:  true,
+		Disambiguate: true,
+		Gazetteer:    s.lab.World.Gaz,
+	}
+}
+
+// Classifier exposes the trained snippet classifiers: "svm" or "bayes".
+func (s *System) Classifier(name string) classify.Classifier {
+	if name == "bayes" {
+		return s.lab.Bayes
+	}
+	return s.lab.SVM
+}
+
+// Engine exposes the simulated web search engine.
+func (s *System) Engine() *search.Engine { return s.lab.Engine }
+
+// Gazetteer exposes the geocoding substrate.
+func (s *System) Gazetteer() *gazetteer.Gazetteer { return s.lab.World.Gaz }
+
+// KB exposes the DBpedia-like knowledge base.
+func (s *System) KB() *kb.KB { return s.lab.KB }
+
+// World exposes the synthetic universe (entities, gold types).
+func (s *System) World() *world.World { return s.lab.World }
+
+// Lab exposes the full experimental apparatus for benchmark harnesses.
+func (s *System) Lab() *eval.Lab { return s.lab }
+
+// Types returns Γ, the twelve annotation types of the evaluation.
+func Types() []string { return eval.TypeStrings() }

@@ -1,0 +1,98 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/world"
+)
+
+// TestFacadeQuickstart exercises the README quickstart path end to end
+// against a small system: construct, annotate, verify.
+func TestFacadeQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("facade integration test skipped in -short mode")
+	}
+	// Reuse the benchmark lab (building a second system would double the
+	// suite's setup time); the hand-wired annotator below matches what
+	// System.Annotator returns.
+	l := lab()
+	w := l.World
+
+	tbl := Table{Name: "quickstart"}
+	tbl.Columns = []Column{
+		{Header: "Name", Type: Text},
+		{Header: "Address", Type: Location},
+		{Header: "Phone", Type: Text},
+	}
+	museum := w.OfType(world.Museum)[0]
+	restaurant := w.OfType(world.Restaurant)[0]
+	for _, e := range []*world.Entity{museum, restaurant} {
+		if err := tbl.AppendRow(e.Name, e.Address(w.Gaz).Format(), e.Phone); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	a := &Annotator{
+		Engine:      l.Engine,
+		Classifier:  l.SVM,
+		Types:       Types(),
+		Postprocess: true,
+	}
+	res := a.AnnotateTable(&tbl)
+	if len(res.Annotations) == 0 {
+		t.Fatal("quickstart produced no annotations")
+	}
+	byRow := map[int]Annotation{}
+	for _, ann := range res.Annotations {
+		if ann.Col == 1 {
+			byRow[ann.Row] = ann
+		}
+	}
+	if ann, ok := byRow[1]; !ok || ann.Type != "museum" {
+		t.Errorf("row 1 = %+v, want museum", byRow[1])
+	}
+	if ann, ok := byRow[2]; !ok || ann.Type != "restaurant" {
+		t.Errorf("row 2 = %+v, want restaurant", byRow[2])
+	}
+}
+
+func TestTypesList(t *testing.T) {
+	types := Types()
+	if len(types) != 12 {
+		t.Fatalf("Types() = %d entries, want 12", len(types))
+	}
+	seen := map[string]bool{}
+	for _, typ := range types {
+		if seen[typ] {
+			t.Errorf("duplicate type %q", typ)
+		}
+		seen[typ] = true
+	}
+	for _, want := range []string{"restaurant", "museum", "actor", "simpsons episode"} {
+		if !seen[want] {
+			t.Errorf("missing type %q", want)
+		}
+	}
+}
+
+// TestNewSystemSmall builds the public facade once to guarantee the exported
+// constructor path works (slower than the lab-reuse above, still bounded).
+func TestNewSystemSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("facade construction test skipped in -short mode")
+	}
+	sys := NewSystem(Options{Seed: 123})
+	if sys.Engine().IndexSize() == 0 {
+		t.Fatal("empty engine index")
+	}
+	if sys.Classifier("svm") == nil || sys.Classifier("bayes") == nil {
+		t.Fatal("classifiers missing")
+	}
+	if sys.Gazetteer() == nil || sys.KB() == nil || sys.World() == nil || sys.Lab() == nil {
+		t.Fatal("facade accessors returned nil")
+	}
+	a := sys.Annotator()
+	if a.Engine == nil || a.Classifier == nil || len(a.Types) != 12 {
+		t.Fatalf("annotator misconfigured: %+v", a)
+	}
+}
