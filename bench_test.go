@@ -12,6 +12,8 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/gazetteer"
 	"repro/internal/kb"
+	"repro/internal/qcache"
 	"repro/internal/rdf"
 	"repro/internal/search"
 	"repro/internal/table"
@@ -380,6 +383,92 @@ func BenchmarkSnippetClassification(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			l.Bayes.Predict(f)
 		}
+	})
+}
+
+// BenchmarkParallelCorpusAnnotation measures the concurrent batched pipeline
+// on a Table-1-style workload (a slice of the GFT dataset) under the paper's
+// §6.4 latency regime: the engine really sleeps per query, so the benchmark
+// shows the wall-clock effect of fanning queries out over the worker pool.
+// At parallelism >= 4 the corpus must annotate at least ~2x faster than the
+// sequential run (results are byte-identical at every setting).
+func BenchmarkParallelCorpusAnnotation(b *testing.B) {
+	l := lab()
+	tables := l.GFT.Tables[:8]
+	savedLatency, savedSleep := l.Engine.Latency, l.Engine.RealSleep
+	l.Engine.Latency, l.Engine.RealSleep = 2*time.Millisecond, true
+	defer func() { l.Engine.Latency, l.Engine.RealSleep = savedLatency, savedSleep }()
+
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", p), func(b *testing.B) {
+			a := &annotate.Annotator{
+				Engine:      l.Engine,
+				Classifier:  l.SVM,
+				Types:       eval.TypeStrings(),
+				Postprocess: true,
+				Parallelism: p,
+			}
+			var queries int
+			for i := 0; i < b.N; i++ {
+				results, err := a.AnnotateTables(context.Background(), tables, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries = 0
+				for _, r := range results {
+					queries += r.Queries
+				}
+			}
+			b.ReportMetric(float64(queries), "queries")
+		})
+	}
+}
+
+// BenchmarkCrossTableCache measures the cross-table verdict cache on
+// repeated corpora: cold annotates the GFT slice with an empty cache each
+// iteration; warm shares one pre-warmed cache, so every unique query is a
+// hit and zero engine round-trips happen. Reports queries and hit rate.
+func BenchmarkCrossTableCache(b *testing.B) {
+	l := lab()
+	tables := l.GFT.Tables[:8]
+	newAnnotator := func(c *qcache.Cache) *annotate.Annotator {
+		return &annotate.Annotator{
+			Engine:      l.Engine,
+			Classifier:  l.SVM,
+			Types:       eval.TypeStrings(),
+			Postprocess: true,
+			Cache:       c,
+		}
+	}
+	run := func(b *testing.B, a *annotate.Annotator) (queries int) {
+		results, err := a.AnnotateTables(context.Background(), tables, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			queries += r.Queries
+		}
+		return queries
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		var queries int
+		for i := 0; i < b.N; i++ {
+			queries = run(b, newAnnotator(qcache.New()))
+		}
+		b.ReportMetric(float64(queries), "queries")
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := qcache.New()
+		run(b, newAnnotator(cache)) // pre-warm
+		b.ResetTimer()
+		var queries int
+		for i := 0; i < b.N; i++ {
+			queries = run(b, newAnnotator(cache))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(queries), "queries")
+		b.ReportMetric(cache.Stats().HitRate(), "hitRate")
 	})
 }
 

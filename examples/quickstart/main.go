@@ -16,7 +16,9 @@ func main() {
 	// NewSystem generates the synthetic universe, indexes its web
 	// corpus, and trains the snippet classifier — everything the §5
 	// pipeline needs. Expensive once; reuse for every table.
-	sys := repro.NewSystem(repro.Options{Seed: 7})
+	// Parallelism fans the cell queries of each table out over a worker
+	// pool; the output is identical at any setting.
+	sys := repro.NewSystem(repro.Options{Seed: 7, Parallelism: 4})
 
 	// Build a table mixing two museums and a restaurant drawn from the
 	// universe, plus columns that must NOT be annotated.

@@ -1,15 +1,30 @@
 package annotate
 
 import (
+	"context"
+	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/classify"
 	"repro/internal/disambig"
 	"repro/internal/gazetteer"
+	"repro/internal/qcache"
 	"repro/internal/search"
 	"repro/internal/table"
 	"repro/internal/textproc"
 )
+
+// Searcher is the query interface the annotator needs from a search backend
+// (steps 1-2 of the §5 algorithm): the top-k results for a query. The
+// built-in *search.Engine implements it; any other backend (a remote API, a
+// mock, a different ranking substrate) plugs in the same way.
+// Implementations must be safe for concurrent use — the execute stage fans
+// queries out over a worker pool when Parallelism > 1.
+type Searcher interface {
+	Search(query string, k int) []search.Result
+}
 
 // Annotation marks one cell as naming an entity of a type, with the Eq. 1
 // confidence score S_ij = s_t / k.
@@ -34,14 +49,32 @@ type Result struct {
 	// Skipped counts pre-processing eliminations per reason.
 	Skipped map[SkipReason]int
 	// Queries is the number of search-engine queries issued for this
-	// table (after the per-table cache).
+	// table (after the per-table deduplication and, when configured, the
+	// shared cross-table cache).
 	Queries int
+	// CacheHits counts unique cell queries answered by the shared
+	// cross-table cache (Annotator.Cache); zero when no cache is set.
+	CacheHits int
+	// CacheMisses counts unique cell queries the shared cache could not
+	// answer — each one cost a search-engine round-trip; zero when no
+	// cache is set.
+	CacheMisses int
 }
 
-// Annotator runs the full pipeline of §5 over tables.
+// Annotator runs the full pipeline of §5 over tables. The pipeline is
+// organised in three stages (see DESIGN.md): plan collects the unique cell
+// queries after pre-processing and spatial augmentation, execute resolves
+// them against the search backend (optionally over a worker pool and through
+// the shared verdict cache), and merge applies the verdicts back to the
+// cells in deterministic row/column order before post-processing. Results
+// are identical at every Parallelism setting.
+//
+// An Annotator is immutable while annotating, so one instance may annotate
+// many tables concurrently (see AnnotateTables).
 type Annotator struct {
-	// Engine is the web search engine (step 1-2 of the algorithm).
-	Engine *search.Engine
+	// Engine is the search backend (steps 1-2 of the algorithm). Any
+	// Searcher works; the built-in *search.Engine is the usual choice.
+	Engine Searcher
 	// Classifier labels snippets with a type from Γ (step 3).
 	Classifier classify.Classifier
 	// Types is Γ, the target types.
@@ -65,6 +98,25 @@ type Annotator struct {
 	// classified on its own, so a minority sense cannot poison the vote.
 	// 0 disables clustering. A reasonable value is 0.4.
 	ClusterThreshold float64
+
+	// Parallelism bounds the execute-stage worker pool that fans cell
+	// queries out to the search backend; values <= 1 run sequentially.
+	// The merge stage is order-preserving, so annotations, scores and
+	// query counts are identical at every setting.
+	Parallelism int
+	// Cache, when non-nil, shares query verdicts across tables and
+	// corpus runs: a unique cell query answered by the cache costs no
+	// search-engine round-trip. Cache keys incorporate k, the type set,
+	// the decision rule and CacheSalt, so annotators that differ in any
+	// of those never exchange verdicts through a shared Cache — but the
+	// classifier and the search backend cannot be fingerprinted, so
+	// annotators that differ in either MUST set distinct CacheSalt
+	// values.
+	Cache *qcache.Cache
+	// CacheSalt namespaces this annotator's entries inside a shared
+	// Cache (e.g. "svm" vs "bayes", or per search backend). Ignored
+	// when Cache is nil.
+	CacheSalt string
 }
 
 func (a *Annotator) k() int {
@@ -86,15 +138,134 @@ func (a *Annotator) typeSet() map[string]struct{} {
 // AnnotateTable runs pre-processing, annotation and (optionally)
 // post-processing over one table and returns every cell-level annotation.
 func (a *Annotator) AnnotateTable(t *table.Table) *Result {
-	return a.annotateExcluding(t, nil)
+	res, _ := a.annotateExcludingCtx(context.Background(), t, nil)
+	return res
+}
+
+// AnnotateTableContext is AnnotateTable with cancellation: the execute stage
+// checks ctx between queries (and between worker dispatches) and returns
+// ctx.Err() once the context is done. A query already handed to the search
+// backend is not interrupted.
+func (a *Annotator) AnnotateTableContext(ctx context.Context, t *table.Table) (*Result, error) {
+	return a.annotateExcludingCtx(ctx, t, nil)
+}
+
+// AnnotateTables annotates a batch of tables, fanning whole tables out over
+// a bounded worker pool of the given parallelism (values <= 1 run
+// sequentially). Results are returned in input order; annotations and
+// scores are identical to annotating each table sequentially. With a shared
+// Cache, the cache's singleflight guarantees one backend query per unique
+// key, so batch-wide query and hit/miss totals are fixed too — though which
+// table's Result records a given miss can vary under concurrency. The first
+// context error aborts the batch.
+func (a *Annotator) AnnotateTables(ctx context.Context, tables []*table.Table, parallelism int) ([]*Result, error) {
+	out := make([]*Result, len(tables))
+	if parallelism <= 1 {
+		for i, t := range tables {
+			res, err := a.annotateExcludingCtx(ctx, t, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	errs := make([]error, len(tables))
+	if err := runPool(ctx, parallelism, len(tables), func(i int) {
+		out[i], errs[i] = a.annotateExcludingCtx(ctx, tables[i], nil)
+	}); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runPool runs work(0..n-1) over a bounded pool of workers, dispatching
+// until ctx is done. In-flight work completes; the first context error is
+// returned after the pool drains.
+func runPool(ctx context.Context, workers, n int, work func(int)) error {
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				work(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return ctx.Err()
 }
 
 // annotateExcluding is AnnotateTable with a set of cells to leave untouched;
 // the hybrid annotator uses it to send only catalogue-unknown cells to the
 // search engine.
 func (a *Annotator) annotateExcluding(t *table.Table, exclude map[CellKey]bool) *Result {
-	res := &Result{Skipped: map[SkipReason]int{}}
-	gamma := a.typeSet()
+	res, _ := a.annotateExcludingCtx(context.Background(), t, exclude)
+	return res
+}
+
+// annotateExcludingCtx runs the three pipeline stages over one table. The
+// error is non-nil only when ctx is cancelled, in which case the partial
+// result is discarded.
+func (a *Annotator) annotateExcludingCtx(ctx context.Context, t *table.Table, exclude map[CellKey]bool) (*Result, error) {
+	// Check up front so cancellation holds even when every query would
+	// be answered by a warm cache and the execute stage never blocks.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p := a.plan(t, exclude)
+	res := &Result{Skipped: p.skipped}
+	verdicts, err := a.execute(ctx, p.unique, res)
+	if err != nil {
+		return nil, err
+	}
+	a.merge(t, p, verdicts, res)
+	return res, nil
+}
+
+// cellQuery is one annotatable cell paired with its (possibly spatially
+// augmented) search query — the unit of work the plan stage emits.
+type cellQuery struct {
+	cell  CellKey
+	query string
+}
+
+// tablePlan is the plan stage's output: the annotatable cells in column-major
+// order, the deduplicated queries in first-encounter order (so the execute
+// stage issues them exactly as the original sequential pipeline did), and the
+// pre-processing skip counts.
+type tablePlan struct {
+	cells   []cellQuery
+	unique  []string
+	skipped map[SkipReason]int
+}
+
+// plan walks the table once, applying the §5.1 pre-processing and the §5.2.2
+// spatial augmentation, and collects the unique queries to execute. Querying
+// the engine is the dominant cost (§6.4), so identical cell contents share
+// one query; the query string includes the spatial augmentation so different
+// rows stay distinguishable.
+func (a *Annotator) plan(t *table.Table, exclude map[CellKey]bool) tablePlan {
+	p := tablePlan{skipped: map[SkipReason]int{}}
 
 	// Spatial context per row, resolved once per table (§5.2.2).
 	var cityByRow map[int]string
@@ -102,19 +273,10 @@ func (a *Annotator) annotateExcluding(t *table.Table, exclude map[CellKey]bool) 
 		cityByRow = a.resolveRowCities(t)
 	}
 
-	// Querying the engine is the dominant cost (§6.4), so identical cell
-	// contents share one query. The cache key includes the spatial
-	// augmentation so different rows stay distinguishable.
-	type verdict struct {
-		typ   string
-		score float64
-		ok    bool
-	}
-	cache := map[string]verdict{}
-
+	seen := map[string]bool{}
 	for j := 1; j <= t.NumCols(); j++ {
 		if a.Pre.SkipColumn(t.Columns[j-1].Type) {
-			res.Skipped[SkipColumnType] += t.NumRows()
+			p.skipped[SkipColumnType] += t.NumRows()
 			continue
 		}
 		for i := 1; i <= t.NumRows(); i++ {
@@ -123,30 +285,127 @@ func (a *Annotator) annotateExcluding(t *table.Table, exclude map[CellKey]bool) 
 			}
 			content := strings.TrimSpace(t.Cell(i, j))
 			if reason := a.Pre.Check(content); reason != SkipNone {
-				res.Skipped[reason]++
+				p.skipped[reason]++
 				continue
 			}
 			query := content
 			if city := cityByRow[i]; city != "" && !strings.Contains(strings.ToLower(content), strings.ToLower(city)) {
 				query = content + " " + city
 			}
-			v, ok := cache[query]
-			if !ok {
-				results := a.Engine.Search(query, a.k())
-				res.Queries++
-				v.typ, v.score, v.ok = a.decide(results, gamma)
-				cache[query] = v
-			}
-			if v.ok {
-				res.Annotations = append(res.Annotations, Annotation{Row: i, Col: j, Type: v.typ, Score: v.score})
+			p.cells = append(p.cells, cellQuery{cell: CellKey{Row: i, Col: j}, query: query})
+			if !seen[query] {
+				seen[query] = true
+				p.unique = append(p.unique, query)
 			}
 		}
 	}
+	return p
+}
 
+// execute resolves every unique query to a verdict — sequentially, or over a
+// bounded worker pool when Parallelism > 1 — and updates the Queries and
+// cache counters on res. With a shared cache configured, each lookup goes
+// through the cache's singleflight, so one backend query is issued per
+// unique key across all concurrent tables; which table's Result records the
+// miss can vary under concurrency, but totals are fixed by the workload.
+func (a *Annotator) execute(ctx context.Context, queries []string, res *Result) (map[string]qcache.Verdict, error) {
+	verdicts := make(map[string]qcache.Verdict, len(queries))
+	gamma := a.typeSet()
+
+	if a.Cache == nil {
+		resolved, err := a.searchAll(ctx, queries, gamma)
+		if err != nil {
+			return nil, err
+		}
+		res.Queries = len(queries)
+		for i, q := range queries {
+			verdicts[q] = resolved[i]
+		}
+		return verdicts, nil
+	}
+
+	prefix := a.cacheKeyPrefix()
+	out := make([]qcache.Verdict, len(queries))
+	hit := make([]bool, len(queries))
+	do := func(i int) {
+		q := queries[i]
+		out[i], hit[i] = a.Cache.GetOrCompute(prefix+q, func() qcache.Verdict {
+			return a.searchDecide(q, gamma)
+		})
+	}
+	if a.Parallelism <= 1 || len(queries) < 2 {
+		for i := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			do(i)
+		}
+	} else if err := runPool(ctx, a.Parallelism, len(queries), do); err != nil {
+		return nil, err
+	}
+	for i, q := range queries {
+		verdicts[q] = out[i]
+		if hit[i] {
+			res.CacheHits++
+		} else {
+			res.CacheMisses++
+			res.Queries++
+		}
+	}
+	return verdicts, nil
+}
+
+// searchAll decides every query, fanning out over Parallelism workers when
+// configured. Verdicts are returned positionally. Cancellation is checked
+// between queries; in-flight searches run to completion.
+func (a *Annotator) searchAll(ctx context.Context, queries []string, gamma map[string]struct{}) ([]qcache.Verdict, error) {
+	out := make([]qcache.Verdict, len(queries))
+	workers := a.Parallelism
+	if workers <= 1 || len(queries) < 2 {
+		for i, q := range queries {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = a.searchDecide(q, gamma)
+		}
+		return out, nil
+	}
+	if err := runPool(ctx, workers, len(queries), func(i int) {
+		out[i] = a.searchDecide(queries[i], gamma)
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// searchDecide performs one search-backend round-trip and the Eq. 1 decision.
+func (a *Annotator) searchDecide(query string, gamma map[string]struct{}) qcache.Verdict {
+	results := a.Engine.Search(query, a.k())
+	typ, score, ok := a.decide(results, gamma)
+	return qcache.Verdict{Type: typ, Score: score, OK: ok}
+}
+
+// cacheKeyPrefix fingerprints every annotator setting a verdict depends on,
+// except the classifier — that is what CacheSalt is for (see the Cache field
+// doc). Identical prefixes mean verdicts are exchangeable.
+func (a *Annotator) cacheKeyPrefix() string {
+	types := append([]string(nil), a.Types...)
+	sort.Strings(types)
+	return fmt.Sprintf("%s\x00k=%d\x00ct=%g\x00%s\x00", a.CacheSalt, a.k(), a.ClusterThreshold, strings.Join(types, ","))
+}
+
+// merge applies the verdicts back to the planned cells — column-major, the
+// order the original sequential pipeline produced — and then runs the §5.3
+// post-processing when enabled.
+func (a *Annotator) merge(t *table.Table, p tablePlan, verdicts map[string]qcache.Verdict, res *Result) {
+	for _, cq := range p.cells {
+		if v := verdicts[cq.query]; v.OK {
+			res.Annotations = append(res.Annotations, Annotation{Row: cq.cell.Row, Col: cq.cell.Col, Type: v.Type, Score: v.Score})
+		}
+	}
 	if a.Postprocess {
 		a.postprocess(t, res)
 	}
-	return res
 }
 
 // decide turns a result list into an annotation verdict: Eq. 1's majority

@@ -36,6 +36,8 @@ func (h *Hybrid) AnnotateTable(t *table.Table) *Result {
 		Annotations: append(append([]Annotation(nil), catRes.Annotations...), discRes.Annotations...),
 		Skipped:     discRes.Skipped,
 		Queries:     discRes.Queries,
+		CacheHits:   discRes.CacheHits,
+		CacheMisses: discRes.CacheMisses,
 	}
 	if post {
 		h.Discovery.postprocess(t, merged)

@@ -1,0 +1,189 @@
+package annotate
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/qcache"
+	"repro/internal/search"
+	"repro/internal/table"
+)
+
+// scriptedSearcher is a Searcher backed by a fixed query→results map — the
+// pluggable-backend seam the Annotator is decoupled through. It counts calls
+// atomically so tests can assert query volume under concurrency.
+type scriptedSearcher struct {
+	results map[string][]search.Result
+	calls   atomic.Int64
+}
+
+func (s *scriptedSearcher) Search(query string, k int) []search.Result {
+	s.calls.Add(1)
+	r := s.results[query]
+	if len(r) > k {
+		r = r[:k]
+	}
+	return r
+}
+
+// snippets builds k results for a query.
+func snippets(k int) []search.Result {
+	out := make([]search.Result, k)
+	for i := range out {
+		out[i] = search.Result{Snippet: fmt.Sprintf("snippet %d about the museum", i)}
+	}
+	return out
+}
+
+func scriptedAnnotator(s *scriptedSearcher) *Annotator {
+	return &Annotator{
+		Engine:     s,
+		Classifier: constClassifier("museum"),
+		Types:      []string{"museum", "restaurant"},
+		K:          10,
+	}
+}
+
+func scriptedTable(t *testing.T, names ...string) *table.Table {
+	t.Helper()
+	tbl := table.New("scripted", table.Column{Header: "Name", Type: table.Text})
+	for _, n := range names {
+		if err := tbl.AppendRow(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// TestPluggableSearcher proves the annotator runs against any Searcher, not
+// just *search.Engine.
+func TestPluggableSearcher(t *testing.T) {
+	s := &scriptedSearcher{results: map[string][]search.Result{
+		"Louvre": snippets(10),
+	}}
+	a := scriptedAnnotator(s)
+	res := a.AnnotateTable(scriptedTable(t, "Louvre", "Unknown Place"))
+	if len(res.Annotations) != 1 {
+		t.Fatalf("annotations = %d, want 1 (only the scripted query returns snippets)", len(res.Annotations))
+	}
+	ann := res.Annotations[0]
+	if ann.Type != "museum" || ann.Score != 1.0 {
+		t.Errorf("annotation = %+v, want museum score 1.0", ann)
+	}
+	if res.Queries != 2 {
+		t.Errorf("queries = %d, want 2", res.Queries)
+	}
+}
+
+// TestParallelTableIdentical annotates one table at several parallelism
+// settings; the order-preserving merge stage must keep the output
+// byte-identical to the sequential run.
+func TestParallelTableIdentical(t *testing.T) {
+	f := newFixture(t)
+	tbl := poiTable(t)
+	base := fmt.Sprintf("%+v", f.annotator().AnnotateTable(tbl))
+	for _, p := range []int{2, 4, 16} {
+		a := f.annotator()
+		a.Parallelism = p
+		got := fmt.Sprintf("%+v", a.AnnotateTable(tbl))
+		if got != base {
+			t.Errorf("parallelism %d produced a different result\nseq: %s\npar: %s", p, base, got)
+		}
+	}
+}
+
+// TestAnnotateTableContextCancelled: a cancelled context aborts before the
+// execute stage touches the backend, on both the sequential and the
+// parallel path.
+func TestAnnotateTableContextCancelled(t *testing.T) {
+	s := &scriptedSearcher{results: map[string][]search.Result{"Louvre": snippets(10)}}
+	a := scriptedAnnotator(s)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.AnnotateTableContext(ctx, scriptedTable(t, "Louvre")); err == nil {
+		t.Fatal("cancelled context did not abort annotation")
+	}
+	if _, err := a.AnnotateTables(ctx, []*table.Table{scriptedTable(t, "Louvre")}, 4); err == nil {
+		t.Fatal("cancelled context did not abort the batch API")
+	}
+	if s.calls.Load() != 0 {
+		t.Errorf("backend saw %d queries after cancellation, want 0", s.calls.Load())
+	}
+	// Cancellation must hold even when a warm cache would answer every
+	// query without the execute stage ever blocking.
+	a.Cache = qcache.New()
+	a.AnnotateTable(scriptedTable(t, "Louvre")) // warm
+	if _, err := a.AnnotateTableContext(ctx, scriptedTable(t, "Louvre")); err == nil {
+		t.Fatal("cancelled context ignored on the fully-cached path")
+	}
+}
+
+// TestSharedCacheAcrossTables: two tables with the same cells through one
+// cache — the second table costs zero backend queries.
+func TestSharedCacheAcrossTables(t *testing.T) {
+	s := &scriptedSearcher{results: map[string][]search.Result{"Louvre": snippets(10)}}
+	a := scriptedAnnotator(s)
+	a.Cache = qcache.New()
+
+	res1 := a.AnnotateTable(scriptedTable(t, "Louvre", "Louvre"))
+	if res1.Queries != 1 || res1.CacheMisses != 1 || res1.CacheHits != 0 {
+		t.Errorf("cold table: queries=%d hits=%d misses=%d, want 1/0/1",
+			res1.Queries, res1.CacheHits, res1.CacheMisses)
+	}
+	res2 := a.AnnotateTable(scriptedTable(t, "Louvre"))
+	if res2.Queries != 0 || res2.CacheHits != 1 {
+		t.Errorf("warm table: queries=%d hits=%d, want 0/1", res2.Queries, res2.CacheHits)
+	}
+	if len(res2.Annotations) != 1 {
+		t.Errorf("warm table annotations = %d, want 1 (verdict replayed from cache)", len(res2.Annotations))
+	}
+	if got := s.calls.Load(); got != 1 {
+		t.Errorf("backend calls = %d, want 1", got)
+	}
+	// A config change (k) must miss: verdicts are keyed by the full
+	// decision fingerprint.
+	a.K = 5
+	res3 := a.AnnotateTable(scriptedTable(t, "Louvre"))
+	if res3.CacheHits != 0 || res3.Queries != 1 {
+		t.Errorf("changed k still hit the cache: %+v", res3)
+	}
+	// Distinct salts never exchange verdicts.
+	b := scriptedAnnotator(s)
+	b.Cache = a.Cache
+	b.CacheSalt = "other"
+	if res := b.AnnotateTable(scriptedTable(t, "Louvre")); res.CacheHits != 0 {
+		t.Errorf("different salt got %d cache hits, want 0", res.CacheHits)
+	}
+}
+
+// TestAnnotateTablesBatch: the batch API preserves input order and matches
+// per-table annotation at every parallelism.
+func TestAnnotateTablesBatch(t *testing.T) {
+	f := newFixture(t)
+	tables := []*table.Table{
+		poiTable(t),
+		scriptedTable(t, "Musée Lavande"),
+		scriptedTable(t, "Chez Martin", "The Golden Fig"),
+	}
+	a := f.annotator()
+	want := make([]string, len(tables))
+	for i, tbl := range tables {
+		want[i] = fmt.Sprintf("%+v", a.AnnotateTable(tbl))
+	}
+	for _, p := range []int{1, 3, 8} {
+		results, err := a.AnnotateTables(context.Background(), tables, p)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if len(results) != len(tables) {
+			t.Fatalf("parallelism %d: %d results, want %d", p, len(results), len(tables))
+		}
+		for i, res := range results {
+			if got := fmt.Sprintf("%+v", res); got != want[i] {
+				t.Errorf("parallelism %d, table %d: batch result differs from AnnotateTable", p, i)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 func TestKSweep(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rows := l.KSweep([]int{1, 10})
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
@@ -28,6 +29,7 @@ func TestKSweep(t *testing.T) {
 
 func TestCoverageMatchesPaperClaim(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rep := l.Coverage()
 	if rep.TableEntities == 0 {
 		t.Fatal("no table entities counted")
@@ -45,6 +47,7 @@ func TestCoverageMatchesPaperClaim(t *testing.T) {
 
 func TestClusterAblation(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rows := l.ClusterAblation(0.4)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
@@ -58,6 +61,7 @@ func TestClusterAblation(t *testing.T) {
 
 func TestHybridAnalysis(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rep := l.HybridAnalysis()
 	if rep.HybridQueries >= rep.DiscoveryQueries {
 		t.Errorf("hybrid queries = %d, want < %d (catalogue must save queries)",
@@ -75,6 +79,7 @@ func TestHybridAnalysis(t *testing.T) {
 
 func TestSubsumptionReport(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rows := l.SubsumptionReport()
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d, want 2 (university/school, simpsons/film)", len(rows))
@@ -97,6 +102,7 @@ func TestAmbiguitySweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep builds one lab per point")
 	}
+	t.Parallel()
 	rows := AmbiguitySweep([]float64{0.1, 0.8}, LabConfig{
 		Seed: 7, KBPerType: 30, SnippetsPerEntity: 4, MaxTrainEntities: 30,
 	})
@@ -116,6 +122,7 @@ func TestAmbiguitySweep(t *testing.T) {
 
 func TestEfficiencyLatencyScaling(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	fast := l.Efficiency([]int{50}, 100*time.Millisecond)[0]
 	slow := l.Efficiency([]int{50}, 500*time.Millisecond)[0]
 	if slow.EstSecondsPerRow <= fast.EstSecondsPerRow {

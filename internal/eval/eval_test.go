@@ -40,6 +40,7 @@ func getLab(t *testing.T) *Lab {
 
 func TestLabConstruction(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	if l.Engine.IndexSize() == 0 {
 		t.Fatal("empty index")
 	}
@@ -63,6 +64,7 @@ func TestLabConstruction(t *testing.T) {
 // paper's 0.9+ band for most types.
 func TestTable2Shape(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	for _, r := range l.Table2() {
 		if r.SVMF < 0.7 {
 			t.Errorf("SVM F for %s = %.2f, want >= 0.7", r.Type, r.SVMF)
@@ -83,6 +85,7 @@ func TestTable2Shape(t *testing.T) {
 // people baselines collapse.
 func TestTable1Shape(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rows := l.Table1()
 	byType := map[string]Table1Row{}
 	for _, r := range rows {
@@ -116,6 +119,7 @@ func TestTable1Shape(t *testing.T) {
 // for spatial types.
 func TestTable3Shape(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rows := l.Table3()
 	var plainSum, postSum float64
 	for _, r := range rows {
@@ -139,6 +143,7 @@ func TestTable3Shape(t *testing.T) {
 // comparator on catalogue-friendly data (§6.3's claim).
 func TestWikiComparisonShape(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	c := l.WikiComparison()
 	if c.OurF < 0.6 {
 		t.Errorf("our F on wiki = %.2f, want >= 0.6", c.OurF)
@@ -161,6 +166,7 @@ func TestWikiComparisonShape(t *testing.T) {
 // does not — the paper's central argument (§1).
 func TestCatalogueCoverageGapOnGFT(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	types := TypeStrings()
 	cat := &annotate.CatalogueAnnotator{Catalogue: l.KB.Catalogue()}
 	catPer := ScoreDataset(l.GFT, runDataset(l.GFT, func(tb *table.Table) *annotate.Result {
@@ -170,7 +176,7 @@ func TestCatalogueCoverageGapOnGFT(t *testing.T) {
 	if catMicro.Recall() > 0.4 {
 		t.Errorf("catalogue recall on GFT = %.2f, want < 0.4 (coverage gap)", catMicro.Recall())
 	}
-	ourPer := ScoreDataset(l.GFT, runDataset(l.GFT, l.annotator(l.SVM, true, false).AnnotateTable))
+	ourPer := ScoreDataset(l.GFT, l.memoRun(l.SVM, true, false, l.Cfg.K, 0))
 	ourMicro := MicroAverage(ourPer, types)
 	if ourMicro.Recall() <= catMicro.Recall()+0.2 {
 		t.Errorf("discovery recall %.2f should far exceed catalogue recall %.2f",
@@ -180,6 +186,7 @@ func TestCatalogueCoverageGapOnGFT(t *testing.T) {
 
 func TestEfficiencyShape(t *testing.T) {
 	l := getLab(t)
+	t.Parallel()
 	rows := l.Efficiency([]int{10, 50}, 250*time.Millisecond)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))

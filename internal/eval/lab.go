@@ -7,9 +7,13 @@
 package eval
 
 import (
+	"sync"
+
+	"repro/internal/annotate"
 	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/kb"
+	"repro/internal/qcache"
 	"repro/internal/search"
 	"repro/internal/webgen"
 	"repro/internal/world"
@@ -34,6 +38,15 @@ type LabConfig struct {
 	// AmbiguityRate overrides the universe's confuser-sense rate
 	// (0 keeps the world default of 0.35). Used by the ambiguity sweep.
 	AmbiguityRate float64
+	// Parallelism bounds the annotation worker pools of every dataset
+	// run (tables are annotated concurrently; <= 1 runs sequentially).
+	// Every reported number is identical at any setting.
+	Parallelism int
+	// ShareCache enables the cross-table query-verdict cache: repeated
+	// cell values across tables and across analyses stop costing
+	// search-engine round-trips. Off by default because it changes the
+	// reported query counts (quality numbers are unaffected).
+	ShareCache bool
 }
 
 func (c LabConfig) withDefaults() LabConfig {
@@ -71,6 +84,25 @@ type Lab struct {
 
 	GFT  *dataset.Dataset
 	Wiki *dataset.Dataset
+
+	// Cache is the cross-table query-verdict cache shared by every
+	// dataset run; non-nil iff Cfg.ShareCache is set.
+	Cache *qcache.Cache
+
+	// runMemo memoizes full-dataset annotation runs per annotator
+	// configuration, so analyses that re-run the canonical pipeline
+	// (Table 1, Table 3, hybrid, subsumption, …) share one result set.
+	// Memoized results are deterministic and treated as read-only.
+	// runMu guards only the map; each entry's once serialises its own
+	// computation, so distinct configurations annotate concurrently.
+	runMu   sync.Mutex
+	runMemo map[string]*memoEntry
+}
+
+// memoEntry is one memoized dataset run with singleflight semantics.
+type memoEntry struct {
+	once sync.Once
+	res  map[string]*annotate.Result
 }
 
 // TypeStrings returns Γ as strings in evaluation order.
@@ -86,7 +118,10 @@ func TypeStrings() []string {
 // configuration.
 func NewLab(cfg LabConfig) *Lab {
 	cfg = cfg.withDefaults()
-	l := &Lab{Cfg: cfg}
+	l := &Lab{Cfg: cfg, runMemo: map[string]*memoEntry{}}
+	if cfg.ShareCache {
+		l.Cache = qcache.New()
+	}
 
 	l.World = world.Generate(world.Config{
 		Seed:          cfg.Seed,

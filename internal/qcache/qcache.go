@@ -1,0 +1,197 @@
+// Package qcache provides the cross-table query-verdict cache the annotation
+// pipeline shares between tables and corpus runs. The paper's efficiency
+// analysis (§6.4) shows search-engine round-trips dominating the running time
+// at ~0.5 s per processed row; real corpora repeat cell values across tables
+// (chain restaurants, common person names), so remembering the verdict of a
+// query once pays for every later table that asks it again.
+//
+// The cache is a fixed-size array of lock-protected shards, so concurrent
+// annotation workers contend only when their queries hash to the same shard.
+// It stores final verdicts (type, Eq. 1 score, decided-or-abstained) rather
+// than raw result lists: verdicts are tiny, and re-deciding is the only part
+// of the per-query cost that is not the simulated network round-trip.
+//
+// Keys are caller-constructed. A verdict depends on everything the deciding
+// annotator is configured with (classifier, search backend, k, type set,
+// decision rule), so callers sharing one Cache between differently-configured
+// annotators must namespace their keys; internal/annotate does this with its
+// cache-key prefix plus the caller-provided salt for the parts it cannot
+// fingerprint (see Annotator.Cache).
+package qcache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// numShards trades memory overhead against lock contention; 32 keeps
+// contention negligible for worker pools far larger than any sensible
+// annotation parallelism.
+const numShards = 32
+
+// Verdict is one cached annotation decision: the Eq. 1 outcome for a query.
+type Verdict struct {
+	// Type is the decided type; empty when the majority rule abstained.
+	Type string
+	// Score is the Eq. 1 confidence s_t / k.
+	Score float64
+	// OK reports whether the decision produced an annotation. Abstentions
+	// are cached too — re-asking the engine would re-abstain.
+	OK bool
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	m       map[string]Verdict
+	pending map[string]*call
+}
+
+// call tracks one in-flight computation so concurrent misses of the same key
+// coalesce into a single backend query (singleflight).
+type call struct {
+	done chan struct{}
+	v    Verdict
+}
+
+// Cache is a sharded, concurrency-safe verdict cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	shards [numShards]shard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// HitRate returns hits / lookups, or 0 before the first lookup.
+func (s Stats) HitRate() float64 {
+	if n := s.Hits + s.Misses; n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// New returns an empty cache ready for concurrent use.
+func New() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]Verdict{}
+		c.shards[i].pending = map[string]*call{}
+	}
+	return c
+}
+
+// fnv32a is the FNV-1a hash, inlined to keep Get/Put allocation-free.
+func fnv32a(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[fnv32a(key)%numShards]
+}
+
+// Get returns the cached verdict for key and whether one was present,
+// updating the hit/miss counters.
+func (c *Cache) Get(key string) (Verdict, bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores the verdict for key, overwriting any previous entry.
+func (c *Cache) Put(key string, v Verdict) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// GetOrCompute returns the cached verdict for key, or runs compute to
+// produce, store and return it. Concurrent calls for the same key coalesce:
+// exactly one caller runs compute (counted as the miss), the rest block
+// until it finishes and take the result as a hit — so a shared cache issues
+// exactly one backend query per unique key no matter how many annotation
+// workers race on it. compute runs without any shard lock held.
+func (c *Cache) GetOrCompute(key string, compute func() Verdict) (v Verdict, hit bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if v, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, true
+	}
+	if cl, ok := s.pending[key]; ok {
+		s.mu.Unlock()
+		<-cl.done
+		c.hits.Add(1)
+		return cl.v, true
+	}
+	cl := &call{done: make(chan struct{})}
+	s.pending[key] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	cl.v = compute()
+
+	s.mu.Lock()
+	s.m[key] = cl.v
+	delete(s.pending, key)
+	s.mu.Unlock()
+	close(cl.done)
+	return cl.v, false
+}
+
+// Len returns the number of cached verdicts.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats snapshots the hit/miss counters and entry count.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: c.Len(),
+	}
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = map[string]Verdict{}
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

@@ -10,6 +10,12 @@ import (
 // talking to a remote search API. Latency is accounted virtually by default
 // (no real sleeping), so experiments can report wall-clock estimates without
 // slowing the test suite; RealSleep enables actual sleeping for demos.
+//
+// Concurrency: Search, SearchPhrase and the counter methods are safe for
+// concurrent use once the underlying Index is fully built — accounting is
+// mutex-protected and the index is read-only at query time. Latency and
+// RealSleep are configuration, not synchronised; set them before sharing
+// the engine across goroutines.
 type Engine struct {
 	index *Index
 

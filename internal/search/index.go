@@ -39,13 +39,18 @@ type posting struct {
 }
 
 // Index is an in-memory inverted index with BM25 ranking.
+//
+// Concurrency: Add is not safe to call concurrently, but once indexing is
+// complete every query method (Search, SearchPhrase, Len) only reads, so an
+// Index is safe for any number of concurrent readers. The annotation
+// pipeline relies on this when it fans queries out over a worker pool.
 type Index struct {
 	docs     []Document
 	bodyToks [][]string // raw body words per doc, for snippet windows
 	postings map[string][]posting
 	docLen   []int
 	totalLen int
-	byURL    map[string]int // lazy, built by docByURL
+	byURL    map[string]int // maintained by Add; read by SearchPhrase
 }
 
 // BM25 parameters (standard values).
@@ -60,7 +65,10 @@ const SnippetWords = 11
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{postings: map[string][]posting{}}
+	return &Index{
+		postings: map[string][]posting{},
+		byURL:    map[string]int{},
+	}
 }
 
 // Add indexes a document. Title terms are indexed alongside body terms (with
@@ -73,6 +81,7 @@ func (ix *Index) Add(doc Document) {
 	doc.ID = id
 	ix.docs = append(ix.docs, doc)
 	ix.bodyToks = append(ix.bodyToks, strings.Fields(doc.Body))
+	ix.byURL[doc.URL] = id
 
 	terms := textproc.NormalizeTokens(doc.Title)
 	terms = append(terms, textproc.NormalizeTokens(doc.Title)...)

@@ -102,14 +102,10 @@ outer:
 }
 
 // docByURL finds the internal doc index for a result URL; URLs are unique in
-// generated corpora. Returns -1 when unknown.
+// generated corpora. Returns -1 when unknown. The map is maintained eagerly
+// by Add (a lazily built map here would be a data race between concurrent
+// readers).
 func (ix *Index) docByURL(url string) int {
-	if ix.byURL == nil {
-		ix.byURL = make(map[string]int, len(ix.docs))
-		for i, d := range ix.docs {
-			ix.byURL[d.URL] = i
-		}
-	}
 	if i, ok := ix.byURL[url]; ok {
 		return i
 	}

@@ -54,6 +54,15 @@ type Options struct {
 	Scale string
 	// Classifier selects "svm" (default) or "bayes".
 	Classifier string
+	// Parallelism bounds the annotation worker pools (cell queries per
+	// table and tables per corpus run); <= 1 runs sequentially. Results
+	// are identical at any setting — only the wall-clock changes.
+	Parallelism int
+	// ShareCache shares query verdicts across every table the system
+	// annotates, so repeated cell values stop costing search round-trips
+	// — the cross-table cache motivated by the paper's §6.4 latency
+	// analysis.
+	ShareCache bool
 }
 
 // System is a ready-to-use annotation pipeline over the synthetic universe:
@@ -61,31 +70,46 @@ type Options struct {
 // and a gazetteer.
 type System struct {
 	lab *eval.Lab
+	clf string // Options.Classifier, normalised to "svm" or "bayes"
 }
 
 // NewSystem builds the pipeline. The first call does the expensive work
 // (corpus generation, indexing, classifier training); reuse the System for
 // every table you annotate.
 func NewSystem(opts Options) *System {
-	cfg := eval.LabConfig{Seed: opts.Seed}
+	cfg := eval.LabConfig{
+		Seed:        opts.Seed,
+		Parallelism: opts.Parallelism,
+		ShareCache:  opts.ShareCache,
+	}
 	if opts.Scale != "full" {
 		cfg.KBPerType = 60
 		cfg.SnippetsPerEntity = 5
 		cfg.MaxTrainEntities = 60
 	}
-	return &System{lab: eval.NewLab(cfg)}
+	clf := "svm"
+	if opts.Classifier == "bayes" {
+		clf = "bayes"
+	}
+	return &System{lab: eval.NewLab(cfg), clf: clf}
 }
 
-// Annotator returns the paper's annotator (SVM classifier, post-processing
-// and spatial disambiguation on), configured with all twelve types.
+// Annotator returns the paper's annotator (post-processing and spatial
+// disambiguation on), configured with all twelve types, the classifier the
+// Options selected, and the system's parallelism and shared query cache.
+// The cache salt follows the classifier so "svm" and "bayes" annotators
+// never exchange verdicts through the shared cache.
 func (s *System) Annotator() *Annotator {
 	return &annotate.Annotator{
 		Engine:       s.lab.Engine,
-		Classifier:   s.Classifier("svm"),
+		Classifier:   s.Classifier(s.clf),
 		Types:        eval.TypeStrings(),
 		Postprocess:  true,
 		Disambiguate: true,
 		Gazetteer:    s.lab.World.Gaz,
+		Parallelism:  s.lab.Cfg.Parallelism,
+		Cache:        s.lab.Cache,
+		CacheSalt:    s.clf,
 	}
 }
 
