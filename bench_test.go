@@ -345,6 +345,22 @@ func BenchmarkSearchEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchEnginePhrase measures phrase-query throughput — the shape
+// every training-corpus query takes (§5.2.1), answered since PR 2 by
+// positional-posting intersection instead of per-candidate body re-stemming.
+func BenchmarkSearchEnginePhrase(b *testing.B) {
+	l := lab()
+	ents := l.World.TableEntities(world.Restaurant)[:64]
+	queries := make([]string, 0, len(ents))
+	for _, e := range ents {
+		queries = append(queries, `"`+e.Name+`" `+world.TypeName(world.Restaurant))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Engine.SearchPhrase(queries[i%len(queries)], 10)
+	}
+}
+
 // BenchmarkGeocode measures ambiguous-address geocoding, the per-cell cost
 // of the §5.2.2 spatial pipeline.
 func BenchmarkGeocode(b *testing.B) {

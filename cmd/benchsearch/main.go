@@ -1,0 +1,122 @@
+// Command benchsearch measures the raw throughput of the search substrate —
+// indexing speed, term-query speed and phrase-query speed over the canonical
+// synthetic corpus — and records the numbers in a JSON trajectory file
+// (BENCH_search.json). Each invocation appends one labelled run, so the file
+// accumulates a before/after history across search-core changes and the
+// speedup of the latest run over the first is computed automatically.
+//
+// Usage:
+//
+//	benchsearch -label "PR2 positional+heap" [-out BENCH_search.json]
+//	            [-seed 42] [-queries 2000]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/webgen"
+	"repro/internal/world"
+)
+
+type run struct {
+	Label               string  `json:"label"`
+	CorpusDocs          int     `json:"corpus_docs"`
+	IndexDocsPerSec     float64 `json:"index_docs_per_sec"`
+	TermQueriesPerSec   float64 `json:"term_queries_per_sec"`
+	PhraseQueriesPerSec float64 `json:"phrase_queries_per_sec"`
+}
+
+type trajectory struct {
+	Description   string  `json:"description"`
+	Runs          []run   `json:"runs"`
+	PhraseSpeedup float64 `json:"phrase_speedup_latest_vs_first"`
+	TermSpeedup   float64 `json:"term_speedup_latest_vs_first"`
+}
+
+func main() {
+	var (
+		label   = flag.String("label", "", "label for this run (required)")
+		out     = flag.String("out", "BENCH_search.json", "trajectory file to append to")
+		seed    = flag.Int64("seed", 42, "corpus seed (matches the canonical lab)")
+		queries = flag.Int("queries", 2000, "number of queries per timing loop")
+	)
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchsearch: -label is required")
+		os.Exit(2)
+	}
+
+	w := world.Generate(world.Config{Seed: *seed, KBPerType: 60})
+	docs := webgen.BuildCorpus(w, webgen.Config{Seed: *seed + 1})
+
+	// Indexing throughput: build (and freeze) the index the pipeline queries.
+	start := time.Now()
+	ix := search.NewIndex()
+	for _, d := range docs {
+		ix.Add(d)
+	}
+	ix.Freeze()
+	indexSecs := time.Since(start).Seconds()
+
+	// Query workload: the annotation pipeline's two query shapes (§5.2.1) —
+	// plain "<name> <type>" term queries and `"<name>" <type>` phrase queries.
+	ents := w.Entities
+	terms := make([]string, *queries)
+	phrases := make([]string, *queries)
+	for i := 0; i < *queries; i++ {
+		e := ents[i%len(ents)]
+		terms[i] = e.Name + " " + world.TypeName(e.Type)
+		phrases[i] = `"` + e.Name + `" ` + world.TypeName(e.Type)
+	}
+
+	start = time.Now()
+	for _, q := range terms {
+		ix.Search(q, 10)
+	}
+	termSecs := time.Since(start).Seconds()
+
+	start = time.Now()
+	for _, q := range phrases {
+		ix.SearchPhrase(q, 10)
+	}
+	phraseSecs := time.Since(start).Seconds()
+
+	r := run{
+		Label:               *label,
+		CorpusDocs:          len(docs),
+		IndexDocsPerSec:     float64(len(docs)) / indexSecs,
+		TermQueriesPerSec:   float64(*queries) / termSecs,
+		PhraseQueriesPerSec: float64(*queries) / phraseSecs,
+	}
+
+	traj := trajectory{
+		Description: "search substrate throughput on the canonical seeded corpus (seed 42); runs append chronologically",
+	}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsearch: %s exists but is not a trajectory file: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	traj.Runs = append(traj.Runs, r)
+	first := traj.Runs[0]
+	traj.PhraseSpeedup = r.PhraseQueriesPerSec / first.PhraseQueriesPerSec
+	traj.TermSpeedup = r.TermQueriesPerSec / first.TermQueriesPerSec
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsearch:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsearch:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: indexed %d docs at %.0f docs/s, term %.0f q/s, phrase %.0f q/s (phrase speedup vs first run: %.2fx)\n",
+		*label, r.CorpusDocs, r.IndexDocsPerSec, r.TermQueriesPerSec, r.PhraseQueriesPerSec, traj.PhraseSpeedup)
+}

@@ -1,0 +1,99 @@
+package main
+
+// Golden-output regression tests: the headline tables of the paper's
+// evaluation (accuracy, query counts, cache stats) on the canonical seeded
+// GFT corpus are captured byte-for-byte in testdata/golden/ and the report
+// must keep reproducing them exactly — this is the lockdown that makes
+// search-core and pipeline rewrites safe. Regenerate with:
+//
+//	go test ./cmd/experiments -run TestGolden -update
+//
+// and review the diff like any other code change. The two wall-clock columns
+// of the efficiency table (est s/row, compute s) are masked before
+// comparison: they measure the host machine, not the system under test.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden files with current output")
+
+// smallLab builds the canonical small-scale lab: seed 42, the same
+// configuration `experiments -scale small` uses.
+func smallLab(shareCache bool) *eval.Lab {
+	return eval.NewLab(eval.LabConfig{
+		Seed:              42,
+		KBPerType:         60,
+		SnippetsPerEntity: 5,
+		MaxTrainEntities:  60,
+		ShareCache:        shareCache,
+	})
+}
+
+// wallClockCols matches the two trailing wall-clock columns of an efficiency
+// table row (rows, queries, q/row are deterministic and stay).
+var wallClockCols = regexp.MustCompile(`(?m)^(\s*\d+\s+\d+\s+\d+\.\d+)\s+\d+\.\d+\s+\d+\.\d+$`)
+
+func maskWallClock(b []byte) []byte {
+	return wallClockCols.ReplaceAll(b, []byte("$1    <wall-clock>"))
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	got = maskWallClock(got)
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, regenerate with -update and review the diff.",
+			name, got, want)
+	}
+}
+
+// TestGoldenReport locks down the full report (every §6 table and analysis)
+// on the canonical corpus.
+func TestGoldenReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full small-scale lab; skipped with -short")
+	}
+	lab := smallLab(false)
+	var stdout, stderr bytes.Buffer
+	writeReport(&stdout, &stderr, lab, reportConfig{Latency: 250 * time.Millisecond})
+	checkGolden(t, "report.golden", stdout.Bytes())
+	if stderr.Len() != 0 {
+		t.Errorf("report without -share-cache wrote to stderr: %q", stderr.String())
+	}
+}
+
+// TestGoldenSharedCache locks down the canonical annotation run with the
+// cross-table query cache enabled: Table 1 numbers must be unchanged and the
+// cache hit/miss/entry accounting must stay deterministic.
+func TestGoldenSharedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the full small-scale lab; skipped with -short")
+	}
+	lab := smallLab(true)
+	var stdout, stderr bytes.Buffer
+	writeReport(&stdout, &stderr, lab, reportConfig{Only: "table1", Latency: 250 * time.Millisecond})
+	out := append(stdout.Bytes(), stderr.Bytes()...)
+	checkGolden(t, "table1_shared_cache.golden", out)
+}

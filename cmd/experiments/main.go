@@ -14,6 +14,9 @@
 // numbers are unchanged but query counts drop, so it is off by default to
 // keep the printed tables in the paper's cost regime. With -share-cache the
 // run ends with a cache hits/misses/entries summary.
+//
+// The report rendering itself lives in writeReport (report.go), which the
+// golden regression tests byte-compare against testdata/golden/.
 package main
 
 import (
@@ -48,120 +51,5 @@ func main() {
 	lab := eval.NewLab(cfg)
 	fmt.Fprintf(os.Stderr, "lab ready in %v (%d docs indexed)\n", time.Since(start).Round(time.Millisecond), lab.Engine.IndexSize())
 
-	run := func(name string) bool { return *only == "" || *only == name }
-
-	if run("table2") {
-		fmt.Println("== Table 2: classifier training (|TR|, |TE|, F on held-out snippets) ==")
-		fmt.Printf("%-18s %7s %7s %7s %7s\n", "Type", "|TR|", "|TE|", "Bayes", "SVM")
-		for _, r := range lab.Table2() {
-			fmt.Printf("%-18s %7d %7d %7.2f %7.2f\n", r.Type, r.Train, r.Test, r.BayesF, r.SVMF)
-		}
-		fmt.Println()
-	}
-
-	if run("table1") {
-		fmt.Println("== Table 1: annotation on the 40-table GFT dataset (P / R / F) ==")
-		fmt.Printf("%-18s %-17s %-17s %-17s %-17s\n", "Type", "SVM", "Bayes", "TIN", "TIS")
-		for _, r := range lab.Table1() {
-			fmt.Printf("%-18s %s %s %s %s\n", r.Type,
-				prf(r.SVM), prf(r.Bayes), prf(r.TIN), prf(r.TIS))
-		}
-		fmt.Println()
-	}
-
-	if run("table3") {
-		fmt.Println("== Table 3: ablation (F-measure) ==")
-		fmt.Printf("%-18s %8s %8s %10s\n", "Type", "SVM", "+post", "+disambig")
-		for _, r := range lab.Table3() {
-			dis := "      –"
-			if r.Disambig >= 0 {
-				dis = fmt.Sprintf("%7.2f", r.Disambig)
-			}
-			fmt.Printf("%-18s %8.2f %8.2f %10s\n", r.Type, r.SVM, r.Post, dis)
-		}
-		fmt.Println()
-	}
-
-	if run("wiki") {
-		fmt.Println("== §6.3: Wiki Manual comparison ==")
-		c := lab.WikiComparison()
-		fmt.Printf("our algorithm (SVM+postproc): F = %.4f (R = %.2f)\n", c.OurF, c.OurRecall)
-		fmt.Printf("catalogue annotator (Limaye-style): F = %.4f (R = %.2f)\n", c.CatalogueF, c.CatalogueRecall)
-		fmt.Println()
-	}
-
-	if run("efficiency") {
-		fmt.Println("== §6.4: efficiency (simulated latency", *latency, ") ==")
-		fmt.Printf("%6s %9s %9s %12s %12s\n", "rows", "queries", "q/row", "est s/row", "compute s")
-		for _, r := range lab.Efficiency([]int{10, 50, 100, 500}, *latency) {
-			fmt.Printf("%6d %9d %9.2f %12.3f %12.3f\n", r.Rows, r.Queries, r.QueriesPerRow, r.EstSecondsPerRow, r.ComputeSeconds)
-		}
-		fmt.Println()
-	}
-
-	if run("coverage") {
-		fmt.Println("== §1: knowledge-base coverage of table entities ==")
-		rep := lab.Coverage()
-		fmt.Printf("table entities: %d, in KB: %d (coverage %.2f; paper observes 0.22)\n",
-			rep.TableEntities, rep.InKB, rep.Coverage)
-		fmt.Printf("catalogue-annotator recall on GFT: %.2f (bounded by coverage)\n", rep.CatalogueRecall)
-		fmt.Println()
-	}
-
-	if run("ksweep") {
-		fmt.Println("== ablation: top-k snippets (paper fixes k=10) ==")
-		fmt.Printf("%4s %8s %9s\n", "k", "microF", "queries")
-		for _, r := range lab.KSweep([]int{1, 3, 5, 10, 15}) {
-			fmt.Printf("%4d %8.3f %9d\n", r.K, r.MicroF, r.Queries)
-		}
-		fmt.Println()
-	}
-
-	if run("cluster") {
-		fmt.Println("== extension (§5.2 future work): cluster-separated decision rule ==")
-		fmt.Printf("%-8s %8s %10s\n", "group", "flat F", "cluster F")
-		for _, r := range lab.ClusterAblation(0.4) {
-			fmt.Printf("%-8s %8.3f %10.3f\n", r.Group, r.FlatF, r.ClusterF)
-		}
-		fmt.Println()
-	}
-
-	if run("hybrid") {
-		fmt.Println("== extension (§6.4 future work): hybrid catalogue + discovery ==")
-		rep := lab.HybridAnalysis()
-		fmt.Printf("discovery only: F = %.3f with %d queries\n", rep.DiscoveryF, rep.DiscoveryQueries)
-		fmt.Printf("hybrid:         F = %.3f with %d queries (%.0f%% saved)\n",
-			rep.HybridF, rep.HybridQueries, rep.QuerySavings*100)
-		fmt.Println()
-	}
-
-	if run("subsumption") {
-		fmt.Println("== §6.2: subsumption pairs (how subtype gold entities were annotated) ==")
-		fmt.Printf("%-18s %-10s %8s %8s %8s %8s\n", "subtype", "supertype", "correct", "as-super", "other", "missed")
-		for _, r := range lab.SubsumptionReport() {
-			fmt.Printf("%-18s %-10s %8d %8d %8d %8d\n",
-				r.Subtype, r.Supertype, r.Correct, r.AsSupertype, r.AsOther, r.NotAnnotated)
-		}
-		fmt.Println()
-	}
-
-	// The ambiguity sweep rebuilds a lab per point, so it only runs when
-	// explicitly requested.
-	if *only == "ambiguity" {
-		fmt.Println("== analysis: annotation F vs name-ambiguity rate ==")
-		fmt.Printf("%6s %9s %7s\n", "rate", "peopleF", "poiF")
-		for _, r := range eval.AmbiguitySweep([]float64{0.1, 0.35, 0.6, 0.85}, cfg) {
-			fmt.Printf("%6.2f %9.3f %7.3f\n", r.Rate, r.PeopleF, r.POIF)
-		}
-	}
-
-	if lab.Cache != nil {
-		s := lab.Cache.Stats()
-		fmt.Fprintf(os.Stderr, "query cache: %d hits, %d misses (hit rate %.0f%%), %d verdicts cached\n",
-			s.Hits, s.Misses, s.HitRate()*100, s.Entries)
-	}
-}
-
-func prf(v [3]float64) string {
-	return fmt.Sprintf("%4.2f %4.2f %4.2f ", v[0], v[1], v[2])
+	writeReport(os.Stdout, os.Stderr, lab, reportConfig{Only: *only, Latency: *latency, LabCfg: cfg})
 }

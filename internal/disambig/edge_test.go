@@ -1,0 +1,145 @@
+package disambig
+
+// Ambiguity edge cases: empty candidate sets, single-candidate
+// short-circuits, tie-breaking determinism and input-order invariance.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gazetteer"
+)
+
+func TestResolveNoInterpretations(t *testing.T) {
+	g := gazetteer.Synthetic(1)
+	if choice := Resolve(nil, g); len(choice) != 0 {
+		t.Errorf("Resolve(nil) = %v, want empty", choice)
+	}
+	if choice := Resolve([]Interpretation{}, g); len(choice) != 0 {
+		t.Errorf("Resolve([]) = %v, want empty", choice)
+	}
+}
+
+// TestEmptyCandidateSetIsSkipped: a geocoder can return zero candidates for a
+// cell (unknown address). Such cells contribute no nodes, are absent from the
+// result, and do not disturb their neighbours' resolution.
+func TestEmptyCandidateSetIsSkipped(t *testing.T) {
+	g := gazetteer.Synthetic(2)
+	balt := g.Lookup("Baltimore", gazetteer.City)
+	if len(balt) != 1 {
+		t.Fatalf("Baltimore should be unambiguous, got %d", len(balt))
+	}
+	interps := []Interpretation{
+		{Cell: CellRef{1, 1}, Candidates: nil},
+		{Cell: CellRef{1, 2}, Candidates: balt},
+		{Cell: CellRef{2, 1}, Candidates: []gazetteer.LocID{}},
+	}
+	choice := Resolve(interps, g)
+	if len(choice) != 1 {
+		t.Fatalf("resolved %d cells, want 1 (empty candidate sets skipped): %v", len(choice), choice)
+	}
+	if choice[CellRef{1, 2}] != balt[0] {
+		t.Errorf("neighbour of empty cells resolved to %v, want %v", choice[CellRef{1, 2}], balt[0])
+	}
+	if _, ok := choice[CellRef{1, 1}]; ok {
+		t.Error("cell with no candidates appeared in the resolution")
+	}
+}
+
+// TestSingleCandidateShortCircuit: an unambiguous cell keeps its only
+// candidate no matter how its neighbours vote — even when the neighbour's
+// candidates share no container with it.
+func TestSingleCandidateShortCircuit(t *testing.T) {
+	g := gazetteer.Synthetic(3)
+	balt := g.Lookup("Baltimore", gazetteer.City)
+	parises := g.Lookup("Paris", gazetteer.City)
+	if len(balt) != 1 || len(parises) < 2 {
+		t.Fatalf("need unambiguous Baltimore (%d) and ambiguous Paris (%d)", len(balt), len(parises))
+	}
+	interps := []Interpretation{
+		{Cell: CellRef{1, 1}, Candidates: balt},
+		{Cell: CellRef{1, 2}, Candidates: parises},
+	}
+	choice, detail := ResolveScores(interps, g)
+	if choice[CellRef{1, 1}] != balt[0] {
+		t.Errorf("single candidate not selected: %v", choice[CellRef{1, 1}])
+	}
+	if s := detail[CellRef{1, 1}][balt[0]]; s != 1 {
+		t.Errorf("single candidate score = %v, want 1 (full-weight vote)", s)
+	}
+}
+
+// TestTieBreakPicksSmallestLocID: an isolated ambiguous cell keeps its
+// uniform prior, so every candidate ties and the smallest LocID must win
+// (the paper chooses randomly; we are deterministic).
+func TestTieBreakPicksSmallestLocID(t *testing.T) {
+	g := gazetteer.Synthetic(4)
+	parises := g.Lookup("Paris", gazetteer.City)
+	if len(parises) < 2 {
+		t.Fatal("need ambiguous Paris")
+	}
+	min := parises[0]
+	for _, c := range parises[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	interps := []Interpretation{{Cell: CellRef{3, 3}, Candidates: parises}}
+	choice, detail := ResolveScores(interps, g)
+	if choice[CellRef{3, 3}] != min {
+		t.Errorf("tie resolved to %v, want smallest LocID %v (scores %v)", choice[CellRef{3, 3}], min, detail[CellRef{3, 3}])
+	}
+	// The tie really is a tie: all candidates kept the uniform prior.
+	for loc, s := range detail[CellRef{3, 3}] {
+		if want := 1.0 / float64(len(parises)); s != want {
+			t.Errorf("candidate %v score %v, want uniform %v", loc, s, want)
+		}
+	}
+}
+
+// TestTieBreakInvariantUnderCandidateOrder: permuting a cell's candidate
+// list (and the interpretation list itself) never changes the resolution.
+func TestTieBreakInvariantUnderCandidateOrder(t *testing.T) {
+	g, interps, _ := figure7(t)
+	want := Resolve(interps, g)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := make([]Interpretation, len(interps))
+		for i, it := range interps {
+			cands := append([]gazetteer.LocID(nil), it.Candidates...)
+			rng.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+			shuffled[i] = Interpretation{Cell: it.Cell, Candidates: cands}
+		}
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		if got := Resolve(shuffled, g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: resolution depends on input order:\n got: %v\nwant: %v", trial, got, want)
+		}
+	}
+}
+
+// TestDuplicateCandidatesTolerated: a geocoder repeating a candidate must not
+// panic the resolver or change which location wins.
+func TestDuplicateCandidatesTolerated(t *testing.T) {
+	g := gazetteer.Synthetic(5)
+	parises := g.Lookup("Paris", gazetteer.City)
+	if len(parises) < 2 {
+		t.Fatal("need ambiguous Paris")
+	}
+	dup := append(append([]gazetteer.LocID(nil), parises...), parises...)
+	interps := []Interpretation{{Cell: CellRef{1, 1}, Candidates: dup}}
+	choice := Resolve(interps, g)
+	sel, ok := choice[CellRef{1, 1}]
+	if !ok {
+		t.Fatal("cell not resolved")
+	}
+	found := false
+	for _, c := range parises {
+		if c == sel {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("selected %v not among the candidates", sel)
+	}
+}

@@ -128,11 +128,7 @@ func NewLab(cfg LabConfig) *Lab {
 		KBPerType:     cfg.KBPerType,
 		AmbiguityRate: cfg.AmbiguityRate,
 	})
-	docs := webgen.BuildCorpus(l.World, webgen.Config{Seed: cfg.Seed + 1})
-	ix := search.NewIndex()
-	for _, d := range docs {
-		ix.Add(d)
-	}
+	ix := webgen.BuildIndex(l.World, webgen.Config{Seed: cfg.Seed + 1})
 	l.Engine = search.NewEngine(ix)
 	l.KB = kb.FromWorld(l.World, cfg.Seed+2)
 

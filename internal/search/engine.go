@@ -30,8 +30,12 @@ type Engine struct {
 	simulated time.Duration
 }
 
-// NewEngine builds an engine over a pre-built index.
+// NewEngine builds an engine over a pre-built index. The index is frozen
+// here — deriving the cached ranking state (per-term idf, average document
+// length) up front — so engines are safe to share across goroutines without
+// any query ever hitting the lazy freeze path.
 func NewEngine(ix *Index) *Engine {
+	ix.Freeze()
 	return &Engine{index: ix}
 }
 

@@ -1,0 +1,78 @@
+package search
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzSplitPhrases checks the quoted-segment splitter on arbitrary input:
+// it must never panic, never leak a '"' into the phrases or the remainder
+// (a dangling unbalanced quote is dropped), never produce empty phrases,
+// and be deterministic.
+func FuzzSplitPhrases(f *testing.F) {
+	for _, seed := range []string{
+		`"Chez Martin" restaurant`,
+		`melisse`,
+		`"a" "b c" d`,
+		`"unterminated phrase`,
+		`""`,
+		`"""`,
+		`""""`,
+		`a"b"c"d`,
+		` " spaced " phrase " `,
+		`"nested ""quotes"" here"`,
+		"\"\x00\" weird",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		phrases, remainder := splitPhrases(query)
+		if strings.ContainsRune(remainder, '"') {
+			t.Fatalf("remainder %q leaks a quote (query %q)", remainder, query)
+		}
+		for _, p := range phrases {
+			if p == "" {
+				t.Fatalf("empty phrase extracted from %q", query)
+			}
+			if strings.ContainsRune(p, '"') {
+				t.Fatalf("phrase %q contains a quote (query %q)", p, query)
+			}
+			if p != strings.TrimSpace(p) {
+				t.Fatalf("phrase %q not trimmed (query %q)", p, query)
+			}
+		}
+		p2, r2 := splitPhrases(query)
+		if !reflect.DeepEqual(phrases, p2) || remainder != r2 {
+			t.Fatalf("splitPhrases(%q) not deterministic", query)
+		}
+	})
+}
+
+// FuzzSearchPhrase drives the full phrase-query path with arbitrary query
+// strings over a fixed small index: no input may panic it or return more
+// than k results.
+func FuzzSearchPhrase(f *testing.F) {
+	for _, seed := range []string{
+		`"chez martin" restaurant`,
+		`"melisse"`,
+		`"the of and"`,
+		`"`,
+		`"" "" ""`,
+		"plain terms only",
+		`"a b`,
+	} {
+		f.Add(seed)
+	}
+	ix := NewIndex()
+	ix.Add(Document{URL: "p1", Title: "Chez Martin", Body: "chez martin is a dining restaurant with a seasonal menu"})
+	ix.Add(Document{URL: "p2", Title: "Melisse", Body: "melisse is a fine dining restaurant in santa monica"})
+	ix.Add(Document{URL: "p3", Title: "Ailleurs", Body: "un restaurant qui ne parle pas anglais", Lang: "fr"})
+	ix.Freeze()
+	f.Fuzz(func(t *testing.T, query string) {
+		const k = 3
+		if res := ix.SearchPhrase(query, k); len(res) > k {
+			t.Fatalf("SearchPhrase(%q, %d) returned %d results", query, k, len(res))
+		}
+	})
+}

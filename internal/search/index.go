@@ -9,6 +9,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/textproc"
 )
@@ -38,19 +40,49 @@ type posting struct {
 	tf  int
 }
 
-// Index is an in-memory inverted index with BM25 ranking.
+// posPosting records the body positions of a term within one document. The
+// positions count content words only: body words whose normalization yields
+// exactly one stem, in body order — the same sequence phrase adjacency is
+// defined over (see containsPhrase).
+type posPosting struct {
+	doc int
+	pos []int32
+}
+
+// Index is an in-memory inverted index with BM25 ranking, positional body
+// postings for phrase verification, and per-term idf cached at freeze time.
 //
-// Concurrency: Add is not safe to call concurrently, but once indexing is
-// complete every query method (Search, SearchPhrase, Len) only reads, so an
-// Index is safe for any number of concurrent readers. The annotation
-// pipeline relies on this when it fans queries out over a worker pool.
+// Concurrency: Add is not safe to call concurrently. Once indexing is
+// complete, call Freeze (NewEngine does it for you); after that every query
+// method (Search, SearchPhrase, Len) only reads shared state, so an Index is
+// safe for any number of concurrent readers. A query on an unfrozen index
+// freezes it on demand under a mutex, so single-goroutine use needs no
+// explicit Freeze call. Adding a document un-freezes the index.
 type Index struct {
 	docs     []Document
 	bodyToks [][]string // raw body words per doc, for snippet windows
-	postings map[string][]posting
-	docLen   []int
-	totalLen int
-	byURL    map[string]int // maintained by Add; read by SearchPhrase
+	// wordStem[doc][i] is the stem of bodyToks[doc][i] when that word
+	// normalizes to exactly one content token, "" otherwise. Snippet
+	// selection and phrase positions both read this instead of re-running
+	// the tokenizer+stemmer per candidate at query time.
+	wordStem  [][]string
+	postings  map[string][]posting
+	positions map[string][]posPosting // sorted by doc (Add order)
+	docLen    []int
+	totalLen  int
+	english   []bool // Lang == "en", checked in the scoring loop
+
+	// Frozen state: derived ranking constants computed once per corpus
+	// generation instead of per query. frozen publishes idf/avgLen to
+	// concurrent readers (atomic store-release after the maps are built).
+	frozen   atomic.Bool
+	freezeMu sync.Mutex
+	idf      map[string]float64
+	avgLen   float64
+
+	// accPool recycles per-query dense score accumulators across queries
+	// and across concurrent readers.
+	accPool sync.Pool
 }
 
 // BM25 parameters (standard values).
@@ -66,13 +98,15 @@ const SnippetWords = 11
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		postings: map[string][]posting{},
-		byURL:    map[string]int{},
+		postings:  map[string][]posting{},
+		positions: map[string][]posPosting{},
 	}
 }
 
 // Add indexes a document. Title terms are indexed alongside body terms (with
-// the title counted twice, approximating field weighting).
+// the title counted twice, approximating field weighting). Adding to a frozen
+// index un-freezes it; the next query (or Freeze call) re-derives the cached
+// ranking state.
 func (ix *Index) Add(doc Document) {
 	if doc.Lang == "" {
 		doc.Lang = "en"
@@ -80,72 +114,219 @@ func (ix *Index) Add(doc Document) {
 	id := len(ix.docs)
 	doc.ID = id
 	ix.docs = append(ix.docs, doc)
-	ix.bodyToks = append(ix.bodyToks, strings.Fields(doc.Body))
-	ix.byURL[doc.URL] = id
+	words := strings.Fields(doc.Body)
+	ix.bodyToks = append(ix.bodyToks, words)
+	ix.english = append(ix.english, doc.Lang == "en")
 
-	terms := textproc.NormalizeTokens(doc.Title)
-	terms = append(terms, textproc.NormalizeTokens(doc.Title)...)
-	terms = append(terms, textproc.NormalizeTokens(doc.Body)...)
+	// Normalize the body word by word: the concatenation equals
+	// NormalizeTokens(doc.Body) (whitespace always separates tokens), and
+	// the per-word view additionally yields the stem-per-raw-word table
+	// and the content-word positions that phrase search matches against.
+	bodyTerms, stems := textproc.NormalizeWords(words)
 	tf := map[string]int{}
-	for _, t := range terms {
+	titleTerms := textproc.NormalizeTokens(doc.Title)
+	for _, t := range titleTerms {
+		tf[t] += 2
+	}
+	nTerms := 2*len(titleTerms) + len(bodyTerms)
+	for _, t := range bodyTerms {
 		tf[t]++
 	}
+	pos := 0
+	for _, s := range stems {
+		if s != "" {
+			ix.addPosition(s, id, int32(pos))
+			pos++
+		}
+	}
+	ix.wordStem = append(ix.wordStem, stems)
 	for t, n := range tf {
 		ix.postings[t] = append(ix.postings[t], posting{doc: id, tf: n})
 	}
-	ix.docLen = append(ix.docLen, len(terms))
-	ix.totalLen += len(terms)
+	ix.docLen = append(ix.docLen, nTerms)
+	ix.totalLen += nTerms
+	ix.frozen.Store(false)
+}
+
+// addPosition appends one content-word position for term in doc. Documents
+// are added in increasing id order, so each term's posting list stays sorted
+// by doc and the last entry is the only one that can belong to doc.
+func (ix *Index) addPosition(term string, doc int, pos int32) {
+	plist := ix.positions[term]
+	if n := len(plist); n > 0 && plist[n-1].doc == doc {
+		plist[n-1].pos = append(plist[n-1].pos, pos)
+		return
+	}
+	ix.positions[term] = append(plist, posPosting{doc: doc, pos: []int32{pos}})
 }
 
 // Len returns the number of indexed documents.
 func (ix *Index) Len() int { return len(ix.docs) }
 
-// Search returns the top-k English documents for the query under BM25,
-// highest score first. Ties break by document id for determinism.
-func (ix *Index) Search(query string, k int) []Result {
-	if k <= 0 || len(ix.docs) == 0 {
-		return nil
-	}
-	qterms := textproc.NormalizeTokens(query)
-	if len(qterms) == 0 {
-		return nil
+// Freeze derives the per-term idf table and the average document length from
+// the current postings. Queries read these instead of recomputing them, and
+// concurrent readers require a frozen index (NewEngine freezes for you).
+// Freeze is idempotent; Add un-freezes.
+func (ix *Index) Freeze() {
+	ix.freezeMu.Lock()
+	defer ix.freezeMu.Unlock()
+	if ix.frozen.Load() {
+		return
 	}
 	n := float64(len(ix.docs))
-	avgLen := float64(ix.totalLen) / n
-	scores := map[int]float64{}
+	ix.idf = make(map[string]float64, len(ix.postings))
+	for t, plist := range ix.postings {
+		df := float64(len(plist))
+		ix.idf[t] = math.Log((n-df+0.5)/(df+0.5) + 1)
+	}
+	if n > 0 {
+		ix.avgLen = float64(ix.totalLen) / n
+	}
+	ix.frozen.Store(true)
+}
+
+// ensureFrozen freezes on first query. The fast path is one atomic load.
+func (ix *Index) ensureFrozen() {
+	if !ix.frozen.Load() {
+		ix.Freeze()
+	}
+}
+
+// accumulator is the per-query dense scoring state: a score per document plus
+// the list of touched documents, so resetting costs O(touched), not O(docs).
+type accumulator struct {
+	scores  []float64
+	touched []int
+}
+
+func (ix *Index) getAccumulator() *accumulator {
+	acc, _ := ix.accPool.Get().(*accumulator)
+	if acc == nil {
+		acc = &accumulator{}
+	}
+	if len(acc.scores) < len(ix.docs) {
+		acc.scores = make([]float64, len(ix.docs))
+	}
+	return acc
+}
+
+func (ix *Index) putAccumulator(acc *accumulator) {
+	for _, d := range acc.touched {
+		acc.scores[d] = 0
+	}
+	acc.touched = acc.touched[:0]
+	ix.accPool.Put(acc)
+}
+
+// hit is an internal scored document, pre-materialization.
+type hit struct {
+	doc   int
+	score float64
+}
+
+// worseHit reports whether a ranks strictly after b in the output order
+// (score descending, then doc ascending).
+func worseHit(a, b hit) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.doc > b.doc
+}
+
+// topK is a bounded min-heap of hits ordered by worseHit: the root is the
+// worst hit currently kept, so a full heap admits a candidate only when it
+// beats the root. Extracting yields exactly the same hits, in the same
+// order, as sorting all candidates by (score desc, doc asc) and truncating.
+type topK struct {
+	h []hit
+	k int
+}
+
+func (t *topK) push(c hit) {
+	if len(t.h) < t.k {
+		t.h = append(t.h, c)
+		// Sift up.
+		for i := len(t.h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !worseHit(t.h[i], t.h[p]) {
+				break
+			}
+			t.h[i], t.h[p] = t.h[p], t.h[i]
+			i = p
+		}
+		return
+	}
+	if !worseHit(t.h[0], c) {
+		return // candidate no better than the current worst
+	}
+	t.h[0] = c
+	t.siftDown(0, len(t.h))
+}
+
+func (t *topK) siftDown(i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && worseHit(t.h[l], t.h[m]) {
+			m = l
+		}
+		if r < n && worseHit(t.h[r], t.h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.h[i], t.h[m] = t.h[m], t.h[i]
+		i = m
+	}
+}
+
+// drain empties the heap and returns the hits best-first.
+func (t *topK) drain() []hit {
+	for n := len(t.h) - 1; n > 0; n-- {
+		t.h[0], t.h[n] = t.h[n], t.h[0]
+		t.siftDown(0, n)
+	}
+	// The heap popped worst-first into the tail, so t.h is now best-first.
+	return t.h
+}
+
+// topDocs scores the query terms over the postings lists into a dense
+// accumulator and returns the k best English documents (score desc, doc asc).
+// Snippets are not generated here — materialize is called only for the hits a
+// caller actually returns.
+func (ix *Index) topDocs(qterms []string, k int) []hit {
+	ix.ensureFrozen()
+	acc := ix.getAccumulator()
+	defer ix.putAccumulator(acc)
 	for _, t := range qterms {
 		plist := ix.postings[t]
 		if len(plist) == 0 {
 			continue
 		}
-		df := float64(len(plist))
-		idf := math.Log((n-df+0.5)/(df+0.5) + 1)
+		idf := ix.idf[t]
 		for _, p := range plist {
 			tf := float64(p.tf)
+			if acc.scores[p.doc] == 0 {
+				acc.touched = append(acc.touched, p.doc)
+			}
 			dl := float64(ix.docLen[p.doc])
-			scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+			acc.scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/ix.avgLen))
 		}
 	}
-	type hit struct {
-		doc   int
-		score float64
-	}
-	hits := make([]hit, 0, len(scores))
-	for d, s := range scores {
-		if ix.docs[d].Lang != "en" {
+	top := topK{k: k, h: make([]hit, 0, min(k, len(acc.touched)))}
+	for _, d := range acc.touched {
+		if !ix.english[d] {
 			continue
 		}
-		hits = append(hits, hit{d, s})
+		top.push(hit{doc: d, score: acc.scores[d]})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].score != hits[j].score {
-			return hits[i].score > hits[j].score
-		}
-		return hits[i].doc < hits[j].doc
-	})
-	if len(hits) > k {
-		hits = hits[:k]
-	}
+	return top.drain()
+}
+
+// materialize renders hits as Results, generating snippets only now — for
+// the hits actually returned, not for every scored candidate.
+func (ix *Index) materialize(hits []hit, qterms []string) []Result {
 	out := make([]Result, len(hits))
 	for i, h := range hits {
 		d := ix.docs[h.doc]
@@ -159,9 +340,22 @@ func (ix *Index) Search(query string, k int) []Result {
 	return out
 }
 
+// Search returns the top-k English documents for the query under BM25,
+// highest score first. Ties break by document id for determinism.
+func (ix *Index) Search(query string, k int) []Result {
+	if k <= 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	qterms := textproc.NormalizeTokens(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+	return ix.materialize(ix.topDocs(qterms, k), qterms)
+}
+
 // snippet extracts a SnippetWords-word window around the first body word
 // whose stem matches a query term, or the leading window when no term
-// matches (title-only hits).
+// matches (title-only hits). Stems were precomputed at Add time.
 func (ix *Index) snippet(doc int, qterms []string) string {
 	words := ix.bodyToks[doc]
 	if len(words) == 0 {
@@ -172,13 +366,13 @@ func (ix *Index) snippet(doc int, qterms []string) string {
 		qset[t] = struct{}{}
 	}
 	at := 0
-	for i, w := range words {
-		norm := textproc.NormalizeTokens(w)
-		if len(norm) == 1 {
-			if _, ok := qset[norm[0]]; ok {
-				at = i
-				break
-			}
+	for i, s := range ix.wordStem[doc] {
+		if s == "" {
+			continue
+		}
+		if _, ok := qset[s]; ok {
+			at = i
+			break
 		}
 	}
 	start := at - SnippetWords/3
@@ -193,4 +387,14 @@ func (ix *Index) snippet(doc int, qterms []string) string {
 		}
 	}
 	return strings.Join(words[start:end], " ")
+}
+
+// positionsIn returns the content positions of term within doc, or nil.
+func (ix *Index) positionsIn(term string, doc int) []int32 {
+	plist := ix.positions[term]
+	i := sort.Search(len(plist), func(i int) bool { return plist[i].doc >= doc })
+	if i == len(plist) || plist[i].doc != doc {
+		return nil
+	}
+	return plist[i].pos
 }

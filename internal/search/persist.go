@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Index persistence: a compact binary snapshot so a corpus indexed once can
@@ -15,14 +16,29 @@ import (
 //	docCount u32, then per doc: url, title, body, lang (len-prefixed strings)
 //	termCount u32, then per term: term string, postings u32,
 //	    then per posting: doc u32, tf u32
+//	posTermCount u32, then per term: term string, docs u32,
+//	    then per doc: doc u32, positions u32, then each position u32
 //
-// Document lengths and body tokens are reconstructed on load from the stored
-// bodies, keeping the file small at the cost of a cheap re-scan.
+// Version 2 added the positional section: the content-word positions phrase
+// search matches against round-trip with the index and are verified against
+// the rebuilt state on load. Document lengths, body tokens, stems and
+// postings are reconstructed on load from the stored bodies, keeping the
+// file small at the cost of a cheap re-scan.
 
 const (
 	indexMagic   = "TIDX"
-	indexVersion = 1
+	indexVersion = 2
 )
+
+// sortedTerms returns m's keys sorted, so snapshots are byte-reproducible.
+func sortedTerms[V any](m map[string]V) []string {
+	terms := make([]string, 0, len(m))
+	for t := range m {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
 
 // WriteTo serialises the index. It returns the byte count written.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
@@ -57,7 +73,8 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := write(uint32(len(ix.postings))); err != nil {
 		return bw.n, err
 	}
-	for term, plist := range ix.postings {
+	for _, term := range sortedTerms(ix.postings) {
+		plist := ix.postings[term]
 		if err := writeString(term); err != nil {
 			return bw.n, err
 		}
@@ -70,6 +87,31 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 			}
 			if err := write(uint32(p.tf)); err != nil {
 				return bw.n, err
+			}
+		}
+	}
+	if err := write(uint32(len(ix.positions))); err != nil {
+		return bw.n, err
+	}
+	for _, term := range sortedTerms(ix.positions) {
+		plist := ix.positions[term]
+		if err := writeString(term); err != nil {
+			return bw.n, err
+		}
+		if err := write(uint32(len(plist))); err != nil {
+			return bw.n, err
+		}
+		for _, p := range plist {
+			if err := write(uint32(p.doc)); err != nil {
+				return bw.n, err
+			}
+			if err := write(uint32(len(p.pos))); err != nil {
+				return bw.n, err
+			}
+			for _, pos := range p.pos {
+				if err := write(uint32(pos)); err != nil {
+					return bw.n, err
+				}
 			}
 		}
 	}
@@ -112,9 +154,9 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("search: unsupported index version %d", version)
 	}
 
-	// Rebuild by re-adding the documents: postings, lengths and body
-	// tokens are all derived state, and re-deriving them guarantees the
-	// loaded index behaves identically to a freshly built one.
+	// Rebuild by re-adding the documents: postings, positions, lengths and
+	// body tokens are all derived state, and re-deriving them guarantees
+	// the loaded index behaves identically to a freshly built one.
 	var docCount uint32
 	if err := read(&docCount); err != nil {
 		return nil, err
@@ -164,6 +206,48 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			}
 		}
 	}
+
+	// Same integrity check for the positional section.
+	var posTermCount uint32
+	if err := read(&posTermCount); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < posTermCount; i++ {
+		term, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		var n uint32
+		if err := read(&n); err != nil {
+			return nil, err
+		}
+		rebuilt := ix.positions[term]
+		if uint32(len(rebuilt)) != n {
+			return nil, fmt.Errorf("search: position lists mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
+		}
+		for j := uint32(0); j < n; j++ {
+			var doc, np uint32
+			if err := read(&doc); err != nil {
+				return nil, err
+			}
+			if err := read(&np); err != nil {
+				return nil, err
+			}
+			if rebuilt[j].doc != int(doc) || uint32(len(rebuilt[j].pos)) != np {
+				return nil, fmt.Errorf("search: position list %d of %q differs", j, term)
+			}
+			for pj := uint32(0); pj < np; pj++ {
+				var pos uint32
+				if err := read(&pos); err != nil {
+					return nil, err
+				}
+				if rebuilt[j].pos[pj] != int32(pos) {
+					return nil, fmt.Errorf("search: position %d of %q in doc %d differs", pj, term, doc)
+				}
+			}
+		}
+	}
+	ix.Freeze()
 	return ix, nil
 }
 

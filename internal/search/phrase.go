@@ -10,8 +10,9 @@ import (
 // restaurant", §5.2.1); SearchPhrase supports that semantics: segments
 // wrapped in double quotes must occur as adjacent stemmed tokens in the
 // document body, the rest of the query ranks as usual. Verification happens
-// on the BM25 candidate list, so the cost is a re-scan of the top candidates
-// rather than a positional index.
+// on the BM25 candidate list via the positional postings built at Add time,
+// so each candidate costs a position-list intersection rather than a
+// re-tokenization of its whole body.
 //
 //	SearchPhrase(`"Chez Martin" restaurant`, 10)
 func (ix *Index) SearchPhrase(query string, k int) []Result {
@@ -19,33 +20,46 @@ func (ix *Index) SearchPhrase(query string, k int) []Result {
 	if len(phrases) == 0 {
 		return ix.Search(query, k)
 	}
+	if k <= 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	qterms := textproc.NormalizeTokens(remainder + " " + strings.Join(phrases, " "))
+	if len(qterms) == 0 {
+		return nil
+	}
+	want := make([][]string, len(phrases))
+	for i, p := range phrases {
+		want[i] = textproc.NormalizeTokens(p)
+	}
 	// Over-fetch candidates: phrase verification will discard some.
-	candidates := ix.Search(remainder+" "+strings.Join(phrases, " "), k*4)
-	var out []Result
-	for _, r := range candidates {
-		doc := ix.docByURL(r.URL)
-		if doc < 0 {
-			continue
-		}
+	candidates := ix.topDocs(qterms, k*4)
+	var keep []hit
+	for _, h := range candidates {
 		ok := true
-		for _, p := range phrases {
-			if !ix.containsPhrase(doc, p) {
+		for _, w := range want {
+			if !ix.containsPhrase(h.doc, w) {
 				ok = false
 				break
 			}
 		}
 		if ok {
-			out = append(out, r)
-			if len(out) == k {
+			keep = append(keep, h)
+			if len(keep) == k {
 				break
 			}
 		}
 	}
-	return out
+	if len(keep) == 0 {
+		return nil
+	}
+	// Snippets are generated only for the hits that survived verification.
+	return ix.materialize(keep, qterms)
 }
 
 // splitPhrases extracts the quoted segments of a query and returns them
-// together with the unquoted remainder.
+// together with the unquoted remainder. A dangling unbalanced quote is
+// dropped (it would otherwise leak a '"' into the remainder); the text after
+// it ranks as plain terms.
 func splitPhrases(query string) (phrases []string, remainder string) {
 	var rest []string
 	for {
@@ -56,7 +70,10 @@ func splitPhrases(query string) (phrases []string, remainder string) {
 		}
 		end := strings.IndexByte(query[start+1:], '"')
 		if end < 0 {
-			rest = append(rest, query)
+			// Replace the quote with a space rather than deleting it:
+			// the quote separated tokens (`museum"gallery` is two
+			// words), and plain concatenation would merge them.
+			rest = append(rest, query[:start]+" "+query[start+1:])
 			break
 		}
 		rest = append(rest, query[:start])
@@ -70,44 +87,47 @@ func splitPhrases(query string) (phrases []string, remainder string) {
 }
 
 // containsPhrase reports whether the document body contains the phrase's
-// stemmed tokens adjacently, in order.
-func (ix *Index) containsPhrase(doc int, phrase string) bool {
-	want := textproc.NormalizeTokens(phrase)
+// stemmed tokens adjacently, in order. Adjacency is defined over the body's
+// content words (words whose normalization yields exactly one stem —
+// stopwords inside the phrase are not supported; the name phrases this is
+// used for contain none) and verified against the positional postings: the
+// phrase occurs iff some position p has want[j] at p+j for every j.
+func (ix *Index) containsPhrase(doc int, want []string) bool {
 	if len(want) == 0 {
 		return true
 	}
-	// Normalise the body word by word so adjacency in raw words maps to
-	// adjacency in content tokens (stopwords inside the phrase are not
-	// supported — the name phrases this is used for contain none).
-	var body []string
-	for _, w := range ix.bodyToks[doc] {
-		norm := textproc.NormalizeTokens(w)
-		if len(norm) == 1 {
-			body = append(body, norm[0])
+	lists := make([][]int32, len(want))
+	for j, w := range want {
+		lists[j] = ix.positionsIn(w, doc)
+		if len(lists[j]) == 0 {
+			return false
 		}
 	}
-	if len(body) < len(want) {
-		return false
-	}
-outer:
-	for i := 0; i+len(want) <= len(body); i++ {
-		for j, w := range want {
-			if body[i+j] != w {
-				continue outer
+	for _, p := range lists[0] {
+		ok := true
+		for j := 1; j < len(want); j++ {
+			if !containsPos(lists[j], p+int32(j)) {
+				ok = false
+				break
 			}
 		}
-		return true
+		if ok {
+			return true
+		}
 	}
 	return false
 }
 
-// docByURL finds the internal doc index for a result URL; URLs are unique in
-// generated corpora. Returns -1 when unknown. The map is maintained eagerly
-// by Add (a lazily built map here would be a data race between concurrent
-// readers).
-func (ix *Index) docByURL(url string) int {
-	if i, ok := ix.byURL[url]; ok {
-		return i
+// containsPos reports whether sorted position list l contains v.
+func containsPos(l []int32, v int32) bool {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return -1
+	return lo < len(l) && l[lo] == v
 }

@@ -14,7 +14,11 @@ func TestSplitPhrases(t *testing.T) {
 		{`"Chez Martin" restaurant`, []string{"Chez Martin"}, "restaurant"},
 		{`melisse`, nil, "melisse"},
 		{`"a" "b c" d`, []string{"a", "b c"}, "d"},
-		{`"unterminated phrase`, nil, `"unterminated phrase`},
+		// A dangling quote becomes a space rather than leaking into the
+		// remainder; the text around it ranks as plain terms.
+		{`"unterminated phrase`, nil, `unterminated phrase`},
+		{`melisse "restaurant`, nil, `melisse  restaurant`},
+		{`museum"gallery`, nil, `museum gallery`},
 		{`""`, nil, ""},
 	}
 	for _, c := range cases {

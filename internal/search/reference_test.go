@@ -1,0 +1,323 @@
+package search
+
+// A slow, obviously-correct reference implementation of the engine's query
+// semantics, property-checked against the optimized Index on randomized
+// seeded corpora. The reference recomputes everything per query from the raw
+// document texts — whole-text normalization, map accumulators, a full sort,
+// per-word body re-stemming for phrase adjacency and snippets — i.e. it is
+// the seed implementation this package's query core replaced, kept here as
+// the executable specification the fast path must match: identical result
+// ordering, identical URL/title/snippet bytes, scores within 1e-9.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// refSearch is the reference BM25 top-k: score every document from scratch.
+func refSearch(docs []Document, query string, k int) []Result {
+	if k <= 0 || len(docs) == 0 {
+		return nil
+	}
+	qterms := textproc.NormalizeTokens(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+
+	// Per-document term frequencies and lengths, recomputed from raw text.
+	tfs := make([]map[string]int, len(docs))
+	docLen := make([]int, len(docs))
+	totalLen := 0
+	for i, d := range docs {
+		terms := textproc.NormalizeTokens(d.Title)
+		terms = append(terms, textproc.NormalizeTokens(d.Title)...)
+		terms = append(terms, textproc.NormalizeTokens(d.Body)...)
+		tf := map[string]int{}
+		for _, t := range terms {
+			tf[t]++
+		}
+		tfs[i] = tf
+		docLen[i] = len(terms)
+		totalLen += len(terms)
+	}
+	n := float64(len(docs))
+	avgLen := float64(totalLen) / n
+	df := map[string]int{}
+	for _, tf := range tfs {
+		for t := range tf {
+			df[t]++
+		}
+	}
+
+	type hit struct {
+		doc   int
+		score float64
+	}
+	var hits []hit
+	for i := range docs {
+		var score float64
+		for _, t := range qterms {
+			tf := float64(tfs[i][t])
+			if tf == 0 {
+				continue
+			}
+			idf := math.Log((n-float64(df[t])+0.5)/(float64(df[t])+0.5) + 1)
+			dl := float64(docLen[i])
+			score += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+		}
+		lang := docs[i].Lang
+		if score > 0 && (lang == "en" || lang == "") {
+			hits = append(hits, hit{i, score})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].score != hits[j].score {
+			return hits[i].score > hits[j].score
+		}
+		return hits[i].doc < hits[j].doc
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	out := make([]Result, len(hits))
+	for i, h := range hits {
+		out[i] = Result{
+			URL:     docs[h.doc].URL,
+			Title:   docs[h.doc].Title,
+			Snippet: refSnippet(docs[h.doc], qterms),
+			Score:   h.score,
+		}
+	}
+	return out
+}
+
+// refSnippet is the reference snippet window: re-normalize the body word by
+// word and find the first word stemming to a query term.
+func refSnippet(d Document, qterms []string) string {
+	words := strings.Fields(d.Body)
+	if len(words) == 0 {
+		return d.Title
+	}
+	qset := map[string]struct{}{}
+	for _, t := range qterms {
+		qset[t] = struct{}{}
+	}
+	at := 0
+	for i, w := range words {
+		norm := textproc.NormalizeTokens(w)
+		if len(norm) == 1 {
+			if _, ok := qset[norm[0]]; ok {
+				at = i
+				break
+			}
+		}
+	}
+	start := at - SnippetWords/3
+	if start < 0 {
+		start = 0
+	}
+	end := start + SnippetWords
+	if end > len(words) {
+		end = len(words)
+		if start = end - SnippetWords; start < 0 {
+			start = 0
+		}
+	}
+	return strings.Join(words[start:end], " ")
+}
+
+// refContainsPhrase is the reference adjacency check: re-normalize the body
+// word by word, keep single-token words, scan for the contiguous run.
+func refContainsPhrase(d Document, phrase string) bool {
+	want := textproc.NormalizeTokens(phrase)
+	if len(want) == 0 {
+		return true
+	}
+	var body []string
+	for _, w := range strings.Fields(d.Body) {
+		norm := textproc.NormalizeTokens(w)
+		if len(norm) == 1 {
+			body = append(body, norm[0])
+		}
+	}
+outer:
+	for i := 0; i+len(want) <= len(body); i++ {
+		for j, w := range want {
+			if body[i+j] != w {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// refSearchPhrase mirrors SearchPhrase on top of refSearch.
+func refSearchPhrase(docs []Document, query string, k int) []Result {
+	phrases, remainder := splitPhrases(query)
+	if len(phrases) == 0 {
+		return refSearch(docs, query, k)
+	}
+	candidates := refSearch(docs, remainder+" "+strings.Join(phrases, " "), k*4)
+	byURL := map[string]Document{}
+	for _, d := range docs {
+		byURL[d.URL] = d
+	}
+	var out []Result
+	for _, r := range candidates {
+		d := byURL[r.URL]
+		ok := true
+		for _, p := range phrases {
+			if !refContainsPhrase(d, p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+			if len(out) == k {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// randomCorpus builds a randomized document set stressing the indexer's
+// normalization edge cases: stopwords, numerics, hyphenated words (multiple
+// tokens per raw word), apostrophes, duplicated documents (score ties) and
+// non-English pages.
+func randomCorpus(rng *rand.Rand, nDocs int) []Document {
+	vocab := []string{
+		"museum", "museums", "restaurant", "gallery", "painting", "paintings",
+		"the", "of", "and", "a", "in", // stopwords
+		"12", "3.5", "2,000", // numerics
+		"rock-n-roll", "jazz-club", "state-of-the-art", // multi-token words
+		"martin's", "chez", "martin", "melisse", "l'atelier",
+		"grand", "hotel", "suites", "national", "collection",
+	}
+	word := func() string { return vocab[rng.Intn(len(vocab))] }
+	docs := make([]Document, 0, nDocs)
+	for i := 0; i < nDocs; i++ {
+		nw := 3 + rng.Intn(25)
+		words := make([]string, nw)
+		for j := range words {
+			words[j] = word()
+		}
+		lang := "en"
+		if rng.Intn(8) == 0 {
+			lang = "fr"
+		}
+		body := strings.Join(words, " ")
+		if rng.Intn(6) == 0 && i > 0 {
+			body = docs[i-1].Body // duplicate body: exact score ties
+		}
+		docs = append(docs, Document{
+			URL:   fmt.Sprintf("u%d", i),
+			Title: word() + " " + word(),
+			Body:  body,
+			Lang:  lang,
+		})
+	}
+	return docs
+}
+
+func randomQueries(rng *rand.Rand, n int) []string {
+	parts := []string{
+		"museum", "restaurant", "chez martin", "grand hotel", "paintings",
+		"melisse", "national collection", "jazz-club", "the of", "12",
+	}
+	qs := make([]string, n)
+	for i := range qs {
+		p := parts[rng.Intn(len(parts))]
+		switch rng.Intn(4) {
+		case 0:
+			qs[i] = p
+		case 1:
+			qs[i] = p + " " + parts[rng.Intn(len(parts))]
+		case 2:
+			qs[i] = `"` + p + `"`
+		default:
+			qs[i] = `"` + p + `" ` + parts[rng.Intn(len(parts))]
+		}
+	}
+	return qs
+}
+
+// checkSameResults asserts got matches want: same length and order, same
+// URL/Title/Snippet bytes, scores within 1e-9.
+func checkSameResults(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, reference has %d\n got: %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.URL != w.URL || g.Title != w.Title || g.Snippet != w.Snippet {
+			t.Fatalf("%s: result %d differs:\n got: %+v\nwant: %+v", label, i, g, w)
+		}
+		if math.Abs(g.Score-w.Score) > 1e-9 {
+			t.Fatalf("%s: result %d score %v, reference %v", label, i, g.Score, w.Score)
+		}
+	}
+}
+
+// TestSearchMatchesReference differentially tests the optimized query core
+// against the reference implementation over randomized seeded corpora.
+func TestSearchMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			docs := randomCorpus(rng, 20+rng.Intn(120))
+			ix := NewIndex()
+			for _, d := range docs {
+				ix.Add(d)
+			}
+			ix.Freeze()
+			for _, q := range randomQueries(rng, 60) {
+				for _, k := range []int{1, 3, 10, 1000} {
+					checkSameResults(t, fmt.Sprintf("Search(%q, %d)", q, k),
+						ix.Search(q, k), refSearch(docs, q, k))
+					checkSameResults(t, fmt.Sprintf("SearchPhrase(%q, %d)", q, k),
+						ix.SearchPhrase(q, k), refSearchPhrase(docs, q, k))
+				}
+			}
+		})
+	}
+}
+
+// TestSearchMatchesReferenceOnLabCorpusShape runs the differential check on
+// documents shaped like the generated web corpus (long bodies, repeated
+// subjects) rather than uniform noise.
+func TestSearchMatchesReferenceOnLabCorpusShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var docs []Document
+	subjects := []string{"Chez Martin", "Melisse", "Louvre Museum", "Grand Hotel"}
+	for i := 0; i < 60; i++ {
+		subj := subjects[rng.Intn(len(subjects))]
+		filler := randomCorpus(rng, 1)[0].Body
+		docs = append(docs, Document{
+			URL:   fmt.Sprintf("s%d", i),
+			Title: subj,
+			Body:  subj + " " + filler + " " + subj,
+		})
+	}
+	ix := NewIndex()
+	for _, d := range docs {
+		ix.Add(d)
+	}
+	for _, q := range []string{
+		`"Chez Martin" restaurant`, `"Louvre Museum"`, `"Grand Hotel" suites`,
+		"melisse restaurant", `"melisse"`, `"chez martin" "grand hotel"`,
+	} {
+		checkSameResults(t, "Search "+q, ix.Search(q, 10), refSearch(docs, q, 10))
+		checkSameResults(t, "SearchPhrase "+q, ix.SearchPhrase(q, 10), refSearchPhrase(docs, q, 10))
+	}
+}

@@ -50,16 +50,32 @@ func WriteCSV(w io.Writer, t *Table) error {
 	for j, c := range t.Columns {
 		header[j] = c.Header
 	}
-	if err := cw.Write(header); err != nil {
+	if err := writeRecord(cw, w, header); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
-		if err := cw.Write(row); err != nil {
+		if err := writeRecord(cw, w, row); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// writeRecord writes one CSV record. A record holding a single empty field
+// would serialize as a blank line, which encoding/csv silently skips on
+// re-read — losing the row (or the whole header). Force the quoted empty
+// field instead (found by FuzzReadCSV).
+func writeRecord(cw *csv.Writer, w io.Writer, rec []string) error {
+	if len(rec) == 1 && rec[0] == "" {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "\"\"\n")
+		return err
+	}
+	return cw.Write(rec)
 }
 
 var (

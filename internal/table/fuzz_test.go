@@ -1,0 +1,96 @@
+package table
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks CSV table parsing on arbitrary input: a parse either
+// fails cleanly or yields a rectangular table whose serialized form is
+// stable (write → read → write reproduces the same bytes — the first parse
+// may normalize line endings and quoting, but the normal form must be a
+// fixed point).
+func FuzzReadCSV(f *testing.F) {
+	for _, seed := range []string{
+		"Name,City\nLouvre,Paris\nMelisse,Santa Monica\n",
+		"Name\n\"quoted, cell\"\n",
+		"a,b\n1,2\n3,4\n",
+		"only a header\n",
+		"",
+		"h1,h2\nshort row\n",
+		"\"unterminated\nName,City\n",
+		"h\n\"embedded \"\"quotes\"\"\"\n",
+		"h1,h2\ncr\rcell,x\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		t1, err := ReadCSV(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejected cleanly
+		}
+		if len(t1.Columns) == 0 {
+			t.Fatalf("accepted CSV with zero columns: %q", data)
+		}
+		for i, row := range t1.Rows {
+			if len(row) != len(t1.Columns) {
+				t.Fatalf("row %d has %d cells, want %d (input %q)", i, len(row), len(t1.Columns), data)
+			}
+		}
+		var buf1 bytes.Buffer
+		if err := WriteCSV(&buf1, t1); err != nil {
+			t.Fatalf("write of parsed table failed: %v (input %q)", err, data)
+		}
+		t2, err := ReadCSV(bytes.NewReader(buf1.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("re-read of written table failed: %v\nwritten: %q\ninput: %q", err, buf1.String(), data)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteCSV(&buf2, t2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("CSV serialization not a fixed point:\nfirst:  %q\nsecond: %q\ninput: %q", buf1.String(), buf2.String(), data)
+		}
+	})
+}
+
+// FuzzReadJSON checks the JSON interchange format: a parse either fails
+// cleanly or round-trips losslessly (the format carries explicit types, so
+// unlike CSV no inference or normalization is involved).
+func FuzzReadJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{"name":"pois","columns":[{"header":"Name","type":"Text"}],"rows":[["Louvre"]]}`,
+		`{"name":"t","columns":[{"header":"a","type":"Number"},{"header":"b","type":"Date"}],"rows":[["1","2020-01-01"]]}`,
+		`{"name":"empty","columns":[{"header":"h","type":"Location"}],"rows":[]}`,
+		`{"columns":[{"header":"","type":""}]}`,
+		`{"name":"bad","columns":[],"rows":[]}`,
+		`{"name":"widths","columns":[{"header":"a","type":"Text"}],"rows":[["x","y"]]}`,
+		`not json at all`,
+		`{}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		t1, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		if len(t1.Columns) == 0 {
+			t.Fatalf("accepted table with zero columns: %q", data)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, t1); err != nil {
+			t.Fatalf("write of parsed table failed: %v (input %q)", err, data)
+		}
+		t2, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of written table failed: %v\nwritten: %q\ninput: %q", err, buf.String(), data)
+		}
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("JSON round trip not lossless:\nfirst:  %+v\nsecond: %+v\ninput: %q", t1, t2, data)
+		}
+	})
+}

@@ -15,8 +15,16 @@ import (
 // behaviour of the snippet pipeline in the paper, which tokenizes against the
 // English dictionary.
 func Tokenize(s string) []string {
+	return appendTokens(make([]string, 0, len(s)/5+1), s)
+}
+
+// appendTokens is Tokenize's allocation-free core: it appends the tokens of s
+// to dst. Because whitespace always separates tokens, tokenizing a text word
+// by word yields exactly the tokens of tokenizing it whole — the indexer's
+// per-word pipeline relies on that equivalence (and a fuzz test enforces it).
+func appendTokens(dst []string, s string) []string {
 	s = strings.ToLower(s)
-	tokens := make([]string, 0, len(s)/5+1)
+	tokens := dst
 	start := -1
 	flush := func(end int) {
 		if start >= 0 {
@@ -78,4 +86,32 @@ func NormalizeTokens(s string) []string {
 		out = append(out, Stem(tok))
 	}
 	return out
+}
+
+// NormalizeWords applies the NormalizeTokens pipeline to a pre-split word
+// sequence in one pass. It returns the concatenated normalized tokens —
+// identical to NormalizeTokens(strings.Join(words, " ")) — plus, per input
+// word, its single normalized stem when the word yields exactly one content
+// token and "" otherwise (the per-word view the indexer's snippet and phrase
+// structures are built from). One scratch buffer is reused across words, so
+// indexing a document costs two allocations instead of two per word.
+func NormalizeWords(words []string) (tokens []string, wordStem []string) {
+	tokens = make([]string, 0, len(words))
+	wordStem = make([]string, len(words))
+	var scratch [8]string
+	for i, w := range words {
+		raw := appendTokens(scratch[:0], w)
+		n := 0
+		for _, tok := range raw {
+			if IsStopword(tok) || IsNumericToken(tok) {
+				continue
+			}
+			tokens = append(tokens, Stem(tok))
+			n++
+		}
+		if n == 1 {
+			wordStem[i] = tokens[len(tokens)-1]
+		}
+	}
+	return tokens, wordStem
 }

@@ -103,6 +103,20 @@ func BuildCorpus(w *world.World, cfg Config) []search.Document {
 	return docs
 }
 
+// BuildIndex generates the corpus for a universe and returns it already
+// indexed and frozen — the form every consumer (lab construction, commands,
+// benchmarks) actually wants. Freezing here means the derived ranking state
+// (idf table, average length) is computed once at corpus-build time instead
+// of on the first query.
+func BuildIndex(w *world.World, cfg Config) *search.Index {
+	ix := search.NewIndex()
+	for _, d := range BuildCorpus(w, cfg) {
+		ix.Add(d)
+	}
+	ix.Freeze()
+	return ix
+}
+
 // entityTitle renders a page title; a fraction of titles carry the type word
 // ("Louvre Museum — official site"), which is what makes the TIN/TIS
 // baselines partially effective on POI types.
