@@ -10,9 +10,13 @@
 // -parallel N fans the table's cell queries out over N concurrent workers;
 // the output is identical at any setting, only the wall-clock changes (the
 // paper's §6.4 analysis shows search round-trips dominate the running time).
+// The tool is the CLI face of the v1 service API: flags map one-to-one onto
+// AnnotateRequest fields, and invalid flag values surface the service's
+// typed errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +35,7 @@ func main() {
 		noPost   = flag.Bool("no-post", false, "disable the §5.3 post-processing")
 		disambig = flag.Bool("disambig", true, "enable §5.2.2 spatial disambiguation")
 		seed     = flag.Int64("seed", 42, "system seed")
-		scale    = flag.String("scale", "small", "system scale: small | full")
+		scale    = flag.String("scale", repro.ScaleSmall, "system scale: small | full")
 		explain  = flag.Bool("explain", false, "print the per-cell decision trace instead of the annotation summary")
 		parallel = flag.Int("parallel", 1, "cell-query parallelism (identical output at any setting)")
 	)
@@ -65,37 +69,63 @@ func main() {
 		}
 	}
 
-	fmt.Fprintln(os.Stderr, "building annotation system...")
-	sys := repro.NewSystem(repro.Options{Seed: *seed, Scale: *scale})
-	a := sys.Annotator()
-	a.K = *k
-	a.Postprocess = !*noPost
-	a.Disambiguate = *disambig
-	a.Parallelism = *parallel
-	if *typesArg != "" {
-		a.Types = strings.Split(*typesArg, ",")
+	ctx := context.Background()
+	fmt.Fprintln(os.Stderr, "building annotation service...")
+	svc, err := repro.New(ctx,
+		repro.WithSeed(*seed),
+		repro.WithScale(*scale),
+		repro.WithParallelism(*parallel),
+	)
+	if err != nil {
+		fatal(err)
 	}
 
+	req := &repro.AnnotateRequest{
+		Table:        tbl,
+		K:            *k,
+		Postprocess:  repro.ToggleOn,
+		Disambiguate: repro.ToggleOn,
+	}
+	if *noPost {
+		req.Postprocess = repro.ToggleOff
+	}
+	if !*disambig {
+		req.Disambiguate = repro.ToggleOff
+	}
+	if *typesArg != "" {
+		req.Types = strings.Split(*typesArg, ",")
+	}
+
+	// Trace-only mode: Explain pays one engine pass, not the annotate
+	// pass plus a trace pass.
 	if *explain {
-		for _, e := range a.ExplainTable(tbl) {
-			fmt.Println(e)
+		trace, err := svc.Explain(ctx, req)
+		if err != nil {
+			fatal(err)
+		}
+		for _, line := range trace {
+			fmt.Println(line)
 		}
 		return
 	}
 
-	res := a.AnnotateTable(tbl)
+	resp, err := svc.Annotate(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+
 	fmt.Printf("table %s: %d rows x %d cols, %d queries issued\n",
-		tbl.Name, tbl.NumRows(), tbl.NumCols(), res.Queries)
-	if len(res.Annotations) == 0 {
+		tbl.Name, resp.Stats.Rows, resp.Stats.Cols, resp.Stats.Queries)
+	if len(resp.Annotations) == 0 {
 		fmt.Println("no entities found")
 		return
 	}
 	fmt.Printf("%-4s %-4s %-35s %-18s %s\n", "row", "col", "cell", "type", "score")
-	for _, ann := range res.Annotations {
+	for _, ann := range resp.Annotations {
 		fmt.Printf("%-4d %-4d %-35s %-18s %.2f\n",
 			ann.Row, ann.Col, clip(tbl.Cell(ann.Row, ann.Col), 34), ann.Type, ann.Score)
 	}
-	for reason, n := range res.Skipped {
+	for reason, n := range resp.Stats.Skipped {
 		fmt.Fprintf(os.Stderr, "skipped %d cells: %s\n", n, reason)
 	}
 }

@@ -1,0 +1,207 @@
+// Command loadgen measures end-to-end throughput of a running cmd/serve
+// instance: it builds tables from the same seeded synthetic universe the
+// server annotates, fires them at POST /v1/annotate from a bounded pool of
+// concurrent clients, and reports throughput, latency percentiles and the
+// server-side query counts.
+//
+// Usage:
+//
+//	loadgen [-addr http://localhost:8080] [-n 100] [-c 8] [-rows 5]
+//	        [-seed 42] [-distinct] [-timeout 30s]
+//
+// -seed must match the server's seed for the tables to name entities the
+// server's corpus knows. By default every request reuses the same small pool
+// of entity names, so a server started with -share-cache converges to cache
+// hits — the realistic steady state for repeated corpora. -distinct suffixes
+// every cell with the request index instead, forcing unique queries and
+// exercising the full search path on every request.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/table"
+	"repro/internal/world"
+)
+
+// options are the parsed flags; separated from main so tests can drive run.
+type options struct {
+	addr     string
+	n        int
+	c        int
+	rows     int
+	seed     int64
+	distinct bool
+	timeout  time.Duration
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "http://localhost:8080", "base URL of the serve instance")
+	flag.IntVar(&opts.n, "n", 100, "total requests to send")
+	flag.IntVar(&opts.c, "c", 8, "concurrent clients")
+	flag.IntVar(&opts.rows, "rows", 5, "rows per request table")
+	flag.Int64Var(&opts.seed, "seed", 42, "universe seed (must match the server)")
+	flag.BoolVar(&opts.distinct, "distinct", false, "make every cell value unique (defeats the server's query cache)")
+	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+	os.Exit(run(opts, os.Stdout, os.Stderr))
+}
+
+// run executes the load test and returns the process exit code.
+func run(opts options, stdout, stderr io.Writer) int {
+	if opts.n <= 0 || opts.c <= 0 || opts.rows <= 0 {
+		fmt.Fprintln(stderr, "loadgen: -n, -c and -rows must be positive")
+		return 2
+	}
+
+	// The same small-scale universe the server builds: its entity names
+	// are the workload.
+	w := world.Generate(world.Config{Seed: opts.seed, KBPerType: 60})
+	ents := w.TableEntities(world.Restaurant)
+	if len(ents) == 0 {
+		fmt.Fprintln(stderr, "loadgen: universe has no restaurant entities")
+		return 1
+	}
+
+	bodies := make([][]byte, opts.n)
+	for i := range bodies {
+		bodies[i] = requestBody(i, opts.rows, ents, opts.distinct)
+	}
+
+	client := &http.Client{Timeout: opts.timeout}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		statuses  = map[int]int{}
+		queries   int
+		annotated int
+		firstErr  error
+	)
+	startAll := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for worker := 0; worker < opts.c; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				status, resp, err := post(client, opts.addr+"/v1/annotate", bodies[i])
+				lat := time.Since(start)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					statuses[status]++
+					latencies = append(latencies, lat)
+					if resp != nil {
+						queries += resp.Stats.Queries
+						annotated += resp.Stats.Annotated
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opts.n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(startAll)
+
+	if firstErr != nil {
+		fmt.Fprintln(stderr, "loadgen: request error:", firstErr)
+	}
+	ok := statuses[http.StatusOK]
+	fmt.Fprintf(stdout, "sent %d requests in %v (%.1f req/s) with %d clients\n",
+		opts.n, wall.Round(time.Millisecond), float64(opts.n)/wall.Seconds(), opts.c)
+	fmt.Fprintf(stdout, "status: ")
+	codes := make([]int, 0, len(statuses))
+	for code := range statuses {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		fmt.Fprintf(stdout, "%d×%d ", statuses[code], code)
+	}
+	fmt.Fprintln(stdout)
+	if ok > 0 {
+		fmt.Fprintf(stdout, "server work: %d annotations, %d search queries (%.1f queries/request)\n",
+			annotated, queries, float64(queries)/float64(ok))
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(latencies, 50), pct(latencies, 90), pct(latencies, 99), latencies[len(latencies)-1].Round(time.Millisecond))
+	}
+	if firstErr != nil || ok == 0 {
+		return 1
+	}
+	return 0
+}
+
+// requestBody builds one /v1/annotate JSON body: a Name/Phone restaurant
+// table like the paper's efficiency analysis uses.
+func requestBody(reqIndex, rows int, ents []*world.Entity, distinct bool) []byte {
+	tbl := table.New(fmt.Sprintf("load-%d", reqIndex),
+		table.Column{Header: "Name", Type: table.Text},
+		table.Column{Header: "Phone", Type: table.Text},
+	)
+	for r := 0; r < rows; r++ {
+		e := ents[(reqIndex*rows+r)%len(ents)]
+		name := e.Name
+		if distinct {
+			name = fmt.Sprintf("%s %d-%d", name, reqIndex, r)
+		}
+		if err := tbl.AppendRow(name, e.Phone); err != nil {
+			panic(err)
+		}
+	}
+	var tblJSON bytes.Buffer
+	if err := table.WriteJSON(&tblJSON, tbl); err != nil {
+		panic(err)
+	}
+	body, err := json.Marshal(server.AnnotateRequestJSON{Table: tblJSON.Bytes()})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
+func post(client *http.Client, url string, body []byte) (int, *server.AnnotateResponseJSON, error) {
+	httpResp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return httpResp.StatusCode, nil, nil
+	}
+	var resp server.AnnotateResponseJSON
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return httpResp.StatusCode, nil, err
+	}
+	return httpResp.StatusCode, &resp, nil
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx].Round(time.Millisecond)
+}

@@ -1,0 +1,103 @@
+package main
+
+// run() is exercised against stub HTTP servers so the load generator's
+// request construction, response accounting and exit codes stay tested
+// without building a real annotation service.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/table"
+)
+
+func stubAnnotateServer(t *testing.T, status int) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/annotate" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request: %s %s", r.Method, r.URL.Path)
+		}
+		var wire server.AnnotateRequestJSON
+		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+			t.Errorf("request body: %v", err)
+		}
+		tbl, err := table.ReadJSON(bytes.NewReader(wire.Table))
+		if err != nil {
+			t.Errorf("request table: %v", err)
+		}
+		w.WriteHeader(status)
+		if status == http.StatusOK {
+			resp := server.AnnotateResponseJSON{
+				Annotations: []server.AnnotationJSON{{Row: 1, Col: 1, Type: "restaurant", Score: 1}},
+				Stats:       server.StatsJSON{Rows: tbl.NumRows(), Cols: tbl.NumCols(), Annotated: 1, Queries: tbl.NumRows()},
+			}
+			if err := json.NewEncoder(w).Encode(resp); err != nil {
+				t.Error(err)
+			}
+		}
+	}))
+}
+
+func TestRunAgainstStubServer(t *testing.T) {
+	ts := stubAnnotateServer(t, http.StatusOK)
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run(options{addr: ts.URL, n: 20, c: 4, rows: 3, seed: 42, timeout: 5 * time.Second}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run() = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"sent 20 requests", "20×200", "server work: 20 annotations", "latency: p50="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllRejected(t *testing.T) {
+	ts := stubAnnotateServer(t, http.StatusTooManyRequests)
+	defer ts.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run(options{addr: ts.URL, n: 4, c: 2, rows: 1, seed: 42, timeout: 5 * time.Second}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run() with all-429 = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "4×429") {
+		t.Errorf("output missing the 429 count:\n%s", stdout.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(options{n: 0, c: 1, rows: 1}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run() with n=0 = %d, want 2", code)
+	}
+}
+
+func TestRequestBodyDistinct(t *testing.T) {
+	ts := stubAnnotateServer(t, http.StatusOK)
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	code := run(options{addr: ts.URL, n: 2, c: 1, rows: 2, seed: 42, distinct: true, timeout: 5 * time.Second}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run() = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestPct(t *testing.T) {
+	ds := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond, 100 * time.Millisecond}
+	if got := pct(ds, 50); got != 3*time.Millisecond {
+		t.Errorf("p50 = %v, want 3ms", got)
+	}
+	if got := pct(ds, 99); got != 100*time.Millisecond {
+		t.Errorf("p99 = %v, want 100ms", got)
+	}
+}

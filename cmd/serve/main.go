@@ -1,0 +1,107 @@
+// Command serve exposes the annotation pipeline as an HTTP/JSON service —
+// the paper's algorithm behind the v1 request/response API:
+//
+//	POST /v1/annotate        annotate one table
+//	POST /v1/annotate:batch  annotate several tables over the worker pool
+//	GET  /healthz            liveness
+//	GET  /statz              serving and cache statistics
+//
+// Usage:
+//
+//	serve [-addr :8080] [-seed 42] [-scale small|full] [-classifier svm|bayes]
+//	      [-parallel 8] [-share-cache] [-max-inflight 64] [-max-cells 100000]
+//
+// The server builds the full system (corpus, index, classifiers) before it
+// starts listening, so /healthz answering 200 means the service is ready.
+// SIGINT/SIGTERM drain in-flight requests and shut down gracefully.
+// cmd/loadgen generates load against a running server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Int64("seed", 42, "system seed")
+		scale       = flag.String("scale", repro.ScaleSmall, "system scale: small | full")
+		classifier  = flag.String("classifier", repro.ClassifierSVM, "snippet classifier: svm | bayes")
+		parallel    = flag.Int("parallel", 8, "annotation parallelism (cell queries and batch tables)")
+		shareCache  = flag.Bool("share-cache", true, "share query verdicts across requests (cross-table cache)")
+		maxInflight = flag.Int("max-inflight", 64, "admission control: max concurrently-served annotation requests")
+		maxCells    = flag.Int("max-cells", 100000, "reject tables larger than this many cells")
+		maxBatch    = flag.Int("max-batch", 32, "max requests per /v1/annotate:batch call")
+	)
+	flag.Parse()
+
+	opts := []repro.Option{
+		repro.WithSeed(*seed),
+		repro.WithScale(*scale),
+		repro.WithClassifier(*classifier),
+		repro.WithParallelism(*parallel),
+	}
+	if *shareCache {
+		opts = append(opts, repro.WithSharedCache())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "serve: building system (scale=%s, seed=%d, classifier=%s)...\n", *scale, *seed, *classifier)
+	start := time.Now()
+	svc, err := repro.New(ctx, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "serve: system ready in %v (%d docs indexed)\n",
+		time.Since(start).Round(time.Millisecond), svc.Engine().IndexSize())
+
+	srv := server.New(server.Config{
+		Service:     svc,
+		MaxInFlight: *maxInflight,
+		MaxCells:    *maxCells,
+		MaxBatch:    *maxBatch,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "serve: shutting down (draining in-flight requests)...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "serve: bye")
+}

@@ -1,0 +1,40 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OptionError reports an invalid value passed to one of the functional
+// options of New. It is returned (wrapped-compatible via errors.As) instead
+// of the silent fall-through the legacy NewSystem applies.
+type OptionError struct {
+	// Option is the option name, e.g. "WithScale".
+	Option string
+	// Value is the rejected value, rendered as a string.
+	Value string
+	// Allowed lists the accepted values, when the option has a closed
+	// domain.
+	Allowed []string
+}
+
+func (e *OptionError) Error() string {
+	msg := fmt.Sprintf("repro: %s: invalid value %q", e.Option, e.Value)
+	if len(e.Allowed) > 0 {
+		msg += " (allowed: " + strings.Join(e.Allowed, ", ") + ")"
+	}
+	return msg
+}
+
+// RequestError reports an invalid AnnotateRequest. The serving layer maps it
+// to an HTTP 400 with a typed JSON error body.
+type RequestError struct {
+	// Field is the request field at fault ("table", "types", "k").
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("repro: invalid request: %s: %s", e.Field, e.Reason)
+}

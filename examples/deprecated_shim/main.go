@@ -1,0 +1,62 @@
+// Deprecated shim: the pre-v1 System/Annotator facade running side by side
+// with the v1 request/response API over the same service, demonstrating the
+// migration path and the shim's behavioural guarantee — both paths produce
+// byte-identical annotations. CI builds this example as the
+// API-compatibility check for the deprecated surface.
+//
+//	go run ./examples/deprecated_shim
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"reflect"
+
+	"repro"
+	"repro/internal/world"
+)
+
+func main() {
+	// Legacy construction: NewSystem still works, with its lenient
+	// option handling (an unknown scale or classifier falls back
+	// silently — repro.New would reject it with an *OptionError).
+	sys := repro.NewSystem(repro.Options{Seed: 7, Parallelism: 4})
+
+	tbl := repro.Table{Name: "migration"}
+	tbl.Columns = []repro.Column{{Header: "Name", Type: repro.Text}}
+	w := sys.World()
+	for _, e := range []*world.Entity{
+		w.OfType(world.Museum)[0],
+		w.OfType(world.Restaurant)[0],
+	} {
+		if err := tbl.AppendRow(e.Name); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The legacy path: mutable-field annotator, context-free call.
+	legacy := sys.Annotator().AnnotateTable(&tbl)
+	fmt.Printf("legacy System.Annotator(): %d annotations, %d queries\n",
+		len(legacy.Annotations), legacy.Queries)
+
+	// The v1 path over the SAME service — System.Service() bridges the
+	// shim to the request/response API so migration can proceed one call
+	// site at a time.
+	resp, err := sys.Service().Annotate(context.Background(), &repro.AnnotateRequest{Table: &tbl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v1 Service.Annotate():     %d annotations, %d queries\n",
+		resp.Stats.Annotated, resp.Stats.Queries)
+
+	if !reflect.DeepEqual(legacy.Annotations, resp.Annotations) {
+		log.Fatal("shim guarantee violated: the two paths diverged")
+	}
+	fmt.Println("both paths produced byte-identical annotations ✓")
+
+	// What the strict v1 constructor rejects that the shim accepted:
+	if _, err := repro.New(context.Background(), repro.WithScale("enormous")); err != nil {
+		fmt.Println("repro.New validates options:", err)
+	}
+}

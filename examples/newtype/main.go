@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math/rand"
 
 	"repro"
@@ -18,8 +20,11 @@ import (
 )
 
 func main() {
-	sys := repro.NewSystem(repro.Options{Seed: 5})
-	base := sys.KB()
+	svc, err := repro.New(context.Background(), repro.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := svc.KB()
 
 	// Step 1: the one manual step of the whole pipeline (§6.4) — pick
 	// the root category for the target type.
@@ -46,7 +51,7 @@ func main() {
 	fmt.Printf("sampled %d positive entities, e.g. %q\n", len(positives), positives[0])
 
 	builder := &kb.TrainingBuilder{
-		KB: base, Engine: sys.Engine(),
+		KB: base, Engine: svc.Engine(),
 		SnippetsPerEntity: 8, MaxEntities: 40, Seed: 5,
 	}
 	// Train against a contrast class so the binary distinction is real.

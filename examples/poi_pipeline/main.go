@@ -1,7 +1,7 @@
 // POI pipeline: the paper's motivating application (§1) end to end —
 // retrieve tables from the GFT-style store, discover and annotate their
-// entities, extract the points of interest into an RDF repository and run
-// faceted queries over it.
+// entities through the streaming service API, extract the points of
+// interest into an RDF repository and run faceted queries over it.
 //
 //	go run ./examples/poi_pipeline
 package main
@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/rdf"
@@ -17,16 +18,26 @@ import (
 )
 
 func main() {
-	// Parallelism fans cell queries and tables out over worker pools;
-	// ShareCache lets tables that repeat cell values share verdicts —
-	// both attack the per-row search latency the paper measures in §6.4.
-	sys := repro.NewSystem(repro.Options{Seed: 11, Parallelism: 8, ShareCache: true})
+	ctx := context.Background()
+
+	// WithParallelism fans cell queries and streamed tables out over
+	// worker pools; WithSharedCache lets tables that repeat cell values
+	// share verdicts — both attack the per-row search latency the paper
+	// measures in §6.4.
+	svc, err := repro.New(ctx,
+		repro.WithSeed(11),
+		repro.WithParallelism(8),
+		repro.WithSharedCache(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Load the synthetic GFT dataset into an indexed store and use the
 	// store's keyword index to retrieve candidate restaurant tables, as
 	// the paper does with the GFT search API.
 	store := table.NewStore()
-	for _, t := range sys.Lab().GFT.Tables {
+	for _, t := range svc.Lab().GFT.Tables {
 		if err := store.Add(t); err != nil {
 			log.Fatal(err)
 		}
@@ -35,20 +46,29 @@ func main() {
 	fmt.Printf("store holds %d tables; %d match keyword 'restaurant'\n",
 		store.Len(), len(candidates))
 
-	// Annotate the candidates concurrently through the batch API and
-	// extract POIs into the RDF repository.
-	a := sys.Annotator()
-	results, err := a.AnnotateTables(context.Background(), candidates, 8)
-	if err != nil {
-		log.Fatal(err)
+	// Annotate the candidates through the streaming API — results arrive
+	// per table as each completes — and extract POIs into the RDF
+	// repository as they land.
+	reqs := make([]*repro.AnnotateRequest, len(candidates))
+	for i, t := range candidates {
+		reqs[i] = &repro.AnnotateRequest{Table: t}
 	}
 	repo := rdf.NewStore()
-	x := &rdf.Extractor{Gazetteer: sys.Gazetteer(), MinScore: 0.5}
-	extracted, queries, hits := 0, 0, 0
-	for i, t := range candidates {
-		extracted += x.Extract(t, results[i], repo)
-		queries += results[i].Queries
-		hits += results[i].CacheHits
+	x := &rdf.Extractor{Gazetteer: svc.Gazetteer(), MinScore: 0.5}
+	extracted, queries, hits, done := 0, 0, 0, 0
+	for ev := range svc.AnnotateStream(ctx, reqs) {
+		if ev.Err != nil {
+			log.Fatal(ev.Err)
+		}
+		done++
+		t := candidates[ev.Index]
+		// The extractor consumes the legacy Result shape; rebuild it
+		// from the response's annotations.
+		extracted += x.Extract(t, &repro.Result{Annotations: ev.Response.Annotations}, repo)
+		queries += ev.Response.Stats.Queries
+		hits += ev.Response.CacheStats.Hits
+		fmt.Printf("  [%d/%d] %-24s %d annotations in %v\n",
+			done, len(reqs), t.Name, ev.Response.Stats.Annotated, ev.Response.Timing.Total.Round(time.Millisecond))
 	}
 	fmt.Printf("extracted %d POIs (%d triples) with %d queries, %d cache hits\n",
 		extracted, repo.Len(), queries, hits)

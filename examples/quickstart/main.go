@@ -1,24 +1,31 @@
-// Quickstart: build the annotation system, hand it a small GFT-style table
+// Quickstart: build the annotation service, hand it a small GFT-style table
 // and print which cells contain entities of which types.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/world"
 )
 
 func main() {
-	// NewSystem generates the synthetic universe, indexes its web
-	// corpus, and trains the snippet classifier — everything the §5
-	// pipeline needs. Expensive once; reuse for every table.
-	// Parallelism fans the cell queries of each table out over a worker
-	// pool; the output is identical at any setting.
-	sys := repro.NewSystem(repro.Options{Seed: 7, Parallelism: 4})
+	ctx := context.Background()
+
+	// New generates the synthetic universe, indexes its web corpus, and
+	// trains the snippet classifier — everything the §5 pipeline needs.
+	// Expensive once; reuse the service for every request. Parallelism
+	// fans the cell queries of each table out over a worker pool; the
+	// output is identical at any setting.
+	svc, err := repro.New(ctx, repro.WithSeed(7), repro.WithParallelism(4))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Build a table mixing two museums and a restaurant drawn from the
 	// universe, plus columns that must NOT be annotated.
@@ -28,7 +35,7 @@ func main() {
 		{Header: "Address", Type: repro.Location},
 		{Header: "Phone", Type: repro.Text},
 	}
-	w := sys.World()
+	w := svc.World()
 	for _, e := range []*world.Entity{
 		w.OfType(world.Museum)[0],
 		w.OfType(world.Restaurant)[0],
@@ -40,13 +47,19 @@ func main() {
 		}
 	}
 
-	res := sys.Annotator().AnnotateTable(&tbl)
-	fmt.Printf("annotated %d cells with %d search queries\n", len(res.Annotations), res.Queries)
-	for _, ann := range res.Annotations {
+	// One request, paper defaults: all twelve types, k=10, post-processing
+	// and spatial disambiguation on.
+	resp, err := svc.Annotate(ctx, &repro.AnnotateRequest{Table: &tbl})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("annotated %d cells with %d search queries in %v\n",
+		resp.Stats.Annotated, resp.Stats.Queries, resp.Timing.Total.Round(time.Millisecond))
+	for _, ann := range resp.Annotations {
 		fmt.Printf("  T(%d,%d) = %-30q -> %s (score %.2f)\n",
 			ann.Row, ann.Col, tbl.Cell(ann.Row, ann.Col), ann.Type, ann.Score)
 	}
-	for reason, n := range res.Skipped {
+	for reason, n := range resp.Stats.Skipped {
 		fmt.Printf("  pre-processing skipped %d cells (%s)\n", n, reason)
 	}
 }

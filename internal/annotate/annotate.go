@@ -53,7 +53,7 @@ type Result struct {
 	// shared cross-table cache).
 	Queries int
 	// CacheHits counts unique cell queries answered by the shared
-	// cross-table cache (Annotator.Cache); zero when no cache is set.
+	// cross-table cache (Config.Cache); zero when no cache is set.
 	CacheHits int
 	// CacheMisses counts unique cell queries the shared cache could not
 	// answer — each one cost a search-engine round-trip; zero when no
@@ -61,20 +61,24 @@ type Result struct {
 	CacheMisses int
 }
 
-// Annotator runs the full pipeline of §5 over tables. The pipeline is
-// organised in three stages (see DESIGN.md): plan collects the unique cell
-// queries after pre-processing and spatial augmentation, execute resolves
-// them against the search backend (optionally over a worker pool and through
-// the shared verdict cache), and merge applies the verdicts back to the
-// cells in deterministic row/column order before post-processing. Results
-// are identical at every Parallelism setting.
+// Config is the immutable configuration of one annotation run — the §5
+// pipeline's every knob, fixed before the run starts. A Config value is
+// never mutated by the pipeline, so one Config may drive any number of
+// concurrent runs, and a per-request variant (different Γ, k or toggles) is
+// derived by copying the value and adjusting fields BEFORE the run — the
+// expensive components (classifier, search backend, gazetteer) are shared by
+// reference and never rebuilt.
 //
-// An Annotator is immutable while annotating, so one instance may annotate
-// many tables concurrently (see AnnotateTables).
-type Annotator struct {
-	// Engine is the search backend (steps 1-2 of the algorithm). Any
+// The pipeline is organised in three stages (see DESIGN.md): plan collects
+// the unique cell queries after pre-processing and spatial augmentation,
+// execute resolves them against the search backend (optionally over a worker
+// pool and through the shared verdict cache), and merge applies the verdicts
+// back to the cells in deterministic row/column order before post-processing.
+// Results are identical at every Parallelism setting.
+type Config struct {
+	// Searcher is the search backend (steps 1-2 of the algorithm). Any
 	// Searcher works; the built-in *search.Engine is the usual choice.
-	Engine Searcher
+	Searcher Searcher
 	// Classifier labels snippets with a type from Γ (step 3).
 	Classifier classify.Classifier
 	// Types is Γ, the target types.
@@ -107,50 +111,45 @@ type Annotator struct {
 	// Cache, when non-nil, shares query verdicts across tables and
 	// corpus runs: a unique cell query answered by the cache costs no
 	// search-engine round-trip. Cache keys incorporate k, the type set,
-	// the decision rule and CacheSalt, so annotators that differ in any
-	// of those never exchange verdicts through a shared Cache — but the
-	// classifier and the search backend cannot be fingerprinted, so
-	// annotators that differ in either MUST set distinct CacheSalt
+	// the decision rule and CacheSalt, so configurations that differ in
+	// any of those never exchange verdicts through a shared Cache — but
+	// the classifier and the search backend cannot be fingerprinted, so
+	// configurations that differ in either MUST set distinct CacheSalt
 	// values.
 	Cache *qcache.Cache
-	// CacheSalt namespaces this annotator's entries inside a shared
+	// CacheSalt namespaces this configuration's entries inside a shared
 	// Cache (e.g. "svm" vs "bayes", or per search backend). Ignored
 	// when Cache is nil.
 	CacheSalt string
 }
 
-func (a *Annotator) k() int {
-	if a.K > 0 {
-		return a.K
+func (c Config) k() int {
+	if c.K > 0 {
+		return c.K
 	}
 	return 10
 }
 
 // typeSet returns Γ as a set for membership checks.
-func (a *Annotator) typeSet() map[string]struct{} {
-	s := make(map[string]struct{}, len(a.Types))
-	for _, t := range a.Types {
+func (c Config) typeSet() map[string]struct{} {
+	s := make(map[string]struct{}, len(c.Types))
+	for _, t := range c.Types {
 		s[t] = struct{}{}
 	}
 	return s
 }
 
-// AnnotateTable runs pre-processing, annotation and (optionally)
-// post-processing over one table and returns every cell-level annotation.
-func (a *Annotator) AnnotateTable(t *table.Table) *Result {
-	res, _ := a.annotateExcludingCtx(context.Background(), t, nil)
-	return res
+// Annotate runs pre-processing, annotation and (optionally) post-processing
+// over one table and returns every cell-level annotation. This is the
+// context-first entry point of the pipeline: the execute stage checks ctx
+// between queries (and between worker dispatches) and returns ctx.Err() once
+// the context is done — never a silently-truncated Result. A query already
+// handed to the search backend is not interrupted.
+func (c Config) Annotate(ctx context.Context, t *table.Table) (*Result, error) {
+	return c.annotateExcluding(ctx, t, nil)
 }
 
-// AnnotateTableContext is AnnotateTable with cancellation: the execute stage
-// checks ctx between queries (and between worker dispatches) and returns
-// ctx.Err() once the context is done. A query already handed to the search
-// backend is not interrupted.
-func (a *Annotator) AnnotateTableContext(ctx context.Context, t *table.Table) (*Result, error) {
-	return a.annotateExcludingCtx(ctx, t, nil)
-}
-
-// AnnotateTables annotates a batch of tables, fanning whole tables out over
+// AnnotateBatch annotates a batch of tables, fanning whole tables out over
 // a bounded worker pool of the given parallelism (values <= 1 run
 // sequentially). Results are returned in input order; annotations and
 // scores are identical to annotating each table sequentially. With a shared
@@ -158,11 +157,11 @@ func (a *Annotator) AnnotateTableContext(ctx context.Context, t *table.Table) (*
 // key, so batch-wide query and hit/miss totals are fixed too — though which
 // table's Result records a given miss can vary under concurrency. The first
 // context error aborts the batch.
-func (a *Annotator) AnnotateTables(ctx context.Context, tables []*table.Table, parallelism int) ([]*Result, error) {
+func (c Config) AnnotateBatch(ctx context.Context, tables []*table.Table, parallelism int) ([]*Result, error) {
 	out := make([]*Result, len(tables))
 	if parallelism <= 1 {
 		for i, t := range tables {
-			res, err := a.annotateExcludingCtx(ctx, t, nil)
+			res, err := c.annotateExcluding(ctx, t, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -172,7 +171,7 @@ func (a *Annotator) AnnotateTables(ctx context.Context, tables []*table.Table, p
 	}
 	errs := make([]error, len(tables))
 	if err := runPool(ctx, parallelism, len(tables), func(i int) {
-		out[i], errs[i] = a.annotateExcludingCtx(ctx, tables[i], nil)
+		out[i], errs[i] = c.annotateExcluding(ctx, tables[i], nil)
 	}); err != nil {
 		return nil, err
 	}
@@ -215,30 +214,23 @@ feed:
 	return ctx.Err()
 }
 
-// annotateExcluding is AnnotateTable with a set of cells to leave untouched;
-// the hybrid annotator uses it to send only catalogue-unknown cells to the
-// search engine.
-func (a *Annotator) annotateExcluding(t *table.Table, exclude map[CellKey]bool) *Result {
-	res, _ := a.annotateExcludingCtx(context.Background(), t, exclude)
-	return res
-}
-
-// annotateExcludingCtx runs the three pipeline stages over one table. The
-// error is non-nil only when ctx is cancelled, in which case the partial
-// result is discarded.
-func (a *Annotator) annotateExcludingCtx(ctx context.Context, t *table.Table, exclude map[CellKey]bool) (*Result, error) {
+// annotateExcluding runs the three pipeline stages over one table, leaving
+// the given cells untouched (the hybrid annotator uses the exclusion to send
+// only catalogue-unknown cells to the search engine). The error is non-nil
+// only when ctx is cancelled, in which case the partial result is discarded.
+func (c Config) annotateExcluding(ctx context.Context, t *table.Table, exclude map[CellKey]bool) (*Result, error) {
 	// Check up front so cancellation holds even when every query would
 	// be answered by a warm cache and the execute stage never blocks.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p := a.plan(t, exclude)
+	p := c.plan(t, exclude)
 	res := &Result{Skipped: p.skipped}
-	verdicts, err := a.execute(ctx, p.unique, res)
+	verdicts, err := c.execute(ctx, p.unique, res)
 	if err != nil {
 		return nil, err
 	}
-	a.merge(t, p, verdicts, res)
+	c.merge(t, p, verdicts, res)
 	return res, nil
 }
 
@@ -264,18 +256,18 @@ type tablePlan struct {
 // the engine is the dominant cost (§6.4), so identical cell contents share
 // one query; the query string includes the spatial augmentation so different
 // rows stay distinguishable.
-func (a *Annotator) plan(t *table.Table, exclude map[CellKey]bool) tablePlan {
+func (c Config) plan(t *table.Table, exclude map[CellKey]bool) tablePlan {
 	p := tablePlan{skipped: map[SkipReason]int{}}
 
 	// Spatial context per row, resolved once per table (§5.2.2).
 	var cityByRow map[int]string
-	if a.Disambiguate && a.Gazetteer != nil {
-		cityByRow = a.resolveRowCities(t)
+	if c.Disambiguate && c.Gazetteer != nil {
+		cityByRow = c.resolveRowCities(t)
 	}
 
 	seen := map[string]bool{}
 	for j := 1; j <= t.NumCols(); j++ {
-		if a.Pre.SkipColumn(t.Columns[j-1].Type) {
+		if c.Pre.SkipColumn(t.Columns[j-1].Type) {
 			p.skipped[SkipColumnType] += t.NumRows()
 			continue
 		}
@@ -284,7 +276,7 @@ func (a *Annotator) plan(t *table.Table, exclude map[CellKey]bool) tablePlan {
 				continue
 			}
 			content := strings.TrimSpace(t.Cell(i, j))
-			if reason := a.Pre.Check(content); reason != SkipNone {
+			if reason := c.Pre.Check(content); reason != SkipNone {
 				p.skipped[reason]++
 				continue
 			}
@@ -308,12 +300,12 @@ func (a *Annotator) plan(t *table.Table, exclude map[CellKey]bool) tablePlan {
 // through the cache's singleflight, so one backend query is issued per
 // unique key across all concurrent tables; which table's Result records the
 // miss can vary under concurrency, but totals are fixed by the workload.
-func (a *Annotator) execute(ctx context.Context, queries []string, res *Result) (map[string]qcache.Verdict, error) {
+func (c Config) execute(ctx context.Context, queries []string, res *Result) (map[string]qcache.Verdict, error) {
 	verdicts := make(map[string]qcache.Verdict, len(queries))
-	gamma := a.typeSet()
+	gamma := c.typeSet()
 
-	if a.Cache == nil {
-		resolved, err := a.searchAll(ctx, queries, gamma)
+	if c.Cache == nil {
+		resolved, err := c.searchAll(ctx, queries, gamma)
 		if err != nil {
 			return nil, err
 		}
@@ -324,23 +316,23 @@ func (a *Annotator) execute(ctx context.Context, queries []string, res *Result) 
 		return verdicts, nil
 	}
 
-	prefix := a.cacheKeyPrefix()
+	prefix := c.cacheKeyPrefix()
 	out := make([]qcache.Verdict, len(queries))
 	hit := make([]bool, len(queries))
 	do := func(i int) {
 		q := queries[i]
-		out[i], hit[i] = a.Cache.GetOrCompute(prefix+q, func() qcache.Verdict {
-			return a.searchDecide(q, gamma)
+		out[i], hit[i] = c.Cache.GetOrCompute(prefix+q, func() qcache.Verdict {
+			return c.searchDecide(q, gamma)
 		})
 	}
-	if a.Parallelism <= 1 || len(queries) < 2 {
+	if c.Parallelism <= 1 || len(queries) < 2 {
 		for i := range queries {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			do(i)
 		}
-	} else if err := runPool(ctx, a.Parallelism, len(queries), do); err != nil {
+	} else if err := runPool(ctx, c.Parallelism, len(queries), do); err != nil {
 		return nil, err
 	}
 	for i, q := range queries {
@@ -358,20 +350,20 @@ func (a *Annotator) execute(ctx context.Context, queries []string, res *Result) 
 // searchAll decides every query, fanning out over Parallelism workers when
 // configured. Verdicts are returned positionally. Cancellation is checked
 // between queries; in-flight searches run to completion.
-func (a *Annotator) searchAll(ctx context.Context, queries []string, gamma map[string]struct{}) ([]qcache.Verdict, error) {
+func (c Config) searchAll(ctx context.Context, queries []string, gamma map[string]struct{}) ([]qcache.Verdict, error) {
 	out := make([]qcache.Verdict, len(queries))
-	workers := a.Parallelism
+	workers := c.Parallelism
 	if workers <= 1 || len(queries) < 2 {
 		for i, q := range queries {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out[i] = a.searchDecide(q, gamma)
+			out[i] = c.searchDecide(q, gamma)
 		}
 		return out, nil
 	}
 	if err := runPool(ctx, workers, len(queries), func(i int) {
-		out[i] = a.searchDecide(queries[i], gamma)
+		out[i] = c.searchDecide(queries[i], gamma)
 	}); err != nil {
 		return nil, err
 	}
@@ -379,45 +371,45 @@ func (a *Annotator) searchAll(ctx context.Context, queries []string, gamma map[s
 }
 
 // searchDecide performs one search-backend round-trip and the Eq. 1 decision.
-func (a *Annotator) searchDecide(query string, gamma map[string]struct{}) qcache.Verdict {
-	results := a.Engine.Search(query, a.k())
-	typ, score, ok := a.decide(results, gamma)
+func (c Config) searchDecide(query string, gamma map[string]struct{}) qcache.Verdict {
+	results := c.Searcher.Search(query, c.k())
+	typ, score, ok := c.decide(results, gamma)
 	return qcache.Verdict{Type: typ, Score: score, OK: ok}
 }
 
-// cacheKeyPrefix fingerprints every annotator setting a verdict depends on,
-// except the classifier — that is what CacheSalt is for (see the Cache field
-// doc). Identical prefixes mean verdicts are exchangeable.
-func (a *Annotator) cacheKeyPrefix() string {
-	types := append([]string(nil), a.Types...)
+// cacheKeyPrefix fingerprints every configuration setting a verdict depends
+// on, except the classifier — that is what CacheSalt is for (see the Cache
+// field doc). Identical prefixes mean verdicts are exchangeable.
+func (c Config) cacheKeyPrefix() string {
+	types := append([]string(nil), c.Types...)
 	sort.Strings(types)
-	return fmt.Sprintf("%s\x00k=%d\x00ct=%g\x00%s\x00", a.CacheSalt, a.k(), a.ClusterThreshold, strings.Join(types, ","))
+	return fmt.Sprintf("%s\x00k=%d\x00ct=%g\x00%s\x00", c.CacheSalt, c.k(), c.ClusterThreshold, strings.Join(types, ","))
 }
 
 // merge applies the verdicts back to the planned cells — column-major, the
 // order the original sequential pipeline produced — and then runs the §5.3
 // post-processing when enabled.
-func (a *Annotator) merge(t *table.Table, p tablePlan, verdicts map[string]qcache.Verdict, res *Result) {
+func (c Config) merge(t *table.Table, p tablePlan, verdicts map[string]qcache.Verdict, res *Result) {
 	for _, cq := range p.cells {
 		if v := verdicts[cq.query]; v.OK {
 			res.Annotations = append(res.Annotations, Annotation{Row: cq.cell.Row, Col: cq.cell.Col, Type: v.Type, Score: v.Score})
 		}
 	}
-	if a.Postprocess {
-		a.postprocess(t, res)
+	if c.Postprocess {
+		c.postprocess(t, res)
 	}
 }
 
 // decide turns a result list into an annotation verdict: Eq. 1's majority
 // rule by default, or the cluster-separated variant when ClusterThreshold is
 // set (§5.2's future-work extension, implemented in cluster.go).
-func (a *Annotator) decide(results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
-	if a.ClusterThreshold > 0 {
-		return a.clusterDecide(results, gamma)
+func (c Config) decide(results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
+	if c.ClusterThreshold > 0 {
+		return c.clusterDecide(results, gamma)
 	}
-	counts := make(map[string]int, len(a.Types))
+	counts := make(map[string]int, len(c.Types))
 	for _, r := range results {
-		pred := a.Classifier.Predict(textproc.Extract(r.Snippet))
+		pred := c.Classifier.Predict(textproc.Extract(r.Snippet))
 		if _, inGamma := gamma[pred]; inGamma {
 			counts[pred]++
 		}
@@ -451,11 +443,11 @@ func majorityType(counts map[string]int, k int) (string, float64, bool) {
 // interpretations with the §5.2.2 voting graph across the whole table, and
 // returns the chosen city name per row. Rows without resolvable spatial data
 // are absent from the map.
-func (a *Annotator) resolveRowCities(t *table.Table) map[int]string {
+func (c Config) resolveRowCities(t *table.Table) map[int]string {
 	var interps []disambig.Interpretation
 	for _, j := range t.ColumnIndexesOfType(table.Location) {
 		for i := 1; i <= t.NumRows(); i++ {
-			cands := a.Gazetteer.Geocode(t.Cell(i, j))
+			cands := c.Gazetteer.Geocode(t.Cell(i, j))
 			if len(cands) == 0 {
 				continue
 			}
@@ -468,11 +460,11 @@ func (a *Annotator) resolveRowCities(t *table.Table) map[int]string {
 	if len(interps) == 0 {
 		return nil
 	}
-	choice := disambig.Resolve(interps, a.Gazetteer)
+	choice := disambig.Resolve(interps, c.Gazetteer)
 	out := make(map[int]string)
 	for cell, loc := range choice {
-		if city := a.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
-			out[cell.Row] = a.Gazetteer.Name(city)
+		if city := c.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
+			out[cell.Row] = c.Gazetteer.Name(city)
 		}
 	}
 	return out

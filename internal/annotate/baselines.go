@@ -45,10 +45,10 @@ func TIN(t *table.Table, types []string, pre Preprocessor) *Result {
 // TIS is the TypeInSnippet baseline of §6.2: query the engine with the cell
 // content and annotate with type t iff the majority of the retrieved
 // snippets contain the name of t; the score follows Eq. 1.
-func (a *Annotator) TIS(t *table.Table) *Result {
+func (c Config) TIS(t *table.Table) *Result {
 	res := &Result{Skipped: map[SkipReason]int{}}
-	stemmed := make(map[string][]string, len(a.Types))
-	for _, typ := range a.Types {
+	stemmed := make(map[string][]string, len(c.Types))
+	for _, typ := range c.Types {
 		stemmed[typ] = textproc.NormalizeTokens(typ)
 	}
 	type verdict struct {
@@ -57,19 +57,19 @@ func (a *Annotator) TIS(t *table.Table) *Result {
 	}
 	cache := map[string]verdict{}
 	for j := 1; j <= t.NumCols(); j++ {
-		if a.Pre.SkipColumn(t.Columns[j-1].Type) {
+		if c.Pre.SkipColumn(t.Columns[j-1].Type) {
 			res.Skipped[SkipColumnType] += t.NumRows()
 			continue
 		}
 		for i := 1; i <= t.NumRows(); i++ {
 			content := strings.TrimSpace(t.Cell(i, j))
-			if reason := a.Pre.Check(content); reason != SkipNone {
+			if reason := c.Pre.Check(content); reason != SkipNone {
 				res.Skipped[reason]++
 				continue
 			}
 			v, ok := cache[content]
 			if !ok {
-				results := a.Engine.Search(content, a.k())
+				results := c.Searcher.Search(content, c.k())
 				res.Queries++
 				counts := map[string]int{}
 				for _, r := range results {

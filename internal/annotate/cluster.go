@@ -16,7 +16,7 @@ import (
 // Eq. 1 majority rule is applied within that cluster only. The score keeps
 // Eq. 1's form, s_t over the number of snippets retrieved, so scores remain
 // comparable with the flat rule for the Eq. 2 post-processing.
-func (a *Annotator) clusterDecide(results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
+func (c Config) clusterDecide(results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
 	if len(results) == 0 {
 		return "", 0, false
 	}
@@ -24,19 +24,19 @@ func (a *Annotator) clusterDecide(results []search.Result, gamma map[string]stru
 	for i, r := range results {
 		feats[i] = textproc.Extract(r.Snippet)
 	}
-	clusters := leaderCluster(feats, a.ClusterThreshold)
+	clusters := leaderCluster(feats, c.ClusterThreshold)
 
 	// The dominant sense is the biggest cluster; ties keep the earlier
 	// cluster (whose leader ranked higher).
 	best := 0
-	for c := 1; c < len(clusters); c++ {
-		if len(clusters[c]) > len(clusters[best]) {
-			best = c
+	for ci := 1; ci < len(clusters); ci++ {
+		if len(clusters[ci]) > len(clusters[best]) {
+			best = ci
 		}
 	}
-	counts := make(map[string]int, len(a.Types))
+	counts := make(map[string]int, len(c.Types))
 	for _, idx := range clusters[best] {
-		pred := a.Classifier.Predict(feats[idx])
+		pred := c.Classifier.Predict(feats[idx])
 		if _, in := gamma[pred]; in {
 			counts[pred]++
 		}
@@ -57,9 +57,9 @@ func leaderCluster(feats []textproc.Features, threshold float64) [][]int {
 	var leaders []textproc.Features
 	for i, f := range feats {
 		placed := false
-		for c, leader := range leaders {
+		for ci, leader := range leaders {
 			if cosine(f, leader) >= threshold {
-				clusters[c] = append(clusters[c], i)
+				clusters[ci] = append(clusters[ci], i)
 				placed = true
 				break
 			}

@@ -1,6 +1,10 @@
 package annotate
 
-import "repro/internal/table"
+import (
+	"context"
+
+	"repro/internal/table"
+)
 
 // Hybrid combines a catalogue annotator with the discovery pipeline — the
 // integration the paper proposes as future work in §6.4: "use Limaye to
@@ -27,10 +31,10 @@ func (h *Hybrid) AnnotateTable(t *table.Table) *Result {
 
 	// Run discovery with post-processing deferred so Eq. 2 sees the
 	// merged annotation set.
-	disc := *h.Discovery
-	post := disc.Postprocess
-	disc.Postprocess = false
-	discRes := disc.annotateExcluding(t, known)
+	cfg := h.Discovery.Config()
+	post := cfg.Postprocess
+	cfg.Postprocess = false
+	discRes := mustResult(cfg.annotateExcluding(context.Background(), t, known))
 
 	merged := &Result{
 		Annotations: append(append([]Annotation(nil), catRes.Annotations...), discRes.Annotations...),
@@ -40,7 +44,7 @@ func (h *Hybrid) AnnotateTable(t *table.Table) *Result {
 		CacheMisses: discRes.CacheMisses,
 	}
 	if post {
-		h.Discovery.postprocess(t, merged)
+		h.Discovery.Config().postprocess(t, merged)
 	}
 	return merged
 }

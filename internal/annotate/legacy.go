@@ -1,0 +1,119 @@
+package annotate
+
+import (
+	"context"
+
+	"repro/internal/classify"
+	"repro/internal/gazetteer"
+	"repro/internal/qcache"
+	"repro/internal/table"
+)
+
+// Annotator is the legacy mutable-field facade over the pipeline, kept for
+// the pre-service API (repro.System.Annotator) and the existing tests and
+// examples. Each call snapshots the fields into an immutable Config and runs
+// the config-based pipeline, so results are identical to driving a Config
+// directly; new code should construct a Config (or go through repro.Service)
+// instead of mutating Annotator fields between calls.
+//
+// An Annotator must not be mutated while annotating; with that rule one
+// instance may annotate many tables concurrently (see AnnotateTables).
+type Annotator struct {
+	// Engine is the search backend (steps 1-2 of the algorithm). Any
+	// Searcher works; the built-in *search.Engine is the usual choice.
+	Engine Searcher
+	// Classifier labels snippets with a type from Γ (step 3).
+	Classifier classify.Classifier
+	// Types is Γ, the target types.
+	Types []string
+	// K is the number of snippets fetched per query; 0 selects 10, the
+	// paper's setting.
+	K int
+	// Pre is the §5.1 pre-processor.
+	Pre Preprocessor
+	// Postprocess enables the §5.3 spurious-annotation elimination.
+	Postprocess bool
+	// Disambiguate enables the §5.2.2 spatial query augmentation; it
+	// requires Gazetteer.
+	Disambiguate bool
+	// Gazetteer geocodes Location-column cells for disambiguation.
+	Gazetteer *gazetteer.Gazetteer
+	// ClusterThreshold, when positive, selects the cluster-separated
+	// decision rule; see Config.ClusterThreshold.
+	ClusterThreshold float64
+	// Parallelism bounds the execute-stage worker pool; see
+	// Config.Parallelism.
+	Parallelism int
+	// Cache shares query verdicts across tables; see Config.Cache.
+	Cache *qcache.Cache
+	// CacheSalt namespaces this annotator's entries inside a shared
+	// Cache; see Config.CacheSalt.
+	CacheSalt string
+}
+
+// Config snapshots the annotator's fields into the immutable per-run
+// configuration the pipeline executes.
+func (a *Annotator) Config() Config {
+	return Config{
+		Searcher:         a.Engine,
+		Classifier:       a.Classifier,
+		Types:            a.Types,
+		K:                a.K,
+		Pre:              a.Pre,
+		Postprocess:      a.Postprocess,
+		Disambiguate:     a.Disambiguate,
+		Gazetteer:        a.Gazetteer,
+		ClusterThreshold: a.ClusterThreshold,
+		Parallelism:      a.Parallelism,
+		Cache:            a.Cache,
+		CacheSalt:        a.CacheSalt,
+	}
+}
+
+func (a *Annotator) k() int { return a.Config().k() }
+
+// AnnotateTable runs pre-processing, annotation and (optionally)
+// post-processing over one table and returns every cell-level annotation.
+// It is the context-free convenience wrapper over Config.Annotate.
+func (a *Annotator) AnnotateTable(t *table.Table) *Result {
+	return mustResult(a.Config().Annotate(context.Background(), t))
+}
+
+// AnnotateTableContext is AnnotateTable with cancellation; it is
+// Config.Annotate on a snapshot of the annotator's fields.
+func (a *Annotator) AnnotateTableContext(ctx context.Context, t *table.Table) (*Result, error) {
+	return a.Config().Annotate(ctx, t)
+}
+
+// AnnotateTables annotates a batch of tables over a bounded worker pool; it
+// is Config.AnnotateBatch on a snapshot of the annotator's fields.
+func (a *Annotator) AnnotateTables(ctx context.Context, tables []*table.Table, parallelism int) ([]*Result, error) {
+	return a.Config().AnnotateBatch(ctx, tables, parallelism)
+}
+
+// ExplainTable runs the annotation pipeline in tracing mode; it is
+// Config.Explain on a snapshot of the annotator's fields.
+func (a *Annotator) ExplainTable(t *table.Table) []CellExplanation {
+	out, err := a.Config().Explain(context.Background(), t)
+	if err != nil {
+		// Unreachable: a background context never cancels.
+		panic("annotate: background-context explain failed: " + err.Error())
+	}
+	return out
+}
+
+// TIS runs the TypeInSnippet baseline of §6.2; see Config.TIS.
+func (a *Annotator) TIS(t *table.Table) *Result {
+	return a.Config().TIS(t)
+}
+
+// mustResult unwraps a pipeline run that cannot have failed: the only error
+// the pipeline returns is ctx.Err(), and every caller of mustResult runs
+// under context.Background(), which never cancels. The panic guards the
+// invariant instead of silently returning a truncated Result.
+func mustResult(res *Result, err error) *Result {
+	if err != nil {
+		panic("annotate: background-context run failed: " + err.Error())
+	}
+	return res
+}

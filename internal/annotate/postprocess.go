@@ -16,7 +16,7 @@ import (
 // j (repeated values like the "Museum" column of Figure 8 are damped by
 // 1/o_ij), and keep only the annotations of t that sit in the
 // highest-scoring column.
-func (a *Annotator) postprocess(t *table.Table, res *Result) {
+func (c Config) postprocess(t *table.Table, res *Result) {
 	// Occurrence counts per column.
 	occ := make([]map[string]int, t.NumCols()+1)
 	for j := 1; j <= t.NumCols(); j++ {

@@ -1,6 +1,7 @@
 package annotate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,26 +62,31 @@ func sortedVoteTypes(votes map[string]int) []string {
 	return types
 }
 
-// ExplainTable runs the annotation pipeline in tracing mode and returns one
+// Explain runs the annotation pipeline in tracing mode and returns one
 // explanation per cell (post-processing is not applied: explanations show
 // the raw Eq. 1 decisions the column-coherence step would then filter).
-func (a *Annotator) ExplainTable(t *table.Table) []CellExplanation {
-	gamma := a.typeSet()
+// Like Annotate, ctx is checked between cell queries: a cancelled trace
+// returns ctx.Err() instead of finishing its remaining round-trips.
+func (c Config) Explain(ctx context.Context, t *table.Table) ([]CellExplanation, error) {
+	gamma := c.typeSet()
 	var cityByRow map[int]string
-	if a.Disambiguate && a.Gazetteer != nil {
-		cityByRow = a.resolveRowCities(t)
+	if c.Disambiguate && c.Gazetteer != nil {
+		cityByRow = c.resolveRowCities(t)
 	}
 	var out []CellExplanation
 	for j := 1; j <= t.NumCols(); j++ {
-		colSkipped := a.Pre.SkipColumn(t.Columns[j-1].Type)
+		colSkipped := c.Pre.SkipColumn(t.Columns[j-1].Type)
 		for i := 1; i <= t.NumRows(); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			content := strings.TrimSpace(t.Cell(i, j))
 			e := CellExplanation{Row: i, Col: j, Content: content}
 			switch {
 			case colSkipped:
 				e.Skipped = SkipColumnType
 			default:
-				e.Skipped = a.Pre.Check(content)
+				e.Skipped = c.Pre.Check(content)
 			}
 			if e.Skipped != SkipNone {
 				out = append(out, e)
@@ -90,11 +96,11 @@ func (a *Annotator) ExplainTable(t *table.Table) []CellExplanation {
 			if city := cityByRow[i]; city != "" && !strings.Contains(strings.ToLower(content), strings.ToLower(city)) {
 				e.Query = content + " " + city
 			}
-			results := a.Engine.Search(e.Query, a.k())
+			results := c.Searcher.Search(e.Query, c.k())
 			e.Retrieved = len(results)
 			e.Votes = map[string]int{}
 			for _, r := range results {
-				pred := a.Classifier.Predict(textproc.Extract(r.Snippet))
+				pred := c.Classifier.Predict(textproc.Extract(r.Snippet))
 				if _, in := gamma[pred]; in {
 					e.Votes[pred]++
 				}
@@ -105,5 +111,5 @@ func (a *Annotator) ExplainTable(t *table.Table) []CellExplanation {
 			out = append(out, e)
 		}
 	}
-	return out
+	return out, nil
 }

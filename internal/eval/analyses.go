@@ -29,10 +29,10 @@ func (l *Lab) KSweep(ks []int) []KSweepRow {
 		if l.Cache == nil {
 			results = l.memoRun(l.SVM, true, false, k, 0)
 		} else {
-			a := l.annotator(l.SVM, true, false)
-			a.K = k
-			a.Cache = nil
-			results = l.runAnnotator(l.GFT, a)
+			cfg := l.config(l.SVM, true, false)
+			cfg.K = k
+			cfg.Cache = nil
+			results = l.runConfig(l.GFT, cfg)
 		}
 		per := ScoreDataset(l.GFT, results)
 		rows = append(rows, KSweepRow{
@@ -195,7 +195,7 @@ func AmbiguitySweep(rates []float64, base LabConfig) []AmbiguitySweepRow {
 		cfg := base
 		cfg.AmbiguityRate = rate
 		l := NewLab(cfg)
-		per := ScoreDataset(l.GFT, l.runAnnotator(l.GFT, l.annotator(l.SVM, true, false)))
+		per := ScoreDataset(l.GFT, l.runConfig(l.GFT, l.config(l.SVM, true, false)))
 		_, _, peopleF := MacroAverage(per, peopleNames)
 		_, _, poiF := MacroAverage(per, poiNames)
 		rows = append(rows, AmbiguitySweepRow{Rate: rate, PeopleF: peopleF, POIF: poiF})
@@ -231,9 +231,9 @@ func (l *Lab) HybridAnalysis() HybridReport {
 	if l.Cache == nil {
 		discRes = l.memoRun(l.SVM, true, false, l.Cfg.K, 0)
 	} else {
-		disc := l.annotator(l.SVM, true, false)
-		disc.Cache = nil
-		discRes = l.runAnnotator(l.GFT, disc)
+		cfg := l.config(l.SVM, true, false)
+		cfg.Cache = nil
+		discRes = l.runConfig(l.GFT, cfg)
 	}
 	discPer := ScoreDataset(l.GFT, discRes)
 	rep.DiscoveryQueries = sumQueries(discRes)

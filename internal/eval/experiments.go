@@ -12,8 +12,28 @@ import (
 	"repro/internal/world"
 )
 
-// annotator builds the paper's annotator over the lab's components, wired to
-// the lab's parallelism and (when enabled) its cross-table verdict cache.
+// config builds the paper's pipeline configuration over the lab's
+// components, wired to the lab's parallelism and (when enabled) its
+// cross-table verdict cache. Analyses that need a variant (different k,
+// cluster threshold, no cache) adjust the returned value before running it —
+// the immutable-config pattern of internal/annotate.
+func (l *Lab) config(clf classify.Classifier, postprocess, disambiguate bool) annotate.Config {
+	return annotate.Config{
+		Searcher:     l.Engine,
+		Classifier:   clf,
+		Types:        TypeStrings(),
+		K:            l.Cfg.K,
+		Postprocess:  postprocess,
+		Disambiguate: disambiguate,
+		Gazetteer:    l.World.Gaz,
+		Parallelism:  l.Cfg.Parallelism,
+		Cache:        l.Cache,
+		CacheSalt:    l.clfName(clf),
+	}
+}
+
+// annotator is the legacy-facade variant of config, kept for the comparators
+// that take an *annotate.Annotator (the hybrid annotator's Discovery field).
 func (l *Lab) annotator(clf classify.Classifier, postprocess, disambiguate bool) *annotate.Annotator {
 	return &annotate.Annotator{
 		Engine:       l.Engine,
@@ -49,11 +69,11 @@ func runDataset(ds *dataset.Dataset, fn func(t *table.Table) *annotate.Result) m
 	return out
 }
 
-// runAnnotator annotates every table of a dataset through the batch API at
-// the lab's configured parallelism; results are keyed by table name and
+// runConfig annotates every table of a dataset through the batch API at the
+// lab's configured parallelism; results are keyed by table name and
 // identical to a sequential run.
-func (l *Lab) runAnnotator(ds *dataset.Dataset, a *annotate.Annotator) map[string]*annotate.Result {
-	results, err := a.AnnotateTables(context.Background(), ds.Tables, l.Cfg.Parallelism)
+func (l *Lab) runConfig(ds *dataset.Dataset, cfg annotate.Config) map[string]*annotate.Result {
+	results, err := cfg.AnnotateBatch(context.Background(), ds.Tables, l.Cfg.Parallelism)
 	if err != nil {
 		// Unreachable: a background context never cancels.
 		panic(err)
@@ -80,10 +100,10 @@ func (l *Lab) memoRun(clf classify.Classifier, postprocess, disambiguate bool, k
 	}
 	l.runMu.Unlock()
 	e.once.Do(func() {
-		a := l.annotator(clf, postprocess, disambiguate)
-		a.K = k
-		a.ClusterThreshold = clusterThreshold
-		e.res = l.runAnnotator(l.GFT, a)
+		cfg := l.config(clf, postprocess, disambiguate)
+		cfg.K = k
+		cfg.ClusterThreshold = clusterThreshold
+		e.res = l.runConfig(l.GFT, cfg)
 	})
 	return e.res
 }
@@ -142,7 +162,7 @@ func (l *Lab) Table1() []Table1Row {
 	tinRes := runDataset(l.GFT, func(t *table.Table) *annotate.Result {
 		return annotate.TIN(t, types, annotate.Preprocessor{})
 	})
-	tisRes := runDataset(l.GFT, l.annotator(l.SVM, false, false).TIS)
+	tisRes := runDataset(l.GFT, l.config(l.SVM, false, false).TIS)
 
 	svm := ScoreDataset(l.GFT, svmRes)
 	bayes := ScoreDataset(l.GFT, bayesRes)
@@ -229,7 +249,7 @@ type ComparisonResult struct {
 // dataset; the paper reports F 0.84 for its algorithm vs 0.8382 for Limaye.
 func (l *Lab) WikiComparison() ComparisonResult {
 	types := TypeStrings()
-	ours := ScoreDataset(l.Wiki, l.runAnnotator(l.Wiki, l.annotator(l.SVM, true, false)))
+	ours := ScoreDataset(l.Wiki, l.runConfig(l.Wiki, l.config(l.SVM, true, false)))
 	cat := &annotate.CatalogueAnnotator{Catalogue: l.KB.Catalogue()}
 	catRes := ScoreDataset(l.Wiki, runDataset(l.Wiki, func(t *table.Table) *annotate.Result {
 		return cat.AnnotateTable(t, types)
@@ -261,11 +281,11 @@ type EfficiencyRow struct {
 // search latency.
 func (l *Lab) Efficiency(sizes []int, latency time.Duration) []EfficiencyRow {
 	ents := l.World.TableEntities(world.Restaurant)
-	a := l.annotator(l.SVM, true, false)
+	cfg := l.config(l.SVM, true, false)
 	// The analysis exists to show the paper's full per-row cost regime,
 	// so the cross-table cache must not collapse the workload (no-op in
 	// the default cache-off configuration).
-	a.Cache = nil
+	cfg.Cache = nil
 	var rows []EfficiencyRow
 	for _, n := range sizes {
 		tbl := table.New("eff",
@@ -285,7 +305,11 @@ func (l *Lab) Efficiency(sizes []int, latency time.Duration) []EfficiencyRow {
 			}
 		}
 		start := time.Now()
-		res := a.AnnotateTable(tbl)
+		res, err := cfg.Annotate(context.Background(), tbl)
+		if err != nil {
+			// Unreachable: a background context never cancels.
+			panic(err)
+		}
 		compute := time.Since(start)
 		est := float64(res.Queries)*latency.Seconds() + compute.Seconds()
 		rows = append(rows, EfficiencyRow{

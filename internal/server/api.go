@@ -1,0 +1,169 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/table"
+)
+
+// Wire format of the v1 HTTP API. The JSON schema is versioned with the
+// route prefix (/v1/) and regression-locked by the service_annotate.golden
+// fixture: changing a field name or adding a field to a response is a wire
+// format change and must update the golden file deliberately.
+
+// AnnotateRequestJSON is the body of POST /v1/annotate.
+type AnnotateRequestJSON struct {
+	// Table is the table to annotate, in the internal/table JSON
+	// interchange format: {"name", "columns": [{"header", "type"}],
+	// "rows": [[...]]}.
+	Table json.RawMessage `json:"table"`
+	// Types restricts Γ; omit to target all twelve types.
+	Types []string `json:"types,omitempty"`
+	// K is the snippets-per-query count; omit for the paper's 10.
+	K int `json:"k,omitempty"`
+	// Postprocess and Disambiguate override the service defaults (both
+	// on); omit to keep the default.
+	Postprocess  *bool `json:"postprocess,omitempty"`
+	Disambiguate *bool `json:"disambiguate,omitempty"`
+	// Trace additionally returns per-cell decision explanations.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// BatchRequestJSON is the body of POST /v1/annotate:batch.
+type BatchRequestJSON struct {
+	Requests []AnnotateRequestJSON `json:"requests"`
+}
+
+// AnnotationJSON is one annotated cell.
+type AnnotationJSON struct {
+	Row   int     `json:"row"`
+	Col   int     `json:"col"`
+	Type  string  `json:"type"`
+	Score float64 `json:"score"`
+}
+
+// StatsJSON mirrors repro.Stats.
+type StatsJSON struct {
+	Rows      int            `json:"rows"`
+	Cols      int            `json:"cols"`
+	Annotated int            `json:"annotated"`
+	Queries   int            `json:"queries"`
+	Skipped   map[string]int `json:"skipped,omitempty"`
+}
+
+// CacheJSON mirrors repro.CacheStats.
+type CacheJSON struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+}
+
+// TimingJSON reports the request's wall-clock cost in milliseconds.
+type TimingJSON struct {
+	TotalMs float64 `json:"total_ms"`
+}
+
+// AnnotateResponseJSON is the body of a successful POST /v1/annotate.
+type AnnotateResponseJSON struct {
+	Annotations []AnnotationJSON  `json:"annotations"`
+	ColumnTypes map[string]string `json:"column_types,omitempty"`
+	Trace       []string          `json:"trace,omitempty"`
+	Stats       StatsJSON         `json:"stats"`
+	Cache       CacheJSON         `json:"cache"`
+	Timing      TimingJSON        `json:"timing"`
+}
+
+// BatchResponseJSON is the body of a successful POST /v1/annotate:batch.
+type BatchResponseJSON struct {
+	Responses []AnnotateResponseJSON `json:"responses"`
+}
+
+// ErrorJSON is the body of every non-2xx response.
+type ErrorJSON struct {
+	Error ErrorBodyJSON `json:"error"`
+}
+
+// ErrorBodyJSON carries the typed error: Code is machine-matchable
+// ("invalid_json", "invalid_request", "table_too_large", "over_capacity",
+// "cancelled"), Message is human-readable.
+type ErrorBodyJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// StatzJSON is the body of GET /statz.
+type StatzJSON struct {
+	UptimeMs    float64    `json:"uptime_ms"`
+	InFlight    int        `json:"in_flight"`
+	MaxInFlight int        `json:"max_in_flight"`
+	Served      int64      `json:"served"`
+	Rejected    int64      `json:"rejected"`
+	Failed      int64      `json:"failed"`
+	Cache       *CacheFull `json:"cache,omitempty"`
+}
+
+// CacheFull is the shared verdict cache's point-in-time state; absent when
+// the service was built without a shared cache.
+type CacheFull struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// HealthJSON is the body of GET /healthz.
+type HealthJSON struct {
+	Status string `json:"status"`
+}
+
+// toRequest parses and validates the wire request into the service request.
+// Table parsing reuses the internal/table JSON reader, so column-type and
+// row-width validation match the rest of the system.
+func (w *AnnotateRequestJSON) toRequest() (*repro.AnnotateRequest, error) {
+	if len(w.Table) == 0 {
+		return nil, &repro.RequestError{Field: "table", Reason: "missing"}
+	}
+	tbl, err := table.ReadJSON(bytes.NewReader(w.Table))
+	if err != nil {
+		return nil, &repro.RequestError{Field: "table", Reason: err.Error()}
+	}
+	return &repro.AnnotateRequest{
+		Table:        tbl,
+		Types:        w.Types,
+		K:            w.K,
+		Postprocess:  repro.ToggleOf(w.Postprocess),
+		Disambiguate: repro.ToggleOf(w.Disambiguate),
+		Trace:        w.Trace,
+	}, nil
+}
+
+// toWire converts a service response to its wire form.
+func toWire(resp *repro.AnnotateResponse) AnnotateResponseJSON {
+	out := AnnotateResponseJSON{
+		// Annotations is always present in the wire format, even when
+		// empty, so clients can range over it without a nil check.
+		Annotations: make([]AnnotationJSON, len(resp.Annotations)),
+		Trace:       resp.Trace,
+		Stats: StatsJSON{
+			Rows:      resp.Stats.Rows,
+			Cols:      resp.Stats.Cols,
+			Annotated: resp.Stats.Annotated,
+			Queries:   resp.Stats.Queries,
+			Skipped:   resp.Stats.Skipped,
+		},
+		Cache:  CacheJSON{Hits: resp.CacheStats.Hits, Misses: resp.CacheStats.Misses},
+		Timing: TimingJSON{TotalMs: float64(resp.Timing.Total) / float64(time.Millisecond)},
+	}
+	for i, ann := range resp.Annotations {
+		out.Annotations[i] = AnnotationJSON{Row: ann.Row, Col: ann.Col, Type: ann.Type, Score: ann.Score}
+	}
+	if len(resp.ColumnTypes) > 0 {
+		out.ColumnTypes = make(map[string]string, len(resp.ColumnTypes))
+		for col, typ := range resp.ColumnTypes {
+			out.ColumnTypes[fmt.Sprint(col)] = typ
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+// Package server is the HTTP/JSON serving layer over repro.Service — the
+// "annotation as a service" surface cmd/serve exposes. It owns the v1 wire
+// format (api.go), request validation with typed error responses, and
+// admission control: a bounded in-flight semaphore sheds load with 429
+// instead of queueing unboundedly, the standard protection for a service
+// whose per-request cost is dominated by backend round-trips.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// Config configures a Server. The zero value of every limit selects a
+// sensible default.
+type Config struct {
+	// Service handles the annotation requests. Required.
+	Service *repro.Service
+	// MaxInFlight bounds concurrently-served table annotations; a batch
+	// call is weighted by its request count, so the bound holds for real
+	// annotation work, not HTTP calls. Work beyond the bound is rejected
+	// with 429. Default 64.
+	MaxInFlight int
+	// MaxCells rejects tables larger than this many cells (rows ×
+	// columns) with 413. Default 100000.
+	MaxCells int
+	// MaxBatch bounds the requests per /v1/annotate:batch call.
+	// Default 32, clamped to MaxInFlight (a larger batch could never be
+	// admitted).
+	MaxBatch int
+	// MaxBodyBytes bounds a request body. Default 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Server routes the v1 API over one repro.Service.
+type Server struct {
+	svc   *repro.Service
+	cfg   Config
+	sem   chan struct{}
+	start time.Time
+
+	served   atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+}
+
+// New builds a Server; it panics when cfg.Service is nil (a wiring bug, not
+// a runtime condition).
+func New(cfg Config) *Server {
+	if cfg.Service == nil {
+		panic("server: Config.Service is nil")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxCells <= 0 {
+		cfg.MaxCells = 100000
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxBatch > cfg.MaxInFlight {
+		cfg.MaxBatch = cfg.MaxInFlight
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	return &Server{
+		svc:   cfg.Service,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+	}
+}
+
+// Handler returns the route table:
+//
+//	POST /v1/annotate        annotate one table
+//	POST /v1/annotate:batch  annotate several tables over the worker pool
+//	GET  /healthz            liveness (the service is built and serving)
+//	GET  /statz              serving and cache statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
+	mux.HandleFunc("POST /v1/annotate:batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	return mux
+}
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for a
+// request whose client cancelled mid-flight; the write usually goes nowhere,
+// but the code keeps access logs honest.
+const statusClientClosedRequest = 499
+
+// admit tries to reserve n slots of the bounded in-flight semaphore —
+// weighted admission, so a batch of 32 tables costs 32 slots, keeping
+// MaxInFlight a bound on real annotation work. Acquisition never blocks: a
+// full server sheds the request immediately with 429 and a Retry-After
+// hint, keeping latency flat instead of queueing into timeout territory.
+// On success the caller must release(n).
+func (s *Server) admit(w http.ResponseWriter, n int) bool {
+	for i := 0; i < n; i++ {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.release(i)
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, "over_capacity",
+				fmt.Sprintf("server is at its in-flight limit of %d table annotations", s.cfg.MaxInFlight))
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) release(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var wire AnnotateRequestJSON
+	if !s.decodeBody(w, r, &wire) {
+		return
+	}
+	req, status, code, msg := s.prepare(&wire)
+	if req == nil {
+		s.writeError(w, status, code, msg)
+		return
+	}
+	if !s.admit(w, 1) {
+		return
+	}
+	defer s.release(1)
+	resp, err := s.svc.Annotate(r.Context(), req)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, toWire(resp))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var wire BatchRequestJSON
+	if !s.decodeBody(w, r, &wire) {
+		return
+	}
+	if len(wire.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "requests is empty")
+		return
+	}
+	if len(wire.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("batch of %d requests exceeds the limit of %d", len(wire.Requests), s.cfg.MaxBatch))
+		return
+	}
+	reqs := make([]*repro.AnnotateRequest, len(wire.Requests))
+	for i := range wire.Requests {
+		req, status, code, msg := s.prepare(&wire.Requests[i])
+		if req == nil {
+			s.writeError(w, status, code, fmt.Sprintf("request %d: %s", i, msg))
+			return
+		}
+		reqs[i] = req
+	}
+	if !s.admit(w, len(reqs)) {
+		return
+	}
+	defer s.release(len(reqs))
+	resps, err := s.svc.AnnotateBatch(r.Context(), reqs)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	out := BatchResponseJSON{Responses: make([]AnnotateResponseJSON, len(resps))}
+	for i, resp := range resps {
+		out.Responses[i] = toWire(resp)
+	}
+	s.served.Add(int64(len(resps)))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthJSON{Status: "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	out := StatzJSON{
+		UptimeMs:    float64(time.Since(s.start)) / float64(time.Millisecond),
+		InFlight:    len(s.sem),
+		MaxInFlight: s.cfg.MaxInFlight,
+		Served:      s.served.Load(),
+		Rejected:    s.rejected.Load(),
+		Failed:      s.failed.Load(),
+	}
+	if c := s.svc.Lab().Cache; c != nil {
+		st := c.Stats()
+		out.Cache = &CacheFull{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// decodeBody strictly decodes the JSON body into dst, writing the typed
+// error response itself when decoding fails.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "table_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "invalid_json", err.Error())
+		return false
+	}
+	return true
+}
+
+// prepare converts one wire request, enforcing the server-side table size
+// limit. On failure it returns a nil request plus the error triple.
+func (s *Server) prepare(wire *AnnotateRequestJSON) (req *repro.AnnotateRequest, status int, code, msg string) {
+	req, err := wire.toRequest()
+	if err != nil {
+		return nil, http.StatusBadRequest, "invalid_request", err.Error()
+	}
+	if cells := req.Table.NumRows() * req.Table.NumCols(); cells > s.cfg.MaxCells {
+		return nil, http.StatusRequestEntityTooLarge, "table_too_large",
+			fmt.Sprintf("table has %d cells, limit is %d", cells, s.cfg.MaxCells)
+	}
+	return req, 0, "", ""
+}
+
+// writeServiceError maps a Service error to the wire: *RequestError -> 400,
+// context cancellation -> 499, anything else -> 500.
+func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
+	var reqErr *repro.RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, statusClientClosedRequest, "cancelled", err.Error())
+	default:
+		s.writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status >= http.StatusInternalServerError || status == statusClientClosedRequest {
+		s.failed.Add(1)
+	}
+	writeJSON(w, status, ErrorJSON{Error: ErrorBodyJSON{Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encode errors after WriteHeader can only come from a dead client;
+	// nothing useful can be written at that point.
+	_ = enc.Encode(v)
+}

@@ -6,13 +6,36 @@
 // column-coherence post-processing step and a spatial toponym-voting
 // disambiguator.
 //
-// The facade in this package wires the full pipeline over the built-in
-// synthetic universe (see DESIGN.md for the substitution table); the
-// underlying packages live in internal/ and are exercised through the
-// examples, the cmd/ tools, and the root benchmark suite.
+// The v1 API is a context-first service built with functional options and a
+// versioned request/response model:
+//
+//	svc, err := repro.New(ctx, repro.WithSeed(7), repro.WithParallelism(4))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	resp, err := svc.Annotate(ctx, &repro.AnnotateRequest{Table: tbl})
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	for _, ann := range resp.Annotations {
+//		fmt.Printf("T(%d,%d) -> %s (%.2f)\n", ann.Row, ann.Col, ann.Type, ann.Score)
+//	}
+//
+// AnnotateBatch annotates many tables over a bounded worker pool, and
+// AnnotateStream emits per-table results as they complete. cmd/serve exposes
+// the same request/response model over HTTP/JSON (POST /v1/annotate), and
+// the pre-v1 System/Annotator facade remains available as a deprecated shim
+// with byte-identical behaviour.
+//
+// The service wires the full pipeline over the built-in synthetic universe
+// (see DESIGN.md for the substitution table); the underlying packages live
+// in internal/ and are exercised through the examples, the cmd/ tools, and
+// the root benchmark suite.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/annotate"
 	"repro/internal/classify"
 	"repro/internal/eval"
@@ -30,10 +53,16 @@ type (
 	// Column is a table column with a GFT type.
 	Column = table.Column
 	// Annotator runs the paper's §5 pipeline.
+	//
+	// Deprecated: Annotator is the pre-v1 mutable-field facade; drive the
+	// pipeline through Service.Annotate with per-request knobs instead.
 	Annotator = annotate.Annotator
 	// Annotation is one annotated cell with its Eq. 1 score.
 	Annotation = annotate.Annotation
 	// Result is the annotation output for one table.
+	//
+	// Deprecated: Result is what the pre-v1 Annotator returns; the v1 API
+	// returns AnnotateResponse.
 	Result = annotate.Result
 )
 
@@ -46,6 +75,11 @@ const (
 )
 
 // Options configures System construction.
+//
+// Deprecated: Options is the pre-v1 configuration struct; use the
+// functional options of New (WithSeed, WithScale, WithClassifier,
+// WithParallelism, WithSharedCache), which validate their values instead of
+// falling back silently.
 type Options struct {
 	// Seed drives every random choice; equal seeds give equal systems.
 	Seed int64
@@ -68,73 +102,98 @@ type Options struct {
 // System is a ready-to-use annotation pipeline over the synthetic universe:
 // a populated search engine, a trained snippet classifier, a knowledge base
 // and a gazetteer.
+//
+// Deprecated: System is the pre-v1 facade, kept as a thin shim over Service
+// with behaviour (and annotation output) preserved exactly. New code should
+// construct a Service with New and use the request/response API.
 type System struct {
-	lab *eval.Lab
-	clf string // Options.Classifier, normalised to "svm" or "bayes"
+	svc *Service
 }
 
 // NewSystem builds the pipeline. The first call does the expensive work
 // (corpus generation, indexing, classifier training); reuse the System for
 // every table you annotate.
+//
+// NewSystem keeps the legacy lenient behaviour: an unknown Options.Scale
+// falls back to "small" and an unknown Options.Classifier to "svm", both
+// silently. New rejects the same inputs with an *OptionError.
+//
+// Deprecated: use New.
 func NewSystem(opts Options) *System {
-	cfg := eval.LabConfig{
-		Seed:        opts.Seed,
-		Parallelism: opts.Parallelism,
-		ShareCache:  opts.ShareCache,
+	o := []Option{WithSeed(opts.Seed)}
+	if opts.Scale == ScaleFull {
+		o = append(o, WithScale(ScaleFull))
 	}
-	if opts.Scale != "full" {
-		cfg.KBPerType = 60
-		cfg.SnippetsPerEntity = 5
-		cfg.MaxTrainEntities = 60
+	if opts.Classifier == ClassifierBayes {
+		o = append(o, WithClassifier(ClassifierBayes))
 	}
-	clf := "svm"
-	if opts.Classifier == "bayes" {
-		clf = "bayes"
+	if opts.Parallelism > 0 {
+		o = append(o, WithParallelism(opts.Parallelism))
 	}
-	return &System{lab: eval.NewLab(cfg), clf: clf}
+	if opts.ShareCache {
+		o = append(o, WithSharedCache())
+	}
+	svc, err := New(context.Background(), o...)
+	if err != nil {
+		// Unreachable: every option above is normalised to a valid value
+		// and a background context never cancels.
+		panic("repro: NewSystem: " + err.Error())
+	}
+	return &System{svc: svc}
 }
+
+// Service returns the v1 service this shim wraps, easing incremental
+// migration: code holding a *System can move call sites to the
+// request/response API one at a time.
+func (s *System) Service() *Service { return s.svc }
 
 // Annotator returns the paper's annotator (post-processing and spatial
 // disambiguation on), configured with all twelve types, the classifier the
 // Options selected, and the system's parallelism and shared query cache.
 // The cache salt follows the classifier so "svm" and "bayes" annotators
 // never exchange verdicts through the shared cache.
+//
+// Deprecated: use Service.Annotate, which applies the same defaults and
+// produces byte-identical annotations.
 func (s *System) Annotator() *Annotator {
+	// Derive from the service's base config — the single source of truth
+	// for the canonical defaults — so shim and service cannot diverge.
+	b := s.svc.base
 	return &annotate.Annotator{
-		Engine:       s.lab.Engine,
-		Classifier:   s.Classifier(s.clf),
-		Types:        eval.TypeStrings(),
-		Postprocess:  true,
-		Disambiguate: true,
-		Gazetteer:    s.lab.World.Gaz,
-		Parallelism:  s.lab.Cfg.Parallelism,
-		Cache:        s.lab.Cache,
-		CacheSalt:    s.clf,
+		Engine:     b.Searcher,
+		Classifier: b.Classifier,
+		// Copied: legacy callers may edit the returned annotator's fields
+		// in place, which must never reach the shared base config.
+		Types:            append([]string(nil), b.Types...),
+		K:                b.K,
+		Pre:              b.Pre,
+		Postprocess:      b.Postprocess,
+		Disambiguate:     b.Disambiguate,
+		Gazetteer:        b.Gazetteer,
+		ClusterThreshold: b.ClusterThreshold,
+		Parallelism:      b.Parallelism,
+		Cache:            b.Cache,
+		CacheSalt:        b.CacheSalt,
 	}
 }
 
 // Classifier exposes the trained snippet classifiers: "svm" or "bayes".
-func (s *System) Classifier(name string) classify.Classifier {
-	if name == "bayes" {
-		return s.lab.Bayes
-	}
-	return s.lab.SVM
-}
+func (s *System) Classifier(name string) classify.Classifier { return s.svc.Classifier(name) }
 
 // Engine exposes the simulated web search engine.
-func (s *System) Engine() *search.Engine { return s.lab.Engine }
+func (s *System) Engine() *search.Engine { return s.svc.Engine() }
 
 // Gazetteer exposes the geocoding substrate.
-func (s *System) Gazetteer() *gazetteer.Gazetteer { return s.lab.World.Gaz }
+func (s *System) Gazetteer() *gazetteer.Gazetteer { return s.svc.Gazetteer() }
 
 // KB exposes the DBpedia-like knowledge base.
-func (s *System) KB() *kb.KB { return s.lab.KB }
+func (s *System) KB() *kb.KB { return s.svc.KB() }
 
 // World exposes the synthetic universe (entities, gold types).
-func (s *System) World() *world.World { return s.lab.World }
+func (s *System) World() *world.World { return s.svc.World() }
 
 // Lab exposes the full experimental apparatus for benchmark harnesses.
-func (s *System) Lab() *eval.Lab { return s.lab }
+func (s *System) Lab() *eval.Lab { return s.svc.Lab() }
 
 // Types returns Γ, the twelve annotation types of the evaluation.
 func Types() []string { return eval.TypeStrings() }

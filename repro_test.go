@@ -96,3 +96,32 @@ func TestNewSystemSmall(t *testing.T) {
 		t.Fatalf("annotator misconfigured: %+v", a)
 	}
 }
+
+// TestNewSystemLegacyOptions exercises the deprecated constructor's lenient
+// option handling: every Options field set, including values repro.New
+// validates strictly, must still produce a working system.
+func TestNewSystemLegacyOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("facade construction test skipped in -short mode")
+	}
+	sys := NewSystem(Options{
+		Seed:        9,
+		Scale:       "galactic", // legacy behaviour: silent fallback to small
+		Classifier:  "bayes",
+		Parallelism: 2,
+		ShareCache:  true,
+	})
+	a := sys.Annotator()
+	if a.Cache == nil {
+		t.Error("ShareCache did not wire the cross-table cache")
+	}
+	if a.CacheSalt != "bayes" {
+		t.Errorf("CacheSalt = %q, want bayes", a.CacheSalt)
+	}
+	if a.Classifier != sys.Classifier("bayes") {
+		t.Error("Annotator classifier is not the bayes classifier")
+	}
+	if a.Parallelism != 2 {
+		t.Errorf("Parallelism = %d, want 2", a.Parallelism)
+	}
+}

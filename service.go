@@ -1,0 +1,542 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/annotate"
+	"repro/internal/classify"
+	"repro/internal/eval"
+	"repro/internal/gazetteer"
+	"repro/internal/kb"
+	"repro/internal/search"
+	"repro/internal/world"
+)
+
+// APIVersion identifies the request/response schema of this package (and of
+// the HTTP wire format cmd/serve exposes under /v1/).
+const APIVersion = "v1"
+
+// Scale values accepted by WithScale.
+const (
+	// ScaleSmall is the fast, demo-quality corpus (the default).
+	ScaleSmall = "small"
+	// ScaleFull is the paper-scale corpus cmd/experiments uses.
+	ScaleFull = "full"
+)
+
+// Classifier names accepted by WithClassifier.
+const (
+	// ClassifierSVM selects the linear SVM snippet classifier (default).
+	ClassifierSVM = "svm"
+	// ClassifierBayes selects the Naive Bayes snippet classifier.
+	ClassifierBayes = "bayes"
+)
+
+// settings accumulates the functional options of New.
+type settings struct {
+	seed        int64
+	scale       string
+	classifier  string
+	parallelism int
+	shareCache  bool
+}
+
+// Option configures New. Options validate eagerly: an invalid value makes
+// New return an *OptionError instead of silently falling back the way the
+// legacy NewSystem does.
+type Option func(*settings) error
+
+// WithSeed sets the seed that drives every random choice; equal seeds give
+// equal services. The default is 0.
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithScale selects the corpus size: ScaleSmall (default) or ScaleFull.
+func WithScale(scale string) Option {
+	return func(s *settings) error {
+		switch scale {
+		case ScaleSmall, ScaleFull:
+			s.scale = scale
+			return nil
+		}
+		return &OptionError{Option: "WithScale", Value: scale, Allowed: []string{ScaleSmall, ScaleFull}}
+	}
+}
+
+// WithClassifier selects the snippet classifier: ClassifierSVM (default) or
+// ClassifierBayes. Both are trained during New; the option picks which one
+// annotates.
+func WithClassifier(name string) Option {
+	return func(s *settings) error {
+		switch name {
+		case ClassifierSVM, ClassifierBayes:
+			s.classifier = name
+			return nil
+		}
+		return &OptionError{Option: "WithClassifier", Value: name, Allowed: []string{ClassifierSVM, ClassifierBayes}}
+	}
+}
+
+// WithParallelism bounds the annotation worker pools: cell queries within a
+// table, and tables within AnnotateBatch/AnnotateStream. Values <= 1 run
+// sequentially (the default); negative values are rejected. Results are
+// identical at any setting — only the wall-clock changes.
+func WithParallelism(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return &OptionError{Option: "WithParallelism", Value: fmt.Sprint(n)}
+		}
+		s.parallelism = n
+		return nil
+	}
+}
+
+// WithSharedCache shares query verdicts across every table the service
+// annotates, so repeated cell values stop costing search round-trips — the
+// cross-table cache motivated by the paper's §6.4 latency analysis. The
+// cache is keyed by classifier, k, type set and decision rule, so requests
+// with different knobs never exchange verdicts.
+func WithSharedCache() Option {
+	return func(s *settings) error {
+		s.shareCache = true
+		return nil
+	}
+}
+
+// Service is the annotation pipeline as a request/response service: one
+// expensive construction (corpus generation, indexing, classifier training)
+// via New, then any number of concurrent Annotate/AnnotateBatch/
+// AnnotateStream calls. A Service is immutable after New; per-request knobs
+// travel in the AnnotateRequest and are applied to a copied pipeline
+// configuration, never to shared state.
+type Service struct {
+	lab         *eval.Lab
+	clf         string
+	parallelism int
+	// base is the immutable pipeline configuration every request derives
+	// from; the expensive components (classifier, engine, gazetteer) are
+	// shared by reference and never rebuilt per request.
+	base annotate.Config
+}
+
+// New builds the service. Construction is the expensive step (it generates
+// the synthetic universe, indexes its web corpus and trains the snippet
+// classifiers); reuse the Service for every request. If ctx is cancelled
+// before the build finishes, New returns ctx.Err() — the abandoned build
+// completes in a background goroutine and is discarded.
+func New(ctx context.Context, opts ...Option) (*Service, error) {
+	st := settings{scale: ScaleSmall, classifier: ClassifierSVM}
+	for _, opt := range opts {
+		if err := opt(&st); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cfg := eval.LabConfig{
+		Seed:        st.seed,
+		Parallelism: st.parallelism,
+		ShareCache:  st.shareCache,
+	}
+	if st.scale != ScaleFull {
+		cfg.KBPerType = 60
+		cfg.SnippetsPerEntity = 5
+		cfg.MaxTrainEntities = 60
+	}
+
+	built := make(chan *eval.Lab, 1)
+	go func() { built <- eval.NewLab(cfg) }()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case lab := <-built:
+		s := &Service{lab: lab, clf: st.classifier, parallelism: st.parallelism}
+		s.base = annotate.Config{
+			Searcher:     lab.Engine,
+			Classifier:   s.Classifier(st.classifier),
+			Types:        eval.TypeStrings(),
+			Postprocess:  true,
+			Disambiguate: true,
+			Gazetteer:    lab.World.Gaz,
+			Parallelism:  st.parallelism,
+			Cache:        lab.Cache,
+			CacheSalt:    st.classifier,
+		}
+		return s, nil
+	}
+}
+
+// Toggle is a three-state request switch for pipeline stages whose service
+// default is on: the zero value keeps the default, ToggleOn and ToggleOff
+// force the stage.
+type Toggle uint8
+
+const (
+	// ToggleDefault keeps the service default (the paper's setting: on).
+	ToggleDefault Toggle = iota
+	// ToggleOn forces the stage on for this request.
+	ToggleOn
+	// ToggleOff forces the stage off for this request.
+	ToggleOff
+)
+
+// apply resolves the toggle against the default.
+func (t Toggle) apply(def bool) bool {
+	switch t {
+	case ToggleOn:
+		return true
+	case ToggleOff:
+		return false
+	}
+	return def
+}
+
+// ToggleOf converts an optional boolean (nil = default) to a Toggle; the
+// HTTP layer uses it to map absent JSON fields.
+func ToggleOf(b *bool) Toggle {
+	switch {
+	case b == nil:
+		return ToggleDefault
+	case *b:
+		return ToggleOn
+	}
+	return ToggleOff
+}
+
+// AnnotateRequest asks the service to annotate one table. The zero value of
+// every knob selects the paper's canonical setting, so
+// &AnnotateRequest{Table: tbl} reproduces the full §5 pipeline.
+type AnnotateRequest struct {
+	// Table is the GFT-style table to annotate. Required.
+	Table *Table
+	// Types restricts Γ to a subset of the service's types; nil keeps all
+	// twelve. Unknown names are rejected with a *RequestError.
+	Types []string
+	// K is the number of snippets fetched per query; 0 selects 10, the
+	// paper's setting.
+	K int
+	// Postprocess toggles the §5.3 spurious-annotation elimination
+	// (default on).
+	Postprocess Toggle
+	// Disambiguate toggles the §5.2.2 spatial query augmentation
+	// (default on).
+	Disambiguate Toggle
+	// Trace additionally returns the per-cell decision explanations
+	// (cmd/annotate's -explain view). The trace pass re-queries the
+	// engine, roughly doubling the request's query cost.
+	Trace bool
+}
+
+// Stats summarises one annotation run.
+type Stats struct {
+	// Rows and Cols are the table's dimensions.
+	Rows, Cols int
+	// Annotated is the number of cell annotations returned.
+	Annotated int
+	// Queries is the number of search-engine queries issued (after the
+	// per-table deduplication and, when configured, the shared cache).
+	Queries int
+	// Skipped counts pre-processing eliminations per reason; nil when
+	// nothing was skipped.
+	Skipped map[string]int
+}
+
+// CacheStats reports the shared cross-table cache's contribution to one
+// request; both are zero when the service was built without WithSharedCache.
+type CacheStats struct {
+	// Hits is the number of unique cell queries answered by the cache.
+	Hits int
+	// Misses is the number that cost a search-engine round-trip.
+	Misses int
+}
+
+// Timing is the request's wall-clock breakdown.
+type Timing struct {
+	// Total is the end-to-end service time of the request, including the
+	// trace pass when one was requested.
+	Total time.Duration
+}
+
+// AnnotateResponse is the result of one AnnotateRequest.
+type AnnotateResponse struct {
+	// Annotations are the annotated cells with their Eq. 1 scores, in
+	// deterministic column-major cell order.
+	Annotations []Annotation
+	// ColumnTypes maps 1-based column index -> the column's semantic
+	// type, derived from the Eq. 2 scores; nil unless post-processing
+	// ran.
+	ColumnTypes map[int]string
+	// Trace holds one human-readable explanation per cell when the
+	// request set Trace.
+	Trace []string
+	// Stats, CacheStats and Timing describe the run.
+	Stats      Stats
+	CacheStats CacheStats
+	Timing     Timing
+}
+
+// requestConfig validates the request and derives its immutable pipeline
+// configuration from the service's base config. No expensive component is
+// rebuilt — the derived config shares the classifier, engine and gazetteer
+// by reference.
+func (s *Service) requestConfig(req *AnnotateRequest) (annotate.Config, error) {
+	var zero annotate.Config
+	if req == nil || req.Table == nil {
+		return zero, &RequestError{Field: "table", Reason: "missing"}
+	}
+	if req.Table.NumCols() == 0 {
+		return zero, &RequestError{Field: "table", Reason: "has no columns"}
+	}
+	if req.K < 0 {
+		return zero, &RequestError{Field: "k", Reason: fmt.Sprintf("must be >= 0, got %d", req.K)}
+	}
+	cfg := s.base
+	if req.Types != nil {
+		if len(req.Types) == 0 {
+			return zero, &RequestError{Field: "types", Reason: "empty (omit the field to target all types)"}
+		}
+		known := make(map[string]bool, len(s.base.Types))
+		for _, t := range s.base.Types {
+			known[t] = true
+		}
+		for _, t := range req.Types {
+			if !known[t] {
+				return zero, &RequestError{Field: "types", Reason: fmt.Sprintf("unknown type %q", t)}
+			}
+		}
+		cfg.Types = append([]string(nil), req.Types...)
+	}
+	if req.K > 0 {
+		cfg.K = req.K
+	}
+	cfg.Postprocess = req.Postprocess.apply(cfg.Postprocess)
+	cfg.Disambiguate = req.Disambiguate.apply(cfg.Disambiguate)
+	return cfg, nil
+}
+
+// Annotate runs one request through the §5 pipeline. It returns a
+// *RequestError for invalid requests and ctx.Err() when the context is
+// cancelled mid-flight — never a silently-truncated response. Safe for
+// concurrent use.
+func (s *Service) Annotate(ctx context.Context, req *AnnotateRequest) (*AnnotateResponse, error) {
+	cfg, err := s.requestConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(ctx, cfg, req)
+}
+
+// run executes an already-validated request with its derived config.
+func (s *Service) run(ctx context.Context, cfg annotate.Config, req *AnnotateRequest) (*AnnotateResponse, error) {
+	start := time.Now()
+	res, err := cfg.Annotate(ctx, req.Table)
+	if err != nil {
+		return nil, err
+	}
+	resp := &AnnotateResponse{
+		Annotations: res.Annotations,
+		ColumnTypes: res.ColumnTypes(),
+		Stats: Stats{
+			Rows:      req.Table.NumRows(),
+			Cols:      req.Table.NumCols(),
+			Annotated: len(res.Annotations),
+			Queries:   res.Queries,
+		},
+		CacheStats: CacheStats{Hits: res.CacheHits, Misses: res.CacheMisses},
+	}
+	if len(res.Skipped) > 0 {
+		resp.Stats.Skipped = make(map[string]int, len(res.Skipped))
+		for reason, n := range res.Skipped {
+			resp.Stats.Skipped[string(reason)] = n
+		}
+	}
+	if req.Trace {
+		explanations, err := cfg.Explain(ctx, req.Table)
+		if err != nil {
+			return nil, err
+		}
+		resp.Trace = make([]string, len(explanations))
+		for i, e := range explanations {
+			resp.Trace[i] = e.String()
+		}
+	}
+	resp.Timing = Timing{Total: time.Since(start)}
+	return resp, nil
+}
+
+// Explain runs the request in tracing mode ONLY: one human-readable
+// decision explanation per cell (the view behind cmd/annotate's -explain),
+// without the annotation pass an AnnotateRequest with Trace set would also
+// pay for. The request's knobs apply; Trace itself is ignored. Cancellation
+// is checked between cell queries, like Annotate.
+func (s *Service) Explain(ctx context.Context, req *AnnotateRequest) ([]string, error) {
+	cfg, err := s.requestConfig(req)
+	if err != nil {
+		return nil, err
+	}
+	explanations, err := cfg.Explain(ctx, req.Table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(explanations))
+	for i, e := range explanations {
+		out[i] = e.String()
+	}
+	return out, nil
+}
+
+// AnnotateBatch annotates the requests over the service's worker pool and
+// returns the responses in request order. Every request is validated before
+// any work starts; the first invalid request (or the first context error)
+// fails the whole batch.
+func (s *Service) AnnotateBatch(parent context.Context, reqs []*AnnotateRequest) ([]*AnnotateResponse, error) {
+	cfgs := make([]annotate.Config, len(reqs))
+	for i, req := range reqs {
+		cfg, err := s.requestConfig(req)
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		cfgs[i] = cfg
+	}
+	out := make([]*AnnotateResponse, len(reqs))
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	var firstErr error
+	for ev := range s.stream(ctx, reqs, cfgs) {
+		if ev.Err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("request %d: %w", ev.Index, ev.Err)
+				cancel()
+			}
+			continue
+		}
+		out[ev.Index] = ev.Response
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// A cancellation racing the stream's sends can drop a completed
+	// event instead of delivering an error for its index; a batch must
+	// never surface that as a success with nil responses inside.
+	for _, resp := range out {
+		if resp == nil {
+			if err := parent.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.Canceled // unreachable: slots only stay empty after cancellation
+		}
+	}
+	return out, nil
+}
+
+// StreamEvent is one completed request of an AnnotateStream call: the
+// request's index in the input slice plus either its response or its error.
+type StreamEvent struct {
+	// Index is the position of the originating request in the reqs slice.
+	Index int
+	// Response is the completed response; nil when Err is set.
+	Response *AnnotateResponse
+	// Err is the request's failure: a *RequestError for invalid
+	// requests, or ctx.Err() for requests overtaken by cancellation.
+	Err error
+}
+
+// AnnotateStream annotates the requests over the service's worker pool and
+// emits one StreamEvent per request as it completes — completion order, not
+// request order; the Index field maps events back to requests. Response
+// payloads are deterministic: the same request yields the same annotations
+// at any parallelism, only the event order varies. The channel closes after
+// the last event. The caller must drain the channel or cancel ctx;
+// cancellation aborts unstarted requests and drops their events.
+func (s *Service) AnnotateStream(ctx context.Context, reqs []*AnnotateRequest) <-chan StreamEvent {
+	return s.stream(ctx, reqs, nil)
+}
+
+// stream is the shared fan-out behind AnnotateStream and AnnotateBatch.
+// When cfgs is non-nil it carries one pre-validated config per request, so
+// the batch path validates exactly once; with cfgs nil each request is
+// validated as its worker picks it up and failures surface as per-event
+// errors.
+func (s *Service) stream(ctx context.Context, reqs []*AnnotateRequest, cfgs []annotate.Config) <-chan StreamEvent {
+	out := make(chan StreamEvent)
+	go func() {
+		defer close(out)
+		workers := s.parallelism
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > len(reqs) {
+			workers = len(reqs)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					var resp *AnnotateResponse
+					var err error
+					if cfgs != nil {
+						resp, err = s.run(ctx, cfgs[i], reqs[i])
+					} else {
+						resp, err = s.Annotate(ctx, reqs[i])
+					}
+					select {
+					case out <- StreamEvent{Index: i, Response: resp, Err: err}:
+					case <-ctx.Done():
+						// Receiver cancelled; drop the event.
+					}
+				}
+			}()
+		}
+	feed:
+		for i := range reqs {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}()
+	return out
+}
+
+// Classifier exposes the trained snippet classifiers: ClassifierSVM or
+// ClassifierBayes (any other name returns the SVM).
+func (s *Service) Classifier(name string) classify.Classifier {
+	if name == ClassifierBayes {
+		return s.lab.Bayes
+	}
+	return s.lab.SVM
+}
+
+// Engine exposes the simulated web search engine.
+func (s *Service) Engine() *search.Engine { return s.lab.Engine }
+
+// Gazetteer exposes the geocoding substrate.
+func (s *Service) Gazetteer() *gazetteer.Gazetteer { return s.lab.World.Gaz }
+
+// KB exposes the DBpedia-like knowledge base.
+func (s *Service) KB() *kb.KB { return s.lab.KB }
+
+// World exposes the synthetic universe (entities, gold types).
+func (s *Service) World() *world.World { return s.lab.World }
+
+// Lab exposes the full experimental apparatus for benchmark harnesses.
+func (s *Service) Lab() *eval.Lab { return s.lab }
+
+// System returns the deprecated pre-v1 facade over this service, for code
+// mid-migration that still needs a *System (see System's doc).
+func (s *Service) System() *System { return &System{svc: s} }

@@ -1,0 +1,334 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/world"
+)
+
+// svcOnce shares one small service across the service tests; construction is
+// the expensive step and every test below treats the service as read-only.
+var (
+	svcOnce sync.Once
+	svcVal  *Service
+)
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("service construction skipped in -short mode")
+	}
+	svcOnce.Do(func() {
+		svc, err := New(context.Background(), WithSeed(42), WithParallelism(4))
+		if err != nil {
+			panic(err)
+		}
+		svcVal = svc
+	})
+	return svcVal
+}
+
+// testTable builds a deterministic three-row POI table from the service's
+// universe, the quickstart shape: one annotatable Text column plus Location
+// and Phone columns the pre-processor must handle.
+func testTable(t *testing.T, svc *Service) *Table {
+	t.Helper()
+	w := svc.World()
+	tbl := &Table{Name: "service-test"}
+	tbl.Columns = []Column{
+		{Header: "Name", Type: Text},
+		{Header: "Address", Type: Location},
+		{Header: "Phone", Type: Text},
+	}
+	for _, e := range []*world.Entity{
+		w.OfType(world.Museum)[0],
+		w.OfType(world.Restaurant)[0],
+		w.OfType(world.Museum)[1],
+	} {
+		if err := tbl.AppendRow(e.Name, e.Address(w.Gaz).Format(), e.Phone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+		want string // expected OptionError.Option
+	}{
+		{"unknown scale", WithScale("huge"), "WithScale"},
+		{"unknown classifier", WithClassifier("forest"), "WithClassifier"},
+		{"negative parallelism", WithParallelism(-1), "WithParallelism"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(context.Background(), tc.opt)
+			var optErr *OptionError
+			if !errors.As(err, &optErr) {
+				t.Fatalf("New() error = %v, want *OptionError", err)
+			}
+			if optErr.Option != tc.want {
+				t.Errorf("OptionError.Option = %q, want %q", optErr.Option, tc.want)
+			}
+			if optErr.Error() == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+}
+
+func TestNewCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("New(cancelled ctx) error = %v, want context.Canceled", err)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		req   *AnnotateRequest
+		field string
+	}{
+		{"nil request", nil, "table"},
+		{"missing table", &AnnotateRequest{}, "table"},
+		{"no columns", &AnnotateRequest{Table: &Table{Name: "empty"}}, "table"},
+		{"empty types", &AnnotateRequest{Table: tbl, Types: []string{}}, "types"},
+		{"unknown type", &AnnotateRequest{Table: tbl, Types: []string{"museum", "starship"}}, "types"},
+		{"negative k", &AnnotateRequest{Table: tbl, K: -3}, "k"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := svc.Annotate(ctx, tc.req)
+			var reqErr *RequestError
+			if !errors.As(err, &reqErr) {
+				t.Fatalf("Annotate() error = %v, want *RequestError", err)
+			}
+			if reqErr.Field != tc.field {
+				t.Errorf("RequestError.Field = %q, want %q", reqErr.Field, tc.field)
+			}
+		})
+	}
+}
+
+// TestShimEquivalence is the migration guarantee: the deprecated
+// System.Annotator path and the v1 request path produce byte-identical
+// annotations and identical query counts on the same service.
+func TestShimEquivalence(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+
+	if svc.System().Service() != svc {
+		t.Error("System().Service() does not round-trip to the same service")
+	}
+	legacy := svc.System().Annotator().AnnotateTable(tbl)
+	resp, err := svc.Annotate(context.Background(), &AnnotateRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Annotations) == 0 {
+		t.Fatal("legacy path produced no annotations; the equivalence check would be vacuous")
+	}
+	if !reflect.DeepEqual(resp.Annotations, legacy.Annotations) {
+		t.Errorf("annotations diverge:\n v1   = %+v\n shim = %+v", resp.Annotations, legacy.Annotations)
+	}
+	if resp.Stats.Queries != legacy.Queries {
+		t.Errorf("queries diverge: v1 %d, shim %d", resp.Stats.Queries, legacy.Queries)
+	}
+	if resp.Stats.Annotated != len(legacy.Annotations) {
+		t.Errorf("Stats.Annotated = %d, want %d", resp.Stats.Annotated, len(legacy.Annotations))
+	}
+	if resp.Stats.Rows != tbl.NumRows() || resp.Stats.Cols != tbl.NumCols() {
+		t.Errorf("Stats dims = %dx%d, want %dx%d", resp.Stats.Rows, resp.Stats.Cols, tbl.NumRows(), tbl.NumCols())
+	}
+}
+
+func TestRequestKnobs(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	ctx := context.Background()
+
+	base, err := svc.Annotate(ctx, &AnnotateRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.ColumnTypes) == 0 {
+		t.Error("default request (postprocess on) returned no ColumnTypes")
+	}
+
+	noPost, err := svc.Annotate(ctx, &AnnotateRequest{Table: tbl, Postprocess: ToggleOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPost.ColumnTypes != nil {
+		t.Error("postprocess=off still returned ColumnTypes")
+	}
+	if len(noPost.Annotations) < len(base.Annotations) {
+		t.Errorf("postprocess=off returned fewer annotations (%d) than the filtered run (%d)",
+			len(noPost.Annotations), len(base.Annotations))
+	}
+
+	subset, err := svc.Annotate(ctx, &AnnotateRequest{Table: tbl, Types: []string{"museum"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ann := range subset.Annotations {
+		if ann.Type != "museum" {
+			t.Errorf("types=[museum] produced annotation of type %q", ann.Type)
+		}
+	}
+
+	traced, err := svc.Annotate(ctx, &AnnotateRequest{Table: tbl, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Trace) != tbl.NumRows()*tbl.NumCols() {
+		t.Errorf("trace has %d lines, want one per cell (%d)", len(traced.Trace), tbl.NumRows()*tbl.NumCols())
+	}
+	if !reflect.DeepEqual(traced.Annotations, base.Annotations) {
+		t.Error("trace pass changed the annotations")
+	}
+
+	// The trace-only path must produce the same explanations as the
+	// combined request, and share its validation.
+	trace, err := svc.Explain(ctx, &AnnotateRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace, traced.Trace) {
+		t.Error("Explain diverges from the Trace field of Annotate")
+	}
+	var reqErr *RequestError
+	if _, err := svc.Explain(ctx, &AnnotateRequest{}); !errors.As(err, &reqErr) {
+		t.Errorf("Explain without table: error = %v, want *RequestError", err)
+	}
+}
+
+func TestAnnotateCancelled(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Annotate(ctx, &AnnotateRequest{Table: tbl}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Annotate(cancelled ctx) error = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnnotateBatchMatchesSingles(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	ctx := context.Background()
+
+	reqs := []*AnnotateRequest{
+		{Table: tbl},
+		{Table: tbl, Types: []string{"museum"}},
+		{Table: tbl, Postprocess: ToggleOff},
+	}
+	batch, err := svc.AnnotateBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch returned %d responses, want %d", len(batch), len(reqs))
+	}
+	for i, req := range reqs {
+		single, err := svc.Annotate(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i].Annotations, single.Annotations) {
+			t.Errorf("request %d: batch annotations diverge from single-call annotations", i)
+		}
+	}
+
+	// An invalid request fails the whole batch before any work starts.
+	_, err = svc.AnnotateBatch(ctx, []*AnnotateRequest{{Table: tbl}, {Table: nil}})
+	var reqErr *RequestError
+	if !errors.As(err, &reqErr) {
+		t.Fatalf("batch with invalid request: error = %v, want wrapped *RequestError", err)
+	}
+}
+
+func TestAnnotateStream(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	ctx := context.Background()
+
+	reqs := []*AnnotateRequest{
+		{Table: tbl},
+		{Table: tbl, Types: []string{"museum"}},
+		{Table: nil}, // invalid: must surface as a per-event error
+		{Table: tbl, Postprocess: ToggleOff},
+	}
+	got := make(map[int]StreamEvent)
+	for ev := range svc.AnnotateStream(ctx, reqs) {
+		if _, dup := got[ev.Index]; dup {
+			t.Fatalf("duplicate event for index %d", ev.Index)
+		}
+		got[ev.Index] = ev
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("stream emitted %d events, want %d", len(got), len(reqs))
+	}
+	var reqErr *RequestError
+	if !errors.As(got[2].Err, &reqErr) {
+		t.Errorf("invalid request event: Err = %v, want *RequestError", got[2].Err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if got[i].Err != nil {
+			t.Fatalf("request %d: unexpected error %v", i, got[i].Err)
+		}
+		single, err := svc.Annotate(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i].Response.Annotations, single.Annotations) {
+			t.Errorf("request %d: stream annotations diverge from single-call annotations", i)
+		}
+	}
+}
+
+func TestAnnotateStreamCancelled(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// With a pre-cancelled context the stream must still terminate: the
+	// channel closes after at most len(reqs) (possibly dropped) events.
+	events := 0
+	for range svc.AnnotateStream(ctx, []*AnnotateRequest{{Table: tbl}, {Table: tbl}}) {
+		events++
+	}
+	if events > 2 {
+		t.Fatalf("cancelled stream emitted %d events, want <= 2", events)
+	}
+}
+
+func TestToggleOf(t *testing.T) {
+	on, off := true, false
+	if ToggleOf(nil) != ToggleDefault {
+		t.Error("ToggleOf(nil) != ToggleDefault")
+	}
+	if ToggleOf(&on) != ToggleOn {
+		t.Error("ToggleOf(&true) != ToggleOn")
+	}
+	if ToggleOf(&off) != ToggleOff {
+		t.Error("ToggleOf(&false) != ToggleOff")
+	}
+	if !ToggleDefault.apply(true) || ToggleDefault.apply(false) {
+		t.Error("ToggleDefault must keep the default")
+	}
+	if !ToggleOn.apply(false) || ToggleOff.apply(true) {
+		t.Error("ToggleOn/ToggleOff must override the default")
+	}
+}
