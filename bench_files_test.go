@@ -1,0 +1,66 @@
+package repro
+
+// Guard rails for the standing benchmark trajectory files: BENCH_search.json
+// (cmd/benchsearch) and BENCH_annotate.json (cmd/benchannotate) must always
+// parse, keep at least their seeded history, and append chronologically —
+// a rebase or hand-edit that reorders or truncates the history should fail
+// CI, not silently rewrite the project's performance record.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// trajectoryFile is the shared shape of both BENCH_*.json files: a
+// description plus labelled runs with optional RFC 3339 timestamps.
+type trajectoryFile struct {
+	Description string `json:"description"`
+	Runs        []struct {
+		Label      string `json:"label"`
+		RecordedAt string `json:"recorded_at"`
+	} `json:"runs"`
+}
+
+func checkTrajectory(t *testing.T, path string, minRuns int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var traj trajectoryFile
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("%s does not parse as a trajectory file: %v", path, err)
+	}
+	if traj.Description == "" {
+		t.Errorf("%s: empty description", path)
+	}
+	if len(traj.Runs) < minRuns {
+		t.Fatalf("%s: %d runs, want at least %d (history truncated?)", path, len(traj.Runs), minRuns)
+	}
+	var last time.Time
+	for i, r := range traj.Runs {
+		if r.Label == "" {
+			t.Errorf("%s: run %d has no label", path, i)
+		}
+		if r.RecordedAt == "" {
+			continue // runs recorded before the timestamp field existed
+		}
+		at, err := time.Parse(time.RFC3339, r.RecordedAt)
+		if err != nil {
+			t.Errorf("%s: run %d recorded_at %q: %v", path, i, r.RecordedAt, err)
+			continue
+		}
+		if at.Before(last) {
+			t.Errorf("%s: run %d (%s) recorded before run above it (%s); runs must append chronologically",
+				path, i, at.Format(time.RFC3339), last.Format(time.RFC3339))
+		}
+		last = at
+	}
+}
+
+func TestBenchTrajectoryFiles(t *testing.T) {
+	checkTrajectory(t, "BENCH_search.json", 2)
+	checkTrajectory(t, "BENCH_annotate.json", 1)
+}

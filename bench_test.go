@@ -511,3 +511,34 @@ func BenchmarkRandomTableAnnotation(b *testing.B) {
 		a.AnnotateTable(tables[i%len(tables)])
 	}
 }
+
+// BenchmarkAnnotateTableSteadyState measures the cacheless per-table hot
+// path — plan, batched execute against the in-process engine, merge — with
+// allocation reporting, the standing gauge for the pooled
+// candidate/verdict/feature buffers (allocs/op must not creep back up).
+func BenchmarkAnnotateTableSteadyState(b *testing.B) {
+	l := lab()
+	rng := rand.New(rand.NewSource(17))
+	pool := append([]*world.Entity{}, l.World.TableEntities(world.Museum)...)
+	pool = append(pool, l.World.TableEntities(world.Restaurant)...)
+	tbl := table.New("steady", table.Column{Header: "Name", Type: table.Text})
+	for i := 0; i < 50; i++ {
+		if err := tbl.AppendRow(pool[rng.Intn(len(pool))].Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := annotate.Config{
+		Searcher:    l.Engine,
+		Classifier:  l.SVM,
+		Types:       eval.TypeStrings(),
+		Postprocess: true,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Annotate(ctx, tbl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func TestParseSweep(t *testing.T) {
+	got, err := parseSweep(" 1, 2,8 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseSweep = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "a", "1,,2"} {
+		if _, err := parseSweep(bad); err == nil {
+			t.Errorf("parseSweep(%q) accepted", bad)
+		}
+	}
+}
+
+func TestColdP4(t *testing.T) {
+	r := run{Cold: []point{{Parallelism: 1, TablesPerSec: 10}, {Parallelism: 4, TablesPerSec: 40}}}
+	if got := coldP4(r); got != 40 {
+		t.Errorf("coldP4 = %v, want 40", got)
+	}
+	if got := coldP4(run{}); got != 0 {
+		t.Errorf("coldP4 on empty run = %v, want 0", got)
+	}
+}
+
+// TestBenchmarkAppendsTrajectory runs the harness twice against a tiny lab
+// into a fresh trajectory file: both runs must append (chronologically, with
+// identical annotation counts — the byte-identity sanity gauge) and the
+// speedup must be computed at the cold parallelism-4 point.
+func TestBenchmarkAppendsTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_annotate.json")
+	o := options{
+		label:  "first",
+		out:    out,
+		sweep:  []int{1, 4},
+		repeat: 1,
+		lab: eval.LabConfig{
+			Seed:              7,
+			KBPerType:         12,
+			SnippetsPerEntity: 2,
+			MaxTrainEntities:  8,
+			SVMEpochs:         1,
+		},
+	}
+	var stdout bytes.Buffer
+	if err := benchmark(o, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	o.label = "second"
+	if err := benchmark(o, &stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("trajectory does not parse: %v", err)
+	}
+	if len(traj.Runs) != 2 || traj.Runs[0].Label != "first" || traj.Runs[1].Label != "second" {
+		t.Fatalf("runs = %+v, want [first second]", traj.Runs)
+	}
+	for i, r := range traj.Runs {
+		if r.Tables == 0 || r.Rows == 0 || r.Annotations == 0 {
+			t.Errorf("run %d has empty corpus numbers: %+v", i, r)
+		}
+		if len(r.Cold) != 2 || len(r.Warm) != 2 {
+			t.Errorf("run %d: %d cold / %d warm points, want 2 each", i, len(r.Cold), len(r.Warm))
+		}
+		if r.RecordedAt == "" {
+			t.Errorf("run %d missing recorded_at", i)
+		}
+	}
+	if traj.Runs[0].Annotations != traj.Runs[1].Annotations {
+		t.Errorf("annotation counts differ across runs: %d vs %d (outputs changed?)",
+			traj.Runs[0].Annotations, traj.Runs[1].Annotations)
+	}
+	if traj.ColdP4Speedup <= 0 {
+		t.Errorf("cold p4 speedup = %v, want > 0 (sweep includes parallelism 4)", traj.ColdP4Speedup)
+	}
+	if !strings.Contains(stdout.String(), "speedup vs first run") {
+		t.Errorf("stdout missing summary line:\n%s", stdout.String())
+	}
+}

@@ -24,11 +24,18 @@ import (
 )
 
 type run struct {
-	Label               string  `json:"label"`
+	Label string `json:"label"`
+	// RecordedAt is RFC 3339; absent on runs recorded before it existed.
+	// CI checks that timestamps, where present, are chronological.
+	RecordedAt          string  `json:"recorded_at,omitempty"`
 	CorpusDocs          int     `json:"corpus_docs"`
 	IndexDocsPerSec     float64 `json:"index_docs_per_sec"`
 	TermQueriesPerSec   float64 `json:"term_queries_per_sec"`
 	PhraseQueriesPerSec float64 `json:"phrase_queries_per_sec"`
+	// BatchQueriesPerSec is the term workload through SearchBatch (chunks
+	// of 32), the shape the batched annotation pipeline submits; 0 on runs
+	// recorded before the batch API existed.
+	BatchQueriesPerSec float64 `json:"batch_queries_per_sec,omitempty"`
 }
 
 type trajectory struct {
@@ -86,12 +93,20 @@ func main() {
 	}
 	phraseSecs := time.Since(start).Seconds()
 
+	start = time.Now()
+	for lo := 0; lo < len(terms); lo += 32 {
+		ix.SearchBatch(terms[lo:min(lo+32, len(terms))], 10)
+	}
+	batchSecs := time.Since(start).Seconds()
+
 	r := run{
 		Label:               *label,
+		RecordedAt:          time.Now().UTC().Format(time.RFC3339),
 		CorpusDocs:          len(docs),
 		IndexDocsPerSec:     float64(len(docs)) / indexSecs,
 		TermQueriesPerSec:   float64(*queries) / termSecs,
 		PhraseQueriesPerSec: float64(*queries) / phraseSecs,
+		BatchQueriesPerSec:  float64(*queries) / batchSecs,
 	}
 
 	traj := trajectory{

@@ -35,11 +35,12 @@ func main() {
 		latency    = flag.Duration("latency", 250*time.Millisecond, "simulated search latency for the efficiency analysis")
 		only       = flag.String("only", "", "run a single experiment: table1 | table2 | table3 | wiki | efficiency | coverage | ksweep | cluster | hybrid")
 		parallel   = flag.Int("parallel", 1, "annotation parallelism (tables annotated concurrently; results identical at any setting)")
+		shards     = flag.Int("shards", 0, "search index shards (0 = one per CPU, capped at 8; results identical at any count)")
 		shareCache = flag.Bool("share-cache", false, "share query verdicts across tables and analyses (reduces query counts, quality unchanged)")
 	)
 	flag.Parse()
 
-	cfg := eval.LabConfig{Seed: *seed, Parallelism: *parallel, ShareCache: *shareCache}
+	cfg := eval.LabConfig{Seed: *seed, Parallelism: *parallel, ShareCache: *shareCache, SearchShards: *shards}
 	if *scale == "small" {
 		cfg.KBPerType = 60
 		cfg.SnippetsPerEntity = 5

@@ -39,6 +39,7 @@ func main() {
 		scale       = flag.String("scale", repro.ScaleSmall, "system scale: small | full")
 		classifier  = flag.String("classifier", repro.ClassifierSVM, "snippet classifier: svm | bayes")
 		parallel    = flag.Int("parallel", 8, "annotation parallelism (cell queries and batch tables)")
+		shards      = flag.Int("shards", 0, "search index shards (0 = one per CPU, capped at 8; results identical at any count)")
 		shareCache  = flag.Bool("share-cache", true, "share query verdicts across requests (cross-table cache)")
 		maxInflight = flag.Int("max-inflight", 64, "admission control: max concurrently-served annotation requests")
 		maxCells    = flag.Int("max-cells", 100000, "reject tables larger than this many cells")
@@ -51,6 +52,7 @@ func main() {
 		repro.WithScale(*scale),
 		repro.WithClassifier(*classifier),
 		repro.WithParallelism(*parallel),
+		repro.WithSearchShards(*shards),
 	}
 	if *shareCache {
 		opts = append(opts, repro.WithSharedCache())

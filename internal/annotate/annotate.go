@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/classify"
 	"repro/internal/disambig"
@@ -24,6 +25,31 @@ import (
 // queries out over a worker pool when Parallelism > 1.
 type Searcher interface {
 	Search(query string, k int) []search.Result
+}
+
+// BatchSearcher is an optional upgrade of Searcher: a backend that can
+// resolve several queries in one call. The execute stage detects it and
+// submits a table's deduped cell queries in chunks instead of one round-trip
+// per query, amortizing the backend's per-call setup; out[i] must equal
+// Search(queries[i], k). *search.Engine implements it.
+type BatchSearcher interface {
+	Searcher
+	SearchBatch(queries []string, k int) [][]search.Result
+}
+
+// ContextSearcher is an optional upgrade of Searcher: a backend whose
+// queries observe cancellation, so the execute stage can abandon in-flight
+// work (a simulated or real network round-trip) as soon as ctx is done
+// instead of only checking between queries. A legacy Searcher keeps working
+// unchanged — cancellation is then checked between queries only.
+type ContextSearcher interface {
+	SearchContext(ctx context.Context, query string, k int) ([]search.Result, error)
+}
+
+// ContextBatchSearcher combines both upgrades: batched queries that observe
+// cancellation. *search.Engine implements it.
+type ContextBatchSearcher interface {
+	SearchBatchContext(ctx context.Context, queries []string, k int) ([][]search.Result, error)
 }
 
 // Annotation marks one cell as naming an entity of a type, with the Eq. 1
@@ -59,6 +85,13 @@ type Result struct {
 	// answer — each one cost a search-engine round-trip; zero when no
 	// cache is set.
 	CacheMisses int
+	// Batches is the number of backend batch calls the execute stage
+	// issued for this table; zero when the backend does not implement
+	// BatchSearcher. Without a shared cache the count is fixed by the
+	// workload (query count and parallelism); with one, only chunks
+	// containing at least one miss reach the backend, so — like
+	// CacheMisses — the count depends on what earlier tables cached.
+	Batches int
 }
 
 // Config is the immutable configuration of one annotation run — the §5
@@ -74,7 +107,10 @@ type Result struct {
 // execute resolves them against the search backend (optionally over a worker
 // pool and through the shared verdict cache), and merge applies the verdicts
 // back to the cells in deterministic row/column order before post-processing.
-// Results are identical at every Parallelism setting.
+// Results are identical at every Parallelism setting, with one carve-out:
+// Result.Batches counts backend batch calls, and the chunking follows the
+// worker count, so that statistic (and only that one) varies with
+// Parallelism.
 type Config struct {
 	// Searcher is the search backend (steps 1-2 of the algorithm). Any
 	// Searcher works; the built-in *search.Engine is the usual choice.
@@ -294,18 +330,73 @@ func (c Config) plan(t *table.Table, exclude map[CellKey]bool) tablePlan {
 	return p
 }
 
+// maxSearchBatch caps one backend batch (and one batched cache lookup): big
+// enough to amortize per-call setup, small enough that every worker stays
+// busy and a cache singleflight publishes its verdicts promptly.
+const maxSearchBatch = 32
+
+// chunkSize returns the batch chunk length for n queries at the given
+// parallelism: the queries divide evenly over the workers, capped at
+// maxSearchBatch.
+func chunkSize(n, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	size := (n + workers - 1) / workers
+	if size > maxSearchBatch {
+		size = maxSearchBatch
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// batchCapable reports whether the backend accepts batched queries.
+func (c Config) batchCapable() bool {
+	switch c.Searcher.(type) {
+	case BatchSearcher, ContextBatchSearcher:
+		return true
+	}
+	return false
+}
+
+// searchBatch issues one backend batch, through the context-aware interface
+// when the backend has one (so in-flight round-trips abort on cancel), and
+// behind an up-front ctx check otherwise.
+func (c Config) searchBatch(ctx context.Context, queries []string, k int) ([][]search.Result, error) {
+	switch b := c.Searcher.(type) {
+	case ContextBatchSearcher:
+		return b.SearchBatchContext(ctx, queries, k)
+	case BatchSearcher:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return b.SearchBatch(queries, k), nil
+	}
+	panic("annotate: searchBatch on a non-batch Searcher")
+}
+
 // execute resolves every unique query to a verdict — sequentially, or over a
-// bounded worker pool when Parallelism > 1 — and updates the Queries and
-// cache counters on res. With a shared cache configured, each lookup goes
-// through the cache's singleflight, so one backend query is issued per
-// unique key across all concurrent tables; which table's Result records the
-// miss can vary under concurrency, but totals are fixed by the workload.
+// bounded worker pool when Parallelism > 1 — and updates the Queries, batch
+// and cache counters on res. Batch-capable backends receive the queries in
+// chunks (one backend call per chunk) instead of one call per query. With a
+// shared cache configured, each lookup goes through the cache's
+// singleflight, so one backend query is issued per unique key across all
+// concurrent tables; which table's Result records the miss can vary under
+// concurrency, but totals are fixed by the workload.
 func (c Config) execute(ctx context.Context, queries []string, res *Result) (map[string]qcache.Verdict, error) {
 	verdicts := make(map[string]qcache.Verdict, len(queries))
 	gamma := c.typeSet()
 
 	if c.Cache == nil {
-		resolved, err := c.searchAll(ctx, queries, gamma)
+		var resolved []qcache.Verdict
+		var err error
+		if c.batchCapable() && len(queries) > 0 {
+			resolved, err = c.executeBatched(ctx, queries, gamma, res)
+		} else {
+			resolved, err = c.searchAll(ctx, queries, gamma)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -319,21 +410,27 @@ func (c Config) execute(ctx context.Context, queries []string, res *Result) (map
 	prefix := c.cacheKeyPrefix()
 	out := make([]qcache.Verdict, len(queries))
 	hit := make([]bool, len(queries))
-	do := func(i int) {
-		q := queries[i]
-		out[i], hit[i] = c.Cache.GetOrCompute(prefix+q, func() qcache.Verdict {
-			return c.searchDecide(q, gamma)
-		})
-	}
-	if c.Parallelism <= 1 || len(queries) < 2 {
-		for i := range queries {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			do(i)
+	if c.batchCapable() && len(queries) > 0 {
+		if err := c.executeCachedBatched(ctx, queries, gamma, prefix, out, hit, res); err != nil {
+			return nil, err
 		}
-	} else if err := runPool(ctx, c.Parallelism, len(queries), do); err != nil {
-		return nil, err
+	} else {
+		do := func(i int) {
+			q := queries[i]
+			out[i], hit[i] = c.Cache.GetOrCompute(prefix+q, func() qcache.Verdict {
+				return c.searchDecide(q, gamma)
+			})
+		}
+		if c.Parallelism <= 1 || len(queries) < 2 {
+			for i := range queries {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				do(i)
+			}
+		} else if err := runPool(ctx, c.Parallelism, len(queries), do); err != nil {
+			return nil, err
+		}
 	}
 	for i, q := range queries {
 		verdicts[q] = out[i]
@@ -347,25 +444,152 @@ func (c Config) execute(ctx context.Context, queries []string, res *Result) (map
 	return verdicts, nil
 }
 
+// forEachChunk cuts n queries into chunks sized for the worker count and
+// runs work(lo, hi) for each — sequentially (with a ctx check between
+// chunks) or over the bounded pool — returning the first error. Both batch
+// paths share this dispatch skeleton so its ctx and error semantics cannot
+// diverge between them.
+func (c Config) forEachChunk(ctx context.Context, n int, work func(lo, hi int) error) error {
+	size := chunkSize(n, c.Parallelism)
+	nChunks := (n + size - 1) / size
+	errs := make([]error, nChunks)
+	do := func(ci int) {
+		lo := ci * size
+		errs[ci] = work(lo, min(lo+size, n))
+	}
+	if c.Parallelism <= 1 || nChunks < 2 {
+		for ci := 0; ci < nChunks; ci++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			do(ci)
+		}
+	} else if err := runPool(ctx, c.Parallelism, nChunks, do); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executeBatched is the cacheless batch path: the queries are cut into
+// chunks, each chunk costs one backend batch call, and chunks fan out over
+// the worker pool when Parallelism > 1. Verdicts are positional and
+// identical to the per-query path at any chunking.
+func (c Config) executeBatched(ctx context.Context, queries []string, gamma map[string]struct{}, res *Result) ([]qcache.Verdict, error) {
+	out := make([]qcache.Verdict, len(queries))
+	var batches atomic.Int64
+	err := c.forEachChunk(ctx, len(queries), func(lo, hi int) error {
+		batches.Add(1)
+		return c.resolveChunk(ctx, queries[lo:hi], gamma, out[lo:hi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Batches = int(batches.Load())
+	return out, nil
+}
+
+// executeCachedBatched is the cached batch path: each chunk resolves through
+// one batched cache lookup whose compute callback — invoked with only the
+// chunk's genuine misses — costs one backend batch call.
+func (c Config) executeCachedBatched(ctx context.Context, queries []string, gamma map[string]struct{}, prefix string, out []qcache.Verdict, hit []bool, res *Result) error {
+	var batches atomic.Int64
+	err := c.forEachChunk(ctx, len(queries), func(lo, hi int) error {
+		keys := make([]string, hi-lo)
+		for i := range keys {
+			keys[i] = prefix + queries[lo+i]
+		}
+		vs, hits, err := c.Cache.GetOrComputeBatch(keys, func(missKeys []string) ([]qcache.Verdict, error) {
+			miss := make([]string, len(missKeys))
+			for i, k := range missKeys {
+				miss[i] = k[len(prefix):]
+			}
+			batches.Add(1)
+			mout := make([]qcache.Verdict, len(miss))
+			if err := c.resolveChunk(ctx, miss, gamma, mout); err != nil {
+				return nil, err
+			}
+			return mout, nil
+		})
+		if err != nil {
+			return err
+		}
+		copy(out[lo:hi], vs)
+		copy(hit[lo:hi], hits)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	res.Batches = int(batches.Load())
+	return nil
+}
+
+// resolveChunk resolves one chunk of queries with a single backend batch
+// call and applies the Eq. 1 decision per query into out (positional). The
+// per-decision scratch state (vote counts, snippet feature extraction
+// buffers) is checked out of a pool once for the whole chunk.
+func (c Config) resolveChunk(ctx context.Context, queries []string, gamma map[string]struct{}, out []qcache.Verdict) error {
+	lists, err := c.searchBatch(ctx, queries, c.k())
+	if err != nil {
+		return err
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	for i, results := range lists {
+		typ, score, ok := c.decideWith(sc, results, gamma)
+		out[i] = qcache.Verdict{Type: typ, Score: score, OK: ok}
+	}
+	return nil
+}
+
 // searchAll decides every query, fanning out over Parallelism workers when
 // configured. Verdicts are returned positionally. Cancellation is checked
-// between queries; in-flight searches run to completion.
+// between queries, and — when the backend implements ContextSearcher —
+// inside each round-trip too, so a cancelled context abandons in-flight
+// work instead of letting it complete.
 func (c Config) searchAll(ctx context.Context, queries []string, gamma map[string]struct{}) ([]qcache.Verdict, error) {
 	out := make([]qcache.Verdict, len(queries))
+	cs, hasCtx := c.Searcher.(ContextSearcher)
+	decideOne := func(i int) error {
+		if hasCtx {
+			results, err := cs.SearchContext(ctx, queries[i], c.k())
+			if err != nil {
+				return err
+			}
+			typ, score, ok := c.decide(results, gamma)
+			out[i] = qcache.Verdict{Type: typ, Score: score, OK: ok}
+			return nil
+		}
+		out[i] = c.searchDecide(queries[i], gamma)
+		return nil
+	}
 	workers := c.Parallelism
 	if workers <= 1 || len(queries) < 2 {
-		for i, q := range queries {
+		for i := range queries {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out[i] = c.searchDecide(q, gamma)
+			if err := decideOne(i); err != nil {
+				return nil, err
+			}
 		}
 		return out, nil
 	}
+	errs := make([]error, len(queries))
 	if err := runPool(ctx, workers, len(queries), func(i int) {
-		out[i] = c.searchDecide(queries[i], gamma)
+		errs[i] = decideOne(i)
 	}); err != nil {
 		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -400,21 +624,46 @@ func (c Config) merge(t *table.Table, p tablePlan, verdicts map[string]qcache.Ve
 	}
 }
 
+// scratch is the pooled per-worker decision state: the Eq. 1 vote counts and
+// the snippet feature-extraction buffers, reused across the queries of a
+// chunk so the steady-state decide path allocates only what it returns.
+type scratch struct {
+	counts map[string]int
+	ex     textproc.Extractor
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{counts: make(map[string]int, 16)}
+}}
+
+func getScratch() *scratch   { return scratchPool.Get().(*scratch) }
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
 // decide turns a result list into an annotation verdict: Eq. 1's majority
 // rule by default, or the cluster-separated variant when ClusterThreshold is
 // set (§5.2's future-work extension, implemented in cluster.go).
 func (c Config) decide(results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
+	sc := getScratch()
+	defer putScratch(sc)
+	return c.decideWith(sc, results, gamma)
+}
+
+// decideWith is decide against caller-owned scratch state. The cluster
+// variant needs every snippet's features alive at once, so it keeps the
+// allocating path; the flat majority rule predicts snippet by snippet
+// through the scratch extractor's reused buffers.
+func (c Config) decideWith(sc *scratch, results []search.Result, gamma map[string]struct{}) (string, float64, bool) {
 	if c.ClusterThreshold > 0 {
 		return c.clusterDecide(results, gamma)
 	}
-	counts := make(map[string]int, len(c.Types))
+	clear(sc.counts)
 	for _, r := range results {
-		pred := c.Classifier.Predict(textproc.Extract(r.Snippet))
+		pred := c.Classifier.Predict(sc.ex.Extract(r.Snippet))
 		if _, inGamma := gamma[pred]; inGamma {
-			counts[pred]++
+			sc.counts[pred]++
 		}
 	}
-	return majorityType(counts, len(results))
+	return majorityType(sc.counts, len(results))
 }
 
 // majorityType applies the Eq. 1 decision rule: the unique type with the

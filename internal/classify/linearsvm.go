@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/textproc"
 )
@@ -113,6 +114,41 @@ type LinearSVM struct {
 	weights map[string]map[string]float64
 	bias    map[string]float64
 	labels  []string
+
+	// Prediction-time inverted view, built lazily on first Predict: the
+	// label-major weight maps transposed to term-major rows, so scoring a
+	// snippet costs one map lookup per feature term instead of one per
+	// (term, label) pair. Read-only once built; safe for concurrent
+	// Predict calls.
+	pidxOnce sync.Once
+	pidx     *predictIndex
+}
+
+// predictIndex is the term-major transpose of the weight vectors.
+type predictIndex struct {
+	inv  map[string][]float64 // term -> weight per label, in labels order
+	bias []float64            // per label, in labels order
+}
+
+func (m *LinearSVM) predictIndex() *predictIndex {
+	m.pidxOnce.Do(func() {
+		nl := len(m.labels)
+		inv := map[string][]float64{}
+		bias := make([]float64, nl)
+		for li, label := range m.labels {
+			bias[li] = m.bias[label]
+			for term, w := range m.weights[label] {
+				row := inv[term]
+				if row == nil {
+					row = make([]float64, nl)
+					inv[term] = row
+				}
+				row[li] = w
+			}
+		}
+		m.pidx = &predictIndex{inv: inv, bias: bias}
+	})
+	return m.pidx
 }
 
 // Scores returns the signed decision values per label.
@@ -130,12 +166,30 @@ func (m *LinearSVM) Scores(f textproc.Features) map[string]float64 {
 }
 
 // Predict returns the label with the largest decision value; ties break
-// toward the lexicographically smaller label.
+// toward the label listed first (the lexicographically smaller one — labels
+// are sorted). It scores through the term-major inverted view: equivalent to
+// argmax over Scores, at one map lookup per feature term, with the label
+// accumulators on the stack.
 func (m *LinearSVM) Predict(f textproc.Features) string {
-	scores := m.Scores(f)
+	pi := m.predictIndex()
+	var accBuf [16]float64
+	acc := accBuf[:0]
+	if len(m.labels) > len(accBuf) {
+		acc = make([]float64, len(m.labels))
+	} else {
+		acc = accBuf[:len(m.labels)]
+		clear(acc)
+	}
+	for term, v := range f {
+		if row, ok := pi.inv[term]; ok {
+			for i, w := range row {
+				acc[i] += w * v
+			}
+		}
+	}
 	best, bestScore := "", math.Inf(-1)
-	for _, label := range m.labels {
-		if s := scores[label]; s > bestScore {
+	for i, label := range m.labels {
+		if s := acc[i] + pi.bias[i]; s > bestScore {
 			best, bestScore = label, s
 		}
 	}

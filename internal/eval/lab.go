@@ -7,6 +7,7 @@
 package eval
 
 import (
+	"runtime"
 	"sync"
 
 	"repro/internal/annotate"
@@ -47,6 +48,12 @@ type LabConfig struct {
 	// search-engine round-trips. Off by default because it changes the
 	// reported query counts (quality numbers are unaffected).
 	ShareCache bool
+	// SearchShards is the shard count of the search index: each query's
+	// scoring fans out across the shards in parallel, with results
+	// byte-identical to a monolithic index (every reported number is
+	// unaffected). 0 selects one shard per available CPU, capped at 8;
+	// 1 effectively disables sharding.
+	SearchShards int
 }
 
 func (c LabConfig) withDefaults() LabConfig {
@@ -61,6 +68,9 @@ func (c LabConfig) withDefaults() LabConfig {
 	}
 	if c.SVMEpochs == 0 {
 		c.SVMEpochs = 10
+	}
+	if c.SearchShards == 0 {
+		c.SearchShards = min(runtime.GOMAXPROCS(0), 8)
 	}
 	return c
 }
@@ -128,8 +138,8 @@ func NewLab(cfg LabConfig) *Lab {
 		KBPerType:     cfg.KBPerType,
 		AmbiguityRate: cfg.AmbiguityRate,
 	})
-	ix := webgen.BuildIndex(l.World, webgen.Config{Seed: cfg.Seed + 1})
-	l.Engine = search.NewEngine(ix)
+	six := webgen.BuildShardedIndex(l.World, webgen.Config{Seed: cfg.Seed + 1}, cfg.SearchShards)
+	l.Engine = search.NewShardedEngine(six)
 	l.KB = kb.FromWorld(l.World, cfg.Seed+2)
 
 	builder := &kb.TrainingBuilder{

@@ -20,9 +20,15 @@
 package qcache
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// errShortCompute guards against a compute callback returning fewer verdicts
+// than the keys it was asked for — a programming error, surfaced instead of
+// silently caching zero values.
+var errShortCompute = errors.New("qcache: compute returned fewer verdicts than keys")
 
 // numShards trades memory overhead against lock contention; 32 keeps
 // contention negligible for worker pools far larger than any sensible
@@ -47,10 +53,14 @@ type shard struct {
 }
 
 // call tracks one in-flight computation so concurrent misses of the same key
-// coalesce into a single backend query (singleflight).
+// coalesce into a single backend query (singleflight). ok reports whether
+// the computation produced a verdict: a batched compute that fails (context
+// cancellation) publishes ok=false, and waiters retry the key themselves
+// instead of adopting a verdict that never existed.
 type call struct {
 	done chan struct{}
 	v    Verdict
+	ok   bool
 }
 
 // Cache is a sharded, concurrency-safe verdict cache. The zero value is not
@@ -136,31 +146,157 @@ func (c *Cache) Put(key string, v Verdict) {
 // workers race on it. compute runs without any shard lock held.
 func (c *Cache) GetOrCompute(key string, compute func() Verdict) (v Verdict, hit bool) {
 	s := c.shardFor(key)
-	s.mu.Lock()
-	if v, ok := s.m[key]; ok {
+	for {
+		s.mu.Lock()
+		if v, ok := s.m[key]; ok {
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return v, true
+		}
+		if cl, ok := s.pending[key]; ok {
+			s.mu.Unlock()
+			<-cl.done
+			if cl.ok {
+				c.hits.Add(1)
+				return cl.v, true
+			}
+			// The computing caller was cancelled; take over the key.
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		s.pending[key] = cl
 		s.mu.Unlock()
-		c.hits.Add(1)
-		return v, true
-	}
-	if cl, ok := s.pending[key]; ok {
+		c.misses.Add(1)
+
+		cl.v = compute()
+		cl.ok = true
+
+		s.mu.Lock()
+		s.m[key] = cl.v
+		delete(s.pending, key)
 		s.mu.Unlock()
-		<-cl.done
-		c.hits.Add(1)
-		return cl.v, true
+		close(cl.done)
+		return cl.v, false
 	}
-	cl := &call{done: make(chan struct{})}
-	s.pending[key] = cl
-	s.mu.Unlock()
-	c.misses.Add(1)
+}
 
-	cl.v = compute()
+// GetOrComputeBatch is GetOrCompute over a batch of keys: cached keys
+// resolve immediately, keys another caller is already computing are waited
+// for, and only this caller's genuine misses are handed to compute — once,
+// as one batch, so a batch-capable backend pays one round of work for all of
+// them. Each returned verdict is positional; hit[i] reports whether keys[i]
+// was answered without this caller computing it. Duplicate keys within one
+// call are computed once (the first occurrence counts as the miss, the rest
+// as hits, matching a sequential GetOrCompute loop).
+//
+// compute receives the missed keys in input order. If it returns an error
+// (context cancellation), the pending registrations are withdrawn so other
+// callers retry, and the error is returned; no partial verdicts are stored.
+// Waiters whose computing caller failed take the keys over themselves on
+// the next pass, so one cancelled caller never poisons another's lookups.
+func (c *Cache) GetOrComputeBatch(keys []string, compute func(missKeys []string) ([]Verdict, error)) (vs []Verdict, hits []bool, err error) {
+	vs = make([]Verdict, len(keys))
+	hits = make([]bool, len(keys))
+	resolved := make([]bool, len(keys))
+	for remaining := len(keys); remaining > 0; {
+		var (
+			ownIdx  []int           // first occurrences this caller must compute
+			ownCall []*call         // their pending registrations
+			dupOf   = map[int]int{} // later occurrence -> owning first occurrence
+			waitIdx []int           // keys pending under another caller
+			waitFor []*call
+			firstAt = map[string]int{}
+		)
+		for i, key := range keys {
+			if resolved[i] {
+				continue
+			}
+			if at, ok := firstAt[key]; ok {
+				dupOf[i] = at
+				continue
+			}
+			s := c.shardFor(key)
+			s.mu.Lock()
+			if v, ok := s.m[key]; ok {
+				s.mu.Unlock()
+				vs[i], hits[i], resolved[i] = v, true, true
+				remaining--
+				c.hits.Add(1)
+				continue
+			}
+			if cl, ok := s.pending[key]; ok {
+				s.mu.Unlock()
+				waitIdx = append(waitIdx, i)
+				waitFor = append(waitFor, cl)
+				continue
+			}
+			cl := &call{done: make(chan struct{})}
+			s.pending[key] = cl
+			s.mu.Unlock()
+			firstAt[key] = i
+			ownIdx = append(ownIdx, i)
+			ownCall = append(ownCall, cl)
+		}
 
-	s.mu.Lock()
-	s.m[key] = cl.v
-	delete(s.pending, key)
-	s.mu.Unlock()
-	close(cl.done)
-	return cl.v, false
+		if len(ownIdx) > 0 {
+			missKeys := make([]string, len(ownIdx))
+			for j, i := range ownIdx {
+				missKeys[j] = keys[i]
+			}
+			verdicts, err := compute(missKeys)
+			if err != nil || len(verdicts) != len(missKeys) {
+				// Withdraw the registrations and wake waiters to retry.
+				for j, i := range ownIdx {
+					s := c.shardFor(keys[i])
+					s.mu.Lock()
+					delete(s.pending, keys[i])
+					s.mu.Unlock()
+					close(ownCall[j].done)
+				}
+				if err == nil {
+					err = errShortCompute
+				}
+				return nil, nil, err
+			}
+			for j, i := range ownIdx {
+				cl := ownCall[j]
+				cl.v, cl.ok = verdicts[j], true
+				s := c.shardFor(keys[i])
+				s.mu.Lock()
+				s.m[keys[i]] = cl.v
+				delete(s.pending, keys[i])
+				s.mu.Unlock()
+				close(cl.done)
+				vs[i], resolved[i] = cl.v, true
+				remaining--
+				c.misses.Add(1)
+			}
+		}
+
+		// Later duplicates adopt the first occurrence's verdict as hits.
+		for i, at := range dupOf {
+			if !resolved[at] {
+				continue // first occurrence was a foreign wait that failed
+			}
+			vs[i], hits[i], resolved[i] = vs[at], true, true
+			remaining--
+			c.hits.Add(1)
+		}
+
+		// Wait for foreign computations; failed ones loop back around and
+		// are computed by this caller on the next pass.
+		for j, i := range waitIdx {
+			cl := waitFor[j]
+			<-cl.done
+			if !cl.ok {
+				continue
+			}
+			vs[i], hits[i], resolved[i] = cl.v, true, true
+			remaining--
+			c.hits.Add(1)
+		}
+	}
+	return vs, hits, nil
 }
 
 // Len returns the number of cached verdicts.

@@ -1,65 +1,177 @@
 package search
 
 import (
+	"context"
 	"sync"
 	"time"
 )
 
-// Engine wraps an Index behind the query interface the annotator uses, and
-// models the dominant cost the paper measures in §6.4: the latency of
-// talking to a remote search API. Latency is accounted virtually by default
-// (no real sleeping), so experiments can report wall-clock estimates without
-// slowing the test suite; RealSleep enables actual sleeping for demos.
+// Queryable is the index-side query surface the Engine wraps. Both the
+// monolithic *Index and the *ShardedIndex implement it with byte-identical
+// results over the same corpus.
+type Queryable interface {
+	Search(query string, k int) []Result
+	SearchBatch(queries []string, k int) [][]Result
+	SearchPhrase(query string, k int) []Result
+	Len() int
+}
+
+// Engine wraps a Queryable index behind the query interface the annotator
+// uses, and models the dominant cost the paper measures in §6.4: the latency
+// of talking to a remote search API. Latency is accounted virtually by
+// default (no real sleeping), so experiments can report wall-clock estimates
+// without slowing the test suite; RealSleep enables actual sleeping for
+// demos.
 //
-// Concurrency: Search, SearchPhrase and the counter methods are safe for
-// concurrent use once the underlying Index is fully built — accounting is
-// mutex-protected and the index is read-only at query time. Latency and
-// RealSleep are configuration, not synchronised; set them before sharing
-// the engine across goroutines.
+// Concurrency: every query and counter method is safe for concurrent use
+// once the underlying index is fully built — accounting is mutex-protected
+// and the index is read-only at query time. Latency and RealSleep are
+// configuration, not synchronised; set them before sharing the engine
+// across goroutines.
 type Engine struct {
-	index *Index
+	index Queryable
 
 	// Latency is the simulated round-trip time per query. The paper
 	// observes ~0.5 s per processed row dominated by this cost.
 	Latency time.Duration
-	// RealSleep makes Search actually block for Latency.
+	// RealSleep makes Search actually block for Latency. A batch of n
+	// queries blocks n×Latency: the engine models per-query round-trip
+	// cost, and batching amortizes our CPU setup, not the simulated
+	// network.
 	RealSleep bool
 
-	mu        sync.Mutex
-	queries   int
-	simulated time.Duration
+	mu             sync.Mutex
+	queries        int
+	batches        int
+	batchedQueries int
+	simulated      time.Duration
 }
 
-// NewEngine builds an engine over a pre-built index. The index is frozen
-// here — deriving the cached ranking state (per-term idf, average document
-// length) up front — so engines are safe to share across goroutines without
-// any query ever hitting the lazy freeze path.
+// Stats is a point-in-time snapshot of the engine's serving counters.
+type Stats struct {
+	// Queries is the total number of queries issued (batched queries
+	// count individually).
+	Queries int
+	// Batches and BatchedQueries describe SearchBatch usage: the number
+	// of batch calls and the queries they carried; their ratio is the
+	// average batch size.
+	Batches        int
+	BatchedQueries int
+	// SimulatedTime is the total virtual round-trip latency accrued.
+	SimulatedTime time.Duration
+	// Shards is the shard count of the underlying index (1 when the
+	// engine wraps a monolithic Index).
+	Shards int
+	// ShardQueries is the per-shard query count; nil for a monolithic
+	// index.
+	ShardQueries []int64
+}
+
+// NewEngine builds an engine over a pre-built monolithic index. The index is
+// frozen here — deriving the cached ranking state (per-term idf, average
+// document length) up front — so engines are safe to share across goroutines
+// without any query ever hitting the lazy freeze path.
 func NewEngine(ix *Index) *Engine {
 	ix.Freeze()
 	return &Engine{index: ix}
 }
 
+// NewShardedEngine builds an engine over a sharded index, freezing it (which
+// derives the corpus-wide ranking state and installs it into every shard).
+// Results are byte-identical to NewEngine over the same corpus; only the
+// intra-query parallelism differs.
+func NewShardedEngine(six *ShardedIndex) *Engine {
+	six.Freeze()
+	return &Engine{index: six}
+}
+
 // Search returns the top-k results for query, accruing simulated latency.
 func (e *Engine) Search(query string, k int) []Result {
-	e.account()
+	e.account(1, false)
+	e.sleep(1)
 	return e.index.Search(query, k)
+}
+
+// SearchBatch resolves a batch of queries in one call; out[i] is exactly
+// Search(queries[i], k). Accounting matches issuing each query separately —
+// the batch amortizes per-query CPU setup and, on a sharded index, fans the
+// whole batch out to the shards in one parallel pass.
+func (e *Engine) SearchBatch(queries []string, k int) [][]Result {
+	e.account(len(queries), true)
+	e.sleep(len(queries))
+	return e.index.SearchBatch(queries, k)
+}
+
+// SearchContext is Search with cancellation: it returns ctx.Err() without
+// querying when ctx is already done, and a RealSleep engine abandons the
+// simulated round-trip mid-sleep when ctx is cancelled. The query is
+// counted once it is issued, even if the caller abandons it.
+func (e *Engine) SearchContext(ctx context.Context, query string, k int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.account(1, false)
+	if err := e.sleepCtx(ctx, 1); err != nil {
+		return nil, err
+	}
+	return e.index.Search(query, k), nil
+}
+
+// SearchBatchContext is SearchBatch with cancellation, checked before the
+// batch is issued and (for RealSleep engines) during the simulated
+// round-trips, which abort mid-sleep.
+func (e *Engine) SearchBatchContext(ctx context.Context, queries []string, k int) ([][]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.account(len(queries), true)
+	if err := e.sleepCtx(ctx, len(queries)); err != nil {
+		return nil, err
+	}
+	return e.index.SearchBatch(queries, k), nil
 }
 
 // SearchPhrase is Search with phrase semantics for double-quoted segments
 // (see Index.SearchPhrase); the paper submits its training queries as
 // phrases (§5.2.1).
 func (e *Engine) SearchPhrase(query string, k int) []Result {
-	e.account()
+	e.account(1, false)
+	e.sleep(1)
 	return e.index.SearchPhrase(query, k)
 }
 
-func (e *Engine) account() {
+// account records n issued queries (as one batch when batch is set).
+func (e *Engine) account(n int, batch bool) {
 	e.mu.Lock()
-	e.queries++
-	e.simulated += e.Latency
+	e.queries += n
+	e.simulated += time.Duration(n) * e.Latency
+	if batch {
+		e.batches++
+		e.batchedQueries += n
+	}
 	e.mu.Unlock()
+}
+
+// sleep blocks for n simulated round-trips when RealSleep is enabled.
+func (e *Engine) sleep(n int) {
 	if e.RealSleep && e.Latency > 0 {
-		time.Sleep(e.Latency)
+		time.Sleep(time.Duration(n) * e.Latency)
+	}
+}
+
+// sleepCtx is sleep with cancellation: it returns ctx.Err() as soon as ctx
+// is done, abandoning the rest of the simulated round-trip time.
+func (e *Engine) sleepCtx(ctx context.Context, n int) error {
+	if !e.RealSleep || e.Latency <= 0 {
+		return nil
+	}
+	t := time.NewTimer(time.Duration(n) * e.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -78,12 +190,38 @@ func (e *Engine) SimulatedTime() time.Duration {
 	return e.simulated
 }
 
-// ResetCounters zeroes the query and latency accounting.
+// Stats snapshots the serving counters, including the shard fan-out when
+// the engine wraps a ShardedIndex.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	st := Stats{
+		Queries:        e.queries,
+		Batches:        e.batches,
+		BatchedQueries: e.batchedQueries,
+		SimulatedTime:  e.simulated,
+		Shards:         1,
+	}
+	e.mu.Unlock()
+	if six, ok := e.index.(*ShardedIndex); ok {
+		st.Shards = six.NumShards()
+		st.ShardQueries = six.ShardQueryCounts()
+	}
+	return st
+}
+
+// ResetCounters zeroes the query and latency accounting, including the
+// per-shard counters of a sharded index, so serving-time statistics do not
+// carry construction-time (classifier training) queries.
 func (e *Engine) ResetCounters() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.queries = 0
+	e.batches = 0
+	e.batchedQueries = 0
 	e.simulated = 0
+	e.mu.Unlock()
+	if six, ok := e.index.(*ShardedIndex); ok {
+		six.ResetQueryCounts()
+	}
 }
 
 // IndexSize returns the number of documents behind the engine.

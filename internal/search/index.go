@@ -79,6 +79,10 @@ type Index struct {
 	freezeMu sync.Mutex
 	idf      map[string]float64
 	avgLen   float64
+	// normK[doc] is the document's precomputed BM25 length normalizer,
+	// bm25K1*(1-bm25B+bm25B*dl/avgLen) — the per-posting denominator term
+	// that depends only on frozen state, hoisted out of the scoring loop.
+	normK []float64
 
 	// accPool recycles per-query dense score accumulators across queries
 	// and across concurrent readers.
@@ -182,7 +186,34 @@ func (ix *Index) Freeze() {
 	if n > 0 {
 		ix.avgLen = float64(ix.totalLen) / n
 	}
+	ix.freezeNormK()
 	ix.frozen.Store(true)
+}
+
+// freezeShared installs externally-derived global ranking state — the
+// corpus-wide idf table and average document length a ShardedIndex computes
+// across its shards — so every shard scores with exactly the constants the
+// monolithic index would use. The idf map is shared and read-only.
+func (ix *Index) freezeShared(idf map[string]float64, avgLen float64) {
+	ix.freezeMu.Lock()
+	defer ix.freezeMu.Unlock()
+	ix.idf = idf
+	ix.avgLen = avgLen
+	ix.freezeNormK()
+	ix.frozen.Store(true)
+}
+
+// freezeNormK derives the per-doc BM25 length normalizers from docLen and
+// avgLen. The expression matches the former inline scoring term exactly, so
+// cached and inline scores are bit-identical.
+func (ix *Index) freezeNormK() {
+	if cap(ix.normK) < len(ix.docLen) {
+		ix.normK = make([]float64, len(ix.docLen))
+	}
+	ix.normK = ix.normK[:len(ix.docLen)]
+	for d, dl := range ix.docLen {
+		ix.normK[d] = bm25K1 * (1 - bm25B + bm25B*float64(dl)/ix.avgLen)
+	}
 }
 
 // ensureFrozen freezes on first query. The fast path is one atomic load.
@@ -194,9 +225,11 @@ func (ix *Index) ensureFrozen() {
 
 // accumulator is the per-query dense scoring state: a score per document plus
 // the list of touched documents, so resetting costs O(touched), not O(docs).
+// The top-k heap storage rides along so batch queries recycle it too.
 type accumulator struct {
 	scores  []float64
 	touched []int
+	heap    []hit
 }
 
 func (ix *Index) getAccumulator() *accumulator {
@@ -294,11 +327,10 @@ func (t *topK) drain() []hit {
 // topDocs scores the query terms over the postings lists into a dense
 // accumulator and returns the k best English documents (score desc, doc asc).
 // Snippets are not generated here — materialize is called only for the hits a
-// caller actually returns.
-func (ix *Index) topDocs(qterms []string, k int) []hit {
+// caller actually returns. The returned slice aliases the accumulator's heap
+// storage and is valid until the accumulator's next use.
+func (ix *Index) topDocs(acc *accumulator, qterms []string, k int) []hit {
 	ix.ensureFrozen()
-	acc := ix.getAccumulator()
-	defer ix.putAccumulator(acc)
 	for _, t := range qterms {
 		plist := ix.postings[t]
 		if len(plist) == 0 {
@@ -310,34 +342,54 @@ func (ix *Index) topDocs(qterms []string, k int) []hit {
 			if acc.scores[p.doc] == 0 {
 				acc.touched = append(acc.touched, p.doc)
 			}
-			dl := float64(ix.docLen[p.doc])
-			acc.scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/ix.avgLen))
+			acc.scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + ix.normK[p.doc])
 		}
 	}
-	top := topK{k: k, h: make([]hit, 0, min(k, len(acc.touched)))}
+	top := topK{k: k, h: acc.heap[:0]}
 	for _, d := range acc.touched {
 		if !ix.english[d] {
 			continue
 		}
 		top.push(hit{doc: d, score: acc.scores[d]})
 	}
-	return top.drain()
+	hits := top.drain()
+	acc.heap = hits[:0]
+	// Reset the dense scores for the accumulator's next query.
+	for _, d := range acc.touched {
+		acc.scores[d] = 0
+	}
+	acc.touched = acc.touched[:0]
+	return hits
 }
 
 // materialize renders hits as Results, generating snippets only now — for
-// the hits actually returned, not for every scored candidate.
+// the hits actually returned, not for every scored candidate. The query-term
+// set is built once per query, not per hit.
 func (ix *Index) materialize(hits []hit, qterms []string) []Result {
 	out := make([]Result, len(hits))
+	if len(hits) == 0 {
+		return out
+	}
+	qset := querySet(qterms)
 	for i, h := range hits {
 		d := ix.docs[h.doc]
 		out[i] = Result{
 			URL:     d.URL,
 			Title:   d.Title,
-			Snippet: ix.snippet(h.doc, qterms),
+			Snippet: ix.snippet(h.doc, qset),
 			Score:   h.score,
 		}
 	}
 	return out
+}
+
+// querySet returns the query terms as a set for snippet-window selection.
+func querySet(qterms []string) map[string]struct{} {
+	qset := make(map[string]struct{}, len(qterms))
+	for _, t := range qterms {
+		qset[t] = struct{}{}
+	}
+	return qset
 }
 
 // Search returns the top-k English documents for the query under BM25,
@@ -350,20 +402,39 @@ func (ix *Index) Search(query string, k int) []Result {
 	if len(qterms) == 0 {
 		return nil
 	}
-	return ix.materialize(ix.topDocs(qterms, k), qterms)
+	acc := ix.getAccumulator()
+	defer ix.putAccumulator(acc)
+	return ix.materialize(ix.topDocs(acc, qterms, k), qterms)
+}
+
+// SearchBatch resolves a batch of queries in one call, returning the results
+// positionally: out[i] is exactly Search(queries[i], k). The batch amortizes
+// the per-query setup — one accumulator (and top-k heap) is checked out of
+// the pool for the whole batch instead of once per query.
+func (ix *Index) SearchBatch(queries []string, k int) [][]Result {
+	out := make([][]Result, len(queries))
+	if k <= 0 || len(ix.docs) == 0 {
+		return out
+	}
+	acc := ix.getAccumulator()
+	defer ix.putAccumulator(acc)
+	for i, q := range queries {
+		qterms := textproc.NormalizeTokens(q)
+		if len(qterms) == 0 {
+			continue
+		}
+		out[i] = ix.materialize(ix.topDocs(acc, qterms, k), qterms)
+	}
+	return out
 }
 
 // snippet extracts a SnippetWords-word window around the first body word
 // whose stem matches a query term, or the leading window when no term
 // matches (title-only hits). Stems were precomputed at Add time.
-func (ix *Index) snippet(doc int, qterms []string) string {
+func (ix *Index) snippet(doc int, qset map[string]struct{}) string {
 	words := ix.bodyToks[doc]
 	if len(words) == 0 {
 		return ix.docs[doc].Title
-	}
-	qset := make(map[string]struct{}, len(qterms))
-	for _, t := range qterms {
-		qset[t] = struct{}{}
 	}
 	at := 0
 	for i, s := range ix.wordStem[doc] {

@@ -12,22 +12,27 @@ import (
 // be reloaded without re-tokenising (building the synthetic web index is the
 // slowest part of system construction). Format (little-endian):
 //
-//	magic "TIDX" | version u32
-//	docCount u32, then per doc: url, title, body, lang (len-prefixed strings)
-//	termCount u32, then per term: term string, postings u32,
-//	    then per posting: doc u32, tf u32
-//	posTermCount u32, then per term: term string, docs u32,
-//	    then per doc: doc u32, positions u32, then each position u32
+//	magic "TIDX" | version u32 | shardCount u32
+//	docCount u32, then per doc: url, title, body, lang (len-prefixed
+//	    strings), in global Add order
+//	then per shard, in shard order:
+//	    termCount u32, then per term: term string, postings u32,
+//	        then per posting: doc u32, tf u32
+//	    posTermCount u32, then per term: term string, docs u32,
+//	        then per doc: doc u32, positions u32, then each position u32
 //
-// Version 2 added the positional section: the content-word positions phrase
-// search matches against round-trip with the index and are verified against
-// the rebuilt state on load. Document lengths, body tokens, stems and
-// postings are reconstructed on load from the stored bodies, keeping the
-// file small at the cost of a cheap re-scan.
+// Version 2 added the positional section. Version 3 added the shardCount
+// header field so a sharded layout round-trips: documents are stored once in
+// global order (shard assignment is the deterministic round-robin of
+// ShardedIndex.Add), and the postings/positions integrity sections repeat
+// per shard with shard-local doc ids. A monolithic Index is the shardCount=1
+// case; version-2 files (no shard field) still load. Document lengths, body
+// tokens, stems and postings are reconstructed on load from the stored
+// bodies, keeping the file small at the cost of a cheap re-scan.
 
 const (
 	indexMagic   = "TIDX"
-	indexVersion = 2
+	indexVersion = 3
 )
 
 // sortedTerms returns m's keys sorted, so snapshots are byte-reproducible.
@@ -40,225 +45,349 @@ func sortedTerms[V any](m map[string]V) []string {
 	return terms
 }
 
-// WriteTo serialises the index. It returns the byte count written.
-func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	bw := &countingWriter{w: bufio.NewWriter(w)}
-	write := func(data any) error {
-		return binary.Write(bw, binary.LittleEndian, data)
-	}
-	writeString := func(s string) error {
-		if err := write(uint32(len(s))); err != nil {
-			return err
-		}
-		_, err := bw.Write([]byte(s))
+// persistWriter wraps the encoding helpers shared by both WriteTo variants.
+type persistWriter struct {
+	bw *bufio.Writer
+	n  int64
+}
+
+func (pw *persistWriter) Write(p []byte) (int, error) {
+	n, err := pw.bw.Write(p)
+	pw.n += int64(n)
+	return n, err
+}
+
+func (pw *persistWriter) u32(v uint32) error {
+	return binary.Write(pw, binary.LittleEndian, v)
+}
+
+func (pw *persistWriter) str(s string) error {
+	if err := pw.u32(uint32(len(s))); err != nil {
 		return err
 	}
+	_, err := pw.Write([]byte(s))
+	return err
+}
 
-	if _, err := bw.Write([]byte(indexMagic)); err != nil {
-		return bw.n, err
+// header writes magic, version and the shard count.
+func (pw *persistWriter) header(shards int) error {
+	if _, err := pw.Write([]byte(indexMagic)); err != nil {
+		return err
 	}
-	if err := write(uint32(indexVersion)); err != nil {
-		return bw.n, err
+	if err := pw.u32(indexVersion); err != nil {
+		return err
 	}
-	if err := write(uint32(len(ix.docs))); err != nil {
-		return bw.n, err
-	}
-	for _, d := range ix.docs {
-		for _, s := range []string{d.URL, d.Title, d.Body, d.Lang} {
-			if err := writeString(s); err != nil {
-				return bw.n, err
-			}
+	return pw.u32(uint32(shards))
+}
+
+// docs writes the document section in the given order.
+func (pw *persistWriter) doc(d Document) error {
+	for _, s := range []string{d.URL, d.Title, d.Body, d.Lang} {
+		if err := pw.str(s); err != nil {
+			return err
 		}
 	}
-	if err := write(uint32(len(ix.postings))); err != nil {
-		return bw.n, err
+	return nil
+}
+
+// sections writes one shard's postings and positions integrity sections.
+func (pw *persistWriter) sections(ix *Index) error {
+	if err := pw.u32(uint32(len(ix.postings))); err != nil {
+		return err
 	}
 	for _, term := range sortedTerms(ix.postings) {
 		plist := ix.postings[term]
-		if err := writeString(term); err != nil {
-			return bw.n, err
+		if err := pw.str(term); err != nil {
+			return err
 		}
-		if err := write(uint32(len(plist))); err != nil {
-			return bw.n, err
+		if err := pw.u32(uint32(len(plist))); err != nil {
+			return err
 		}
 		for _, p := range plist {
-			if err := write(uint32(p.doc)); err != nil {
-				return bw.n, err
+			if err := pw.u32(uint32(p.doc)); err != nil {
+				return err
 			}
-			if err := write(uint32(p.tf)); err != nil {
-				return bw.n, err
+			if err := pw.u32(uint32(p.tf)); err != nil {
+				return err
 			}
 		}
 	}
-	if err := write(uint32(len(ix.positions))); err != nil {
-		return bw.n, err
+	if err := pw.u32(uint32(len(ix.positions))); err != nil {
+		return err
 	}
 	for _, term := range sortedTerms(ix.positions) {
 		plist := ix.positions[term]
-		if err := writeString(term); err != nil {
-			return bw.n, err
+		if err := pw.str(term); err != nil {
+			return err
 		}
-		if err := write(uint32(len(plist))); err != nil {
-			return bw.n, err
+		if err := pw.u32(uint32(len(plist))); err != nil {
+			return err
 		}
 		for _, p := range plist {
-			if err := write(uint32(p.doc)); err != nil {
-				return bw.n, err
+			if err := pw.u32(uint32(p.doc)); err != nil {
+				return err
 			}
-			if err := write(uint32(len(p.pos))); err != nil {
-				return bw.n, err
+			if err := pw.u32(uint32(len(p.pos))); err != nil {
+				return err
 			}
 			for _, pos := range p.pos {
-				if err := write(uint32(pos)); err != nil {
-					return bw.n, err
+				if err := pw.u32(uint32(pos)); err != nil {
+					return err
 				}
 			}
 		}
 	}
-	return bw.n, bw.w.(*bufio.Writer).Flush()
+	return nil
 }
 
-// ReadIndex loads an index previously written with WriteTo.
-func ReadIndex(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
-	read := func(data any) error {
-		return binary.Read(br, binary.LittleEndian, data)
+// WriteTo serialises the index as the shardCount=1 case of the v3 format.
+// It returns the byte count written.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	pw := &persistWriter{bw: bufio.NewWriter(w)}
+	err := func() error {
+		if err := pw.header(1); err != nil {
+			return err
+		}
+		if err := pw.u32(uint32(len(ix.docs))); err != nil {
+			return err
+		}
+		for _, d := range ix.docs {
+			if err := pw.doc(d); err != nil {
+				return err
+			}
+		}
+		return pw.sections(ix)
+	}()
+	if err != nil {
+		return pw.n, err
 	}
-	readString := func() (string, error) {
-		var n uint32
-		if err := read(&n); err != nil {
-			return "", err
-		}
-		if n > 1<<26 {
-			return "", fmt.Errorf("search: corrupt index (string length %d)", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
+	return pw.n, pw.bw.Flush()
+}
 
+// WriteTo serialises the sharded index: documents once in global order, then
+// each shard's integrity sections. It returns the byte count written.
+func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	pw := &persistWriter{bw: bufio.NewWriter(w)}
+	n := len(s.shards)
+	err := func() error {
+		if err := pw.header(n); err != nil {
+			return err
+		}
+		if err := pw.u32(uint32(s.nDocs)); err != nil {
+			return err
+		}
+		for g := 0; g < s.nDocs; g++ {
+			if err := pw.doc(s.shards[g%n].docs[g/n]); err != nil {
+				return err
+			}
+		}
+		for _, sh := range s.shards {
+			if err := pw.sections(sh); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		return pw.n, err
+	}
+	return pw.n, pw.bw.Flush()
+}
+
+// persistReader wraps the decoding helpers shared by both readers.
+type persistReader struct {
+	br *bufio.Reader
+}
+
+func (pr *persistReader) u32(v *uint32) error {
+	return binary.Read(pr.br, binary.LittleEndian, v)
+}
+
+func (pr *persistReader) str() (string, error) {
+	var n uint32
+	if err := pr.u32(&n); err != nil {
+		return "", err
+	}
+	if n > 1<<26 {
+		return "", fmt.Errorf("search: corrupt index (string length %d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(pr.br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// header reads and validates magic + version and returns the shard count
+// (1 for version-2 files, which predate the field).
+func (pr *persistReader) header() (int, error) {
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("search: reading magic: %w", err)
+	if _, err := io.ReadFull(pr.br, magic); err != nil {
+		return 0, fmt.Errorf("search: reading magic: %w", err)
 	}
 	if string(magic) != indexMagic {
-		return nil, fmt.Errorf("search: bad magic %q", magic)
+		return 0, fmt.Errorf("search: bad magic %q", magic)
 	}
 	var version uint32
-	if err := read(&version); err != nil {
-		return nil, err
+	if err := pr.u32(&version); err != nil {
+		return 0, err
 	}
-	if version != indexVersion {
-		return nil, fmt.Errorf("search: unsupported index version %d", version)
+	switch version {
+	case 2:
+		return 1, nil
+	case indexVersion:
+		var shards uint32
+		if err := pr.u32(&shards); err != nil {
+			return 0, err
+		}
+		if shards == 0 || shards > 1<<16 {
+			return 0, fmt.Errorf("search: corrupt index (shard count %d)", shards)
+		}
+		return int(shards), nil
 	}
+	return 0, fmt.Errorf("search: unsupported index version %d", version)
+}
 
-	// Rebuild by re-adding the documents: postings, positions, lengths and
-	// body tokens are all derived state, and re-deriving them guarantees
-	// the loaded index behaves identically to a freshly built one.
+// docs re-adds the stored documents through add, rebuilding all derived
+// state (postings, positions, lengths, body tokens) so the loaded index
+// behaves identically to a freshly built one.
+func (pr *persistReader) docs(add func(Document)) error {
 	var docCount uint32
-	if err := read(&docCount); err != nil {
-		return nil, err
+	if err := pr.u32(&docCount); err != nil {
+		return err
 	}
-	ix := NewIndex()
 	for i := uint32(0); i < docCount; i++ {
 		var fields [4]string
 		for f := range fields {
-			s, err := readString()
+			s, err := pr.str()
 			if err != nil {
-				return nil, fmt.Errorf("search: doc %d: %w", i, err)
+				return fmt.Errorf("search: doc %d: %w", i, err)
 			}
 			fields[f] = s
 		}
-		ix.Add(Document{URL: fields[0], Title: fields[1], Body: fields[2], Lang: fields[3]})
+		add(Document{URL: fields[0], Title: fields[1], Body: fields[2], Lang: fields[3]})
 	}
+	return nil
+}
 
-	// Verify the stored postings match the rebuilt ones (an integrity
-	// check that also keeps the format honest).
+// sections verifies one shard's stored postings and positions against the
+// rebuilt state (an integrity check that also keeps the format honest).
+func (pr *persistReader) sections(ix *Index) error {
 	var termCount uint32
-	if err := read(&termCount); err != nil {
-		return nil, err
+	if err := pr.u32(&termCount); err != nil {
+		return err
 	}
 	for i := uint32(0); i < termCount; i++ {
-		term, err := readString()
+		term, err := pr.str()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var n uint32
-		if err := read(&n); err != nil {
-			return nil, err
+		if err := pr.u32(&n); err != nil {
+			return err
 		}
 		rebuilt := ix.postings[term]
 		if uint32(len(rebuilt)) != n {
-			return nil, fmt.Errorf("search: postings mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
+			return fmt.Errorf("search: postings mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
 		}
 		for j := uint32(0); j < n; j++ {
 			var doc, tf uint32
-			if err := read(&doc); err != nil {
-				return nil, err
+			if err := pr.u32(&doc); err != nil {
+				return err
 			}
-			if err := read(&tf); err != nil {
-				return nil, err
+			if err := pr.u32(&tf); err != nil {
+				return err
 			}
 			if rebuilt[j].doc != int(doc) || rebuilt[j].tf != int(tf) {
-				return nil, fmt.Errorf("search: posting %d of %q differs", j, term)
+				return fmt.Errorf("search: posting %d of %q differs", j, term)
 			}
 		}
 	}
-
-	// Same integrity check for the positional section.
 	var posTermCount uint32
-	if err := read(&posTermCount); err != nil {
-		return nil, err
+	if err := pr.u32(&posTermCount); err != nil {
+		return err
 	}
 	for i := uint32(0); i < posTermCount; i++ {
-		term, err := readString()
+		term, err := pr.str()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var n uint32
-		if err := read(&n); err != nil {
-			return nil, err
+		if err := pr.u32(&n); err != nil {
+			return err
 		}
 		rebuilt := ix.positions[term]
 		if uint32(len(rebuilt)) != n {
-			return nil, fmt.Errorf("search: position lists mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
+			return fmt.Errorf("search: position lists mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
 		}
 		for j := uint32(0); j < n; j++ {
 			var doc, np uint32
-			if err := read(&doc); err != nil {
-				return nil, err
+			if err := pr.u32(&doc); err != nil {
+				return err
 			}
-			if err := read(&np); err != nil {
-				return nil, err
+			if err := pr.u32(&np); err != nil {
+				return err
 			}
 			if rebuilt[j].doc != int(doc) || uint32(len(rebuilt[j].pos)) != np {
-				return nil, fmt.Errorf("search: position list %d of %q differs", j, term)
+				return fmt.Errorf("search: position list %d of %q differs", j, term)
 			}
 			for pj := uint32(0); pj < np; pj++ {
 				var pos uint32
-				if err := read(&pos); err != nil {
-					return nil, err
+				if err := pr.u32(&pos); err != nil {
+					return err
 				}
 				if rebuilt[j].pos[pj] != int32(pos) {
-					return nil, fmt.Errorf("search: position %d of %q in doc %d differs", pj, term, doc)
+					return fmt.Errorf("search: position %d of %q in doc %d differs", pj, term, doc)
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// ReadIndex loads a monolithic index previously written with Index.WriteTo.
+// Files written by ShardedIndex.WriteTo with more than one shard must be
+// loaded with ReadShardedIndex (the shard-local doc ids in their integrity
+// sections only make sense against the sharded layout).
+func ReadIndex(r io.Reader) (*Index, error) {
+	pr := &persistReader{br: bufio.NewReader(r)}
+	shards, err := pr.header()
+	if err != nil {
+		return nil, err
+	}
+	if shards != 1 {
+		return nil, fmt.Errorf("search: index has %d shards; use ReadShardedIndex", shards)
+	}
+	ix := NewIndex()
+	if err := pr.docs(ix.Add); err != nil {
+		return nil, err
+	}
+	if err := pr.sections(ix); err != nil {
+		return nil, err
 	}
 	ix.Freeze()
 	return ix, nil
 }
 
-// countingWriter tracks bytes written.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.n += int64(n)
-	return n, err
+// ReadShardedIndex loads any index snapshot as a ShardedIndex with the
+// stored shard count (1 for monolithic and version-2 files): documents are
+// re-added in global order, which reproduces the round-robin shard layout
+// exactly, then every shard is verified against its stored sections.
+func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
+	pr := &persistReader{br: bufio.NewReader(r)}
+	shards, err := pr.header()
+	if err != nil {
+		return nil, err
+	}
+	s := NewShardedIndex(shards)
+	if err := pr.docs(s.Add); err != nil {
+		return nil, err
+	}
+	for si, sh := range s.shards {
+		if err := pr.sections(sh); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	s.Freeze()
+	return s, nil
 }

@@ -32,7 +32,9 @@ func (ix *Index) SearchPhrase(query string, k int) []Result {
 		want[i] = textproc.NormalizeTokens(p)
 	}
 	// Over-fetch candidates: phrase verification will discard some.
-	candidates := ix.topDocs(qterms, k*4)
+	acc := ix.getAccumulator()
+	defer ix.putAccumulator(acc)
+	candidates := ix.topDocs(acc, qterms, k*4)
 	var keep []hit
 	for _, h := range candidates {
 		ok := true

@@ -1,0 +1,352 @@
+package search
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/textproc"
+)
+
+// ShardedIndex partitions a corpus across N shard Indexes so one query's
+// scoring work can run on N cores, while staying byte-identical to the
+// monolithic Index: documents are assigned round-robin (global doc id g
+// lives in shard g%N at local id g/N — a monotonic mapping, so per-shard
+// doc order equals global order restricted to the shard), ranking constants
+// (per-term idf, average document length) are derived corpus-wide at freeze
+// time and installed into every shard, and per-shard bounded top-k results
+// merge under the exact (score desc, global doc asc) total order. Because a
+// document's BM25 score accumulates per query term in query order within
+// its one owning shard, every float operation matches the monolithic
+// engine's and scores are bit-identical, not merely close.
+//
+// Concurrency mirrors Index: Add is single-goroutine, queries are safe for
+// any number of concurrent readers once frozen (NewShardedEngine freezes),
+// and an unfrozen query freezes on demand under a mutex.
+type ShardedIndex struct {
+	shards []*Index
+	nDocs  int
+
+	frozen   atomic.Bool
+	freezeMu sync.Mutex
+
+	// queries[s] counts queries scored by shard s (every query fans out to
+	// all shards, so the counts advance together; they are exposed on
+	// /statz to make the fan-out observable).
+	queries []atomic.Int64
+}
+
+// NewShardedIndex returns an empty index over max(1, shards) shards.
+func NewShardedIndex(shards int) *ShardedIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedIndex{
+		shards:  make([]*Index, shards),
+		queries: make([]atomic.Int64, shards),
+	}
+	for i := range s.shards {
+		s.shards[i] = NewIndex()
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *ShardedIndex) NumShards() int { return len(s.shards) }
+
+// Len returns the number of indexed documents across all shards.
+func (s *ShardedIndex) Len() int { return s.nDocs }
+
+// ShardQueryCounts returns a snapshot of per-shard query counts.
+func (s *ShardedIndex) ShardQueryCounts() []int64 {
+	out := make([]int64, len(s.queries))
+	for i := range s.queries {
+		out[i] = s.queries[i].Load()
+	}
+	return out
+}
+
+// ResetQueryCounts zeroes the per-shard query counters.
+func (s *ShardedIndex) ResetQueryCounts() {
+	for i := range s.queries {
+		s.queries[i].Store(0)
+	}
+}
+
+// Add indexes a document into its round-robin shard. Adding un-freezes the
+// sharded index; the next query (or Freeze call) re-derives the global
+// ranking state.
+func (s *ShardedIndex) Add(doc Document) {
+	s.shards[s.nDocs%len(s.shards)].Add(doc)
+	s.nDocs++
+	s.frozen.Store(false)
+}
+
+// Freeze derives the corpus-wide ranking state — global per-term document
+// frequencies, the global average document length — and installs it into
+// every shard, exactly as the monolithic Index.Freeze would derive it over
+// the whole corpus. Idempotent; Add un-freezes.
+func (s *ShardedIndex) Freeze() {
+	s.freezeMu.Lock()
+	defer s.freezeMu.Unlock()
+	if s.frozen.Load() {
+		return
+	}
+	df := make(map[string]int)
+	totalLen := 0
+	for _, sh := range s.shards {
+		for t, plist := range sh.postings {
+			df[t] += len(plist)
+		}
+		totalLen += sh.totalLen
+	}
+	n := float64(s.nDocs)
+	idf := make(map[string]float64, len(df))
+	for t, d := range df {
+		dff := float64(d)
+		idf[t] = math.Log((n-dff+0.5)/(dff+0.5) + 1)
+	}
+	avgLen := 0.0
+	if n > 0 {
+		avgLen = float64(totalLen) / n
+	}
+	// Shards share the one read-only idf map.
+	for _, sh := range s.shards {
+		sh.freezeShared(idf, avgLen)
+	}
+	s.frozen.Store(true)
+}
+
+func (s *ShardedIndex) ensureFrozen() {
+	if !s.frozen.Load() {
+		s.Freeze()
+	}
+}
+
+// global converts a shard-local hit list to global doc ids in place.
+func global(hits []hit, shard, n int) []hit {
+	for i := range hits {
+		hits[i].doc = hits[i].doc*n + shard
+	}
+	return hits
+}
+
+// topDocs runs the bounded top-k on every shard — in parallel when there is
+// more than one — and merges the per-shard lists into the global top-k under
+// the exact monolithic order. The returned hits carry global doc ids.
+func (s *ShardedIndex) topDocs(qterms []string, k int) []hit {
+	s.ensureFrozen()
+	n := len(s.shards)
+	if n == 1 {
+		s.queries[0].Add(1)
+		sh := s.shards[0]
+		acc := sh.getAccumulator()
+		hits := append([]hit(nil), sh.topDocs(acc, qterms, k)...)
+		sh.putAccumulator(acc)
+		return hits
+	}
+	lists := make([][]hit, n)
+	var wg sync.WaitGroup
+	for si, sh := range s.shards {
+		wg.Add(1)
+		go func(si int, sh *Index) {
+			defer wg.Done()
+			s.queries[si].Add(1)
+			acc := sh.getAccumulator()
+			lists[si] = global(append([]hit(nil), sh.topDocs(acc, qterms, k)...), si, n)
+			sh.putAccumulator(acc)
+		}(si, sh)
+	}
+	wg.Wait()
+	return mergeHits(lists, k)
+}
+
+// topDocsBatch is the batch form of topDocs: each shard scores the whole
+// query batch in one goroutine (normalized query terms are shared across
+// shards), then the per-shard lists merge per query. out[i] is exactly
+// topDocs(qterms[i], k).
+func (s *ShardedIndex) topDocsBatch(qterms [][]string, k int) [][]hit {
+	s.ensureFrozen()
+	n := len(s.shards)
+	out := make([][]hit, len(qterms))
+	if n == 1 {
+		sh := s.shards[0]
+		acc := sh.getAccumulator()
+		for i, terms := range qterms {
+			if terms == nil {
+				continue
+			}
+			s.queries[0].Add(1)
+			out[i] = append([]hit(nil), sh.topDocs(acc, terms, k)...)
+		}
+		sh.putAccumulator(acc)
+		return out
+	}
+	lists := make([][][]hit, n) // lists[shard][query]
+	var wg sync.WaitGroup
+	for si, sh := range s.shards {
+		wg.Add(1)
+		go func(si int, sh *Index) {
+			defer wg.Done()
+			perQuery := make([][]hit, len(qterms))
+			acc := sh.getAccumulator()
+			for i, terms := range qterms {
+				if terms == nil {
+					continue
+				}
+				s.queries[si].Add(1)
+				perQuery[i] = global(append([]hit(nil), sh.topDocs(acc, terms, k)...), si, n)
+			}
+			sh.putAccumulator(acc)
+			lists[si] = perQuery
+		}(si, sh)
+	}
+	wg.Wait()
+	scratch := make([][]hit, n)
+	for i := range qterms {
+		if qterms[i] == nil {
+			continue
+		}
+		for si := range lists {
+			scratch[si] = lists[si][i]
+		}
+		out[i] = mergeHits(scratch, k)
+	}
+	return out
+}
+
+// mergeHits merges per-shard hit lists (each sorted best-first under the
+// (score desc, doc asc) order) into the global top-k, preserving that exact
+// total order. Shard counts are small, so an O(k·shards) selection is used.
+func mergeHits(lists [][]hit, k int) []hit {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total > k {
+		total = k
+	}
+	out := make([]hit, 0, total)
+	heads := make([]int, len(lists))
+	for len(out) < total {
+		best := -1
+		for si, l := range lists {
+			if heads[si] >= len(l) {
+				continue
+			}
+			if best < 0 || worseHit(lists[best][heads[best]], l[heads[si]]) {
+				best = si
+			}
+		}
+		out = append(out, lists[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// materialize renders globally-merged hits, generating each snippet in the
+// document's owning shard (the stems and body tokens live there).
+func (s *ShardedIndex) materialize(hits []hit, qterms []string) []Result {
+	out := make([]Result, len(hits))
+	if len(hits) == 0 {
+		return out
+	}
+	n := len(s.shards)
+	qset := querySet(qterms)
+	for i, h := range hits {
+		sh := s.shards[h.doc%n]
+		local := h.doc / n
+		d := sh.docs[local]
+		out[i] = Result{
+			URL:     d.URL,
+			Title:   d.Title,
+			Snippet: sh.snippet(local, qset),
+			Score:   h.score,
+		}
+	}
+	return out
+}
+
+// Search returns the top-k English documents for the query under BM25 —
+// byte-identical to the monolithic Index.Search over the same corpus.
+func (s *ShardedIndex) Search(query string, k int) []Result {
+	if k <= 0 || s.nDocs == 0 {
+		return nil
+	}
+	qterms := textproc.NormalizeTokens(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+	return s.materialize(s.topDocs(qterms, k), qterms)
+}
+
+// SearchBatch resolves a batch of queries: out[i] is exactly
+// Search(queries[i], k). Queries are normalized once and every shard scores
+// the whole batch in a single parallel pass, so the per-query fan-out and
+// setup cost is amortized across the batch.
+func (s *ShardedIndex) SearchBatch(queries []string, k int) [][]Result {
+	out := make([][]Result, len(queries))
+	if k <= 0 || s.nDocs == 0 {
+		return out
+	}
+	qterms := make([][]string, len(queries))
+	for i, q := range queries {
+		if t := textproc.NormalizeTokens(q); len(t) > 0 {
+			qterms[i] = t
+		}
+	}
+	hits := s.topDocsBatch(qterms, k)
+	for i := range queries {
+		if qterms[i] == nil {
+			continue
+		}
+		out[i] = s.materialize(hits[i], qterms[i])
+	}
+	return out
+}
+
+// SearchPhrase is Search with phrase semantics for double-quoted segments,
+// byte-identical to Index.SearchPhrase: the same 4k-candidate BM25 list
+// (merged globally), verified in candidate order against each owning
+// shard's positional postings, truncated to the first k survivors.
+func (s *ShardedIndex) SearchPhrase(query string, k int) []Result {
+	phrases, remainder := splitPhrases(query)
+	if len(phrases) == 0 {
+		return s.Search(query, k)
+	}
+	if k <= 0 || s.nDocs == 0 {
+		return nil
+	}
+	qterms := textproc.NormalizeTokens(remainder + " " + strings.Join(phrases, " "))
+	if len(qterms) == 0 {
+		return nil
+	}
+	want := make([][]string, len(phrases))
+	for i, p := range phrases {
+		want[i] = textproc.NormalizeTokens(p)
+	}
+	candidates := s.topDocs(qterms, k*4)
+	n := len(s.shards)
+	var keep []hit
+	for _, h := range candidates {
+		sh, local := s.shards[h.doc%n], h.doc/n
+		ok := true
+		for _, w := range want {
+			if !sh.containsPhrase(local, w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, h)
+			if len(keep) == k {
+				break
+			}
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	return s.materialize(keep, qterms)
+}

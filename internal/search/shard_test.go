@@ -1,0 +1,237 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSharded indexes docs across n shards and freezes.
+func buildSharded(docs []Document, n int) *ShardedIndex {
+	six := NewShardedIndex(n)
+	for _, d := range docs {
+		six.Add(d)
+	}
+	six.Freeze()
+	return six
+}
+
+// checkBitIdentical asserts got matches want exactly — including score
+// bits, which the sharded engine guarantees (same float operations in the
+// same order), a stricter bound than the reference harness's 1e-9.
+func checkBitIdentical(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, monolithic has %d\n got: %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: result %d differs:\n got: %+v\nwant: %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedMatchesMonolithic differentially tests the sharded engine
+// against the monolithic index over randomized seeded corpora at several
+// shard counts: identical ordering and bit-identical scores, and the
+// reference implementation agrees within 1e-9.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			docs := randomCorpus(rng, 20+rng.Intn(120))
+			ix := NewIndex()
+			for _, d := range docs {
+				ix.Add(d)
+			}
+			ix.Freeze()
+			queries := randomQueries(rng, 40)
+			for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+				six := buildSharded(docs, shards)
+				if six.Len() != ix.Len() {
+					t.Fatalf("shards=%d: Len %d, want %d", shards, six.Len(), ix.Len())
+				}
+				for _, q := range queries {
+					for _, k := range []int{1, 3, 10, 1000} {
+						label := fmt.Sprintf("shards=%d Search(%q, %d)", shards, q, k)
+						checkBitIdentical(t, label, six.Search(q, k), ix.Search(q, k))
+						checkSameResults(t, label+" vs reference", six.Search(q, k), refSearch(docs, q, k))
+						label = fmt.Sprintf("shards=%d SearchPhrase(%q, %d)", shards, q, k)
+						checkBitIdentical(t, label, six.SearchPhrase(q, k), ix.SearchPhrase(q, k))
+						checkSameResults(t, label+" vs reference", six.SearchPhrase(q, k), refSearchPhrase(docs, q, k))
+					}
+				}
+				// The batch path must agree with the single-query path.
+				for _, k := range []int{1, 10} {
+					batched := six.SearchBatch(queries, k)
+					for i, q := range queries {
+						checkBitIdentical(t, fmt.Sprintf("shards=%d SearchBatch[%d](%q, %d)", shards, i, q, k),
+							batched[i], ix.Search(q, k))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedReFreezeAfterAdd: adding documents to a frozen sharded index
+// un-freezes it, and the next query re-derives the global ranking state —
+// never shard-local statistics.
+func TestShardedReFreezeAfterAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	docs := randomCorpus(rng, 60)
+	six := buildSharded(docs[:30], 3)
+	ix := NewIndex()
+	for _, d := range docs[:30] {
+		ix.Add(d)
+	}
+	checkBitIdentical(t, "before re-add", six.Search("museum restaurant", 10), ix.Search("museum restaurant", 10))
+	for _, d := range docs[30:] {
+		six.Add(d)
+		ix.Add(d)
+	}
+	// No explicit Freeze: the query path must re-freeze on demand.
+	checkBitIdentical(t, "after re-add", six.Search("museum restaurant", 10), ix.Search("museum restaurant", 10))
+}
+
+// TestIndexSearchBatchMatchesSearch: the monolithic batch path equals the
+// single-query path (including nil/empty edge semantics).
+func TestIndexSearchBatchMatchesSearch(t *testing.T) {
+	ix := smallIndex()
+	queries := []string{"museum", "", "melisse restaurant", "zzzzqqqq", "the of", "tasting menu"}
+	batched := ix.SearchBatch(queries, 3)
+	for i, q := range queries {
+		single := ix.Search(q, 3)
+		checkBitIdentical(t, fmt.Sprintf("SearchBatch[%d](%q)", i, q), batched[i], single)
+		if (single == nil) != (batched[i] == nil) {
+			t.Errorf("SearchBatch[%d](%q): nil-ness differs (single %v, batched %v)", i, q, single == nil, batched[i] == nil)
+		}
+	}
+	if out := ix.SearchBatch(queries, 0); len(out) != len(queries) {
+		t.Errorf("SearchBatch k=0 returned %d slots, want %d", len(out), len(queries))
+	}
+}
+
+// TestShardedPersistRoundTrip: a sharded index round-trips through the v3
+// format — same shard count, same results — and the monolithic reader
+// refuses multi-shard files instead of mis-reading them.
+func TestShardedPersistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	docs := randomCorpus(rng, 50)
+	six := buildSharded(docs, 4)
+
+	var buf bytes.Buffer
+	if _, err := six.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	loaded, err := ReadShardedIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumShards() != 4 || loaded.Len() != six.Len() {
+		t.Fatalf("loaded %d shards / %d docs, want 4 / %d", loaded.NumShards(), loaded.Len(), six.Len())
+	}
+	for _, q := range randomQueries(rng, 30) {
+		checkBitIdentical(t, "loaded "+q, loaded.Search(q, 10), six.Search(q, 10))
+		checkBitIdentical(t, "loaded phrase "+q, loaded.SearchPhrase(q, 10), six.SearchPhrase(q, 10))
+	}
+
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "ReadShardedIndex") {
+		t.Errorf("ReadIndex accepted a 4-shard file (err=%v), want a redirect to ReadShardedIndex", err)
+	}
+}
+
+// TestReadShardedIndexAcceptsMonolithic: a file written by Index.WriteTo
+// loads as a 1-shard ShardedIndex with identical behaviour.
+func TestReadShardedIndexAcceptsMonolithic(t *testing.T) {
+	ix := smallIndex()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadShardedIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", loaded.NumShards())
+	}
+	checkBitIdentical(t, "monolithic-as-sharded", loaded.Search("melisse restaurant", 5), ix.Search("melisse restaurant", 5))
+}
+
+// TestShardedEngineCounters: the engine over a sharded index accounts
+// queries, batches and the per-shard fan-out.
+func TestShardedEngineCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := NewShardedEngine(buildSharded(randomCorpus(rng, 40), 4))
+	e.Search("museum", 3)
+	e.SearchBatch([]string{"museum", "restaurant", "hotel"}, 3)
+	st := e.Stats()
+	if st.Queries != 4 {
+		t.Errorf("Queries = %d, want 4", st.Queries)
+	}
+	if st.Batches != 1 || st.BatchedQueries != 3 {
+		t.Errorf("Batches = %d BatchedQueries = %d, want 1 and 3", st.Batches, st.BatchedQueries)
+	}
+	if st.Shards != 4 || len(st.ShardQueries) != 4 {
+		t.Fatalf("Shards = %d ShardQueries = %v, want 4 shards", st.Shards, st.ShardQueries)
+	}
+	for si, n := range st.ShardQueries {
+		if n != 4 {
+			t.Errorf("shard %d served %d queries, want 4 (every query fans out to every shard)", si, n)
+		}
+	}
+	if e.QueryCount() != 4 {
+		t.Errorf("QueryCount = %d, want 4", e.QueryCount())
+	}
+	e.ResetCounters()
+	if st := e.Stats(); st.Queries != 0 || st.Batches != 0 || st.BatchedQueries != 0 {
+		t.Errorf("counters not reset: %+v", st)
+	}
+}
+
+// TestEngineSearchContext: the context-aware engine calls refuse an
+// already-done context, and a RealSleep engine abandons the simulated
+// round-trip mid-sleep on cancellation instead of sleeping it out.
+func TestEngineSearchContext(t *testing.T) {
+	e := NewEngine(smallIndex())
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchContext(done, "museum", 3); err == nil {
+		t.Error("SearchContext accepted a cancelled context")
+	}
+	if _, err := e.SearchBatchContext(done, []string{"museum"}, 3); err == nil {
+		t.Error("SearchBatchContext accepted a cancelled context")
+	}
+
+	// A live context resolves normally and matches Search.
+	res, err := e.SearchContext(context.Background(), "museum", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical(t, "SearchContext", res, e.index.Search("museum", 3))
+
+	// 10 queries x 50ms simulated latency would sleep half a second; the
+	// cancellation must cut that short.
+	e.Latency = 50 * time.Millisecond
+	e.RealSleep = true
+	ctx, cancelSoon := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancelSoon()
+	start := time.Now()
+	queries := make([]string, 10)
+	for i := range queries {
+		queries[i] = "museum"
+	}
+	if _, err := e.SearchBatchContext(ctx, queries, 3); err == nil {
+		t.Error("cancelled mid-sleep batch returned no error")
+	}
+	if took := time.Since(start); took > 300*time.Millisecond {
+		t.Errorf("cancellation took %v, want well under the 500ms sleep", took)
+	}
+}

@@ -52,6 +52,7 @@ type StatsJSON struct {
 	Cols      int            `json:"cols"`
 	Annotated int            `json:"annotated"`
 	Queries   int            `json:"queries"`
+	Batches   int            `json:"batches"`
 	Skipped   map[string]int `json:"skipped,omitempty"`
 }
 
@@ -96,21 +97,35 @@ type ErrorBodyJSON struct {
 
 // StatzJSON is the body of GET /statz.
 type StatzJSON struct {
-	UptimeMs    float64    `json:"uptime_ms"`
-	InFlight    int        `json:"in_flight"`
-	MaxInFlight int        `json:"max_in_flight"`
-	Served      int64      `json:"served"`
-	Rejected    int64      `json:"rejected"`
-	Failed      int64      `json:"failed"`
-	Cache       *CacheFull `json:"cache,omitempty"`
+	UptimeMs    float64     `json:"uptime_ms"`
+	InFlight    int         `json:"in_flight"`
+	MaxInFlight int         `json:"max_in_flight"`
+	Served      int64       `json:"served"`
+	Rejected    int64       `json:"rejected"`
+	Failed      int64       `json:"failed"`
+	Search      *SearchFull `json:"search,omitempty"`
+	Cache       *CacheFull  `json:"cache,omitempty"`
+}
+
+// SearchFull is the search engine's point-in-time serving state: total and
+// batched query counts, and the per-shard fan-out when the index is sharded.
+type SearchFull struct {
+	IndexDocs      int     `json:"index_docs"`
+	Queries        int     `json:"queries"`
+	Batches        int     `json:"batches"`
+	BatchedQueries int     `json:"batched_queries"`
+	AvgBatchSize   float64 `json:"avg_batch_size"`
+	Shards         int     `json:"shards"`
+	ShardQueries   []int64 `json:"shard_queries,omitempty"`
 }
 
 // CacheFull is the shared verdict cache's point-in-time state; absent when
 // the service was built without a shared cache.
 type CacheFull struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // HealthJSON is the body of GET /healthz.
@@ -151,6 +166,7 @@ func toWire(resp *repro.AnnotateResponse) AnnotateResponseJSON {
 			Cols:      resp.Stats.Cols,
 			Annotated: resp.Stats.Annotated,
 			Queries:   resp.Stats.Queries,
+			Batches:   resp.Stats.Batches,
 			Skipped:   resp.Stats.Skipped,
 		},
 		Cache:  CacheJSON{Hits: resp.CacheStats.Hits, Misses: resp.CacheStats.Misses},

@@ -204,9 +204,21 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Rejected:    s.rejected.Load(),
 		Failed:      s.failed.Load(),
 	}
+	es := s.svc.Engine().Stats()
+	out.Search = &SearchFull{
+		IndexDocs:      s.svc.Engine().IndexSize(),
+		Queries:        es.Queries,
+		Batches:        es.Batches,
+		BatchedQueries: es.BatchedQueries,
+		Shards:         es.Shards,
+		ShardQueries:   es.ShardQueries,
+	}
+	if es.Batches > 0 {
+		out.Search.AvgBatchSize = float64(es.BatchedQueries) / float64(es.Batches)
+	}
 	if c := s.svc.Lab().Cache; c != nil {
 		st := c.Stats()
-		out.Cache = &CacheFull{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries}
+		out.Cache = &CacheFull{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, HitRate: st.HitRate()}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -201,6 +201,16 @@ func TestRouting(t *testing.T) {
 	if statz.MaxInFlight != 64 {
 		t.Errorf("statz max_in_flight = %d, want the default 64", statz.MaxInFlight)
 	}
+	if statz.Search == nil {
+		t.Fatal("statz missing the search section")
+	}
+	if statz.Search.Shards < 1 || len(statz.Search.ShardQueries) != statz.Search.Shards {
+		t.Errorf("statz search shards = %d with %d shard counters, want matching >= 1",
+			statz.Search.Shards, len(statz.Search.ShardQueries))
+	}
+	if statz.Search.IndexDocs == 0 {
+		t.Error("statz search index_docs = 0, want the corpus size")
+	}
 }
 
 func TestCancelledMidFlight(t *testing.T) {

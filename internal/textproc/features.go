@@ -21,6 +21,37 @@ func Extract(snippet string) Features {
 	return f
 }
 
+// Extractor computes snippet feature maps while reusing its token and map
+// storage across calls — the steady-state classification hot path of the
+// annotation pipeline extracts features from ten snippets per cell query,
+// and per-snippet allocations dominate its cost. The returned Features is
+// valid only until the next Extract call, and callers that retain feature
+// maps (training corpora, cluster decisions) must use the plain Extract.
+// An Extractor is not safe for concurrent use; pool one per worker.
+type Extractor struct {
+	toks []string
+	f    Features
+}
+
+// Extract returns the same features as the package-level Extract, built in
+// the extractor's reused storage.
+func (e *Extractor) Extract(snippet string) Features {
+	if e.f == nil {
+		e.f = make(Features, 16)
+	} else {
+		clear(e.f)
+	}
+	e.toks = appendNormalized(e.toks[:0], snippet)
+	if len(e.toks) == 0 {
+		return e.f
+	}
+	inv := 1.0 / float64(len(e.toks))
+	for _, t := range e.toks {
+		e.f[t] += inv
+	}
+	return e.f
+}
+
 // Terms returns the feature terms in sorted order, for deterministic
 // iteration in training and tests.
 func (f Features) Terms() []string {

@@ -1,5 +1,26 @@
 package textproc
 
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// stemCache memoizes Stem results. Stemming is pure, every layer of the
+// system stems the same bounded vocabulary over and over (indexing, query
+// normalization, snippet feature extraction), and a Porter pass costs an
+// order of magnitude more than a cache hit, so the cache is shared globally.
+// It is bounded: once stemCacheCap distinct words are stored, new words are
+// still stemmed but no longer cached, so adversarial input (fuzzing, random
+// corpora) cannot grow it without bound. Keys are cloned because tokens are
+// substrings of snippet- or document-sized strings that must not be pinned.
+var (
+	stemCache    sync.Map // word -> stem, both string
+	stemCacheLen atomic.Int64
+)
+
+const stemCacheCap = 1 << 16
+
 // Stem applies the Porter stemming algorithm (Porter, 1980) to a lower-case
 // word and returns the stem. Words of length <= 2 are returned unchanged, as
 // in the reference implementation. The paper stems snippet tokens with this
@@ -7,6 +28,9 @@ package textproc
 func Stem(word string) string {
 	if len(word) <= 2 {
 		return word
+	}
+	if v, ok := stemCache.Load(word); ok {
+		return v.(string)
 	}
 	s := &stemmer{b: []byte(word)}
 	s.step1a()
@@ -17,7 +41,13 @@ func Stem(word string) string {
 	s.step4()
 	s.step5a()
 	s.step5b()
-	return string(s.b)
+	out := string(s.b)
+	if stemCacheLen.Load() < stemCacheCap {
+		if _, loaded := stemCache.LoadOrStore(strings.Clone(word), out); !loaded {
+			stemCacheLen.Add(1)
+		}
+	}
+	return out
 }
 
 // stemmer holds the word being stemmed. All operations follow the original

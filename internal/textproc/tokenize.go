@@ -77,9 +77,17 @@ func IsNumericToken(tok string) bool {
 // drop stopwords and purely numeric tokens, and stem the remainder with the
 // Porter algorithm.
 func NormalizeTokens(s string) []string {
-	raw := Tokenize(s)
-	out := raw[:0]
-	for _, tok := range raw {
+	return appendNormalized(make([]string, 0, len(s)/5+1), s)
+}
+
+// appendNormalized is NormalizeTokens's allocation-free core: it appends the
+// normalized tokens of s to dst, reusing dst's capacity for the raw token
+// pass too (normalization only ever shrinks the token list, so the filtered
+// tokens overwrite the raw ones in place).
+func appendNormalized(dst []string, s string) []string {
+	raw := appendTokens(dst, s)
+	out := raw[:len(dst)]
+	for _, tok := range raw[len(dst):] {
 		if IsStopword(tok) || IsNumericToken(tok) {
 			continue
 		}

@@ -117,6 +117,20 @@ func BuildIndex(w *world.World, cfg Config) *search.Index {
 	return ix
 }
 
+// BuildShardedIndex is BuildIndex over a sharded layout: the same corpus in
+// the same global order, partitioned round-robin across max(1, shards)
+// shards and frozen with corpus-wide ranking state, so queries are
+// byte-identical to the monolithic index while each one's scoring work can
+// spread over the shards.
+func BuildShardedIndex(w *world.World, cfg Config, shards int) *search.ShardedIndex {
+	six := search.NewShardedIndex(shards)
+	for _, d := range BuildCorpus(w, cfg) {
+		six.Add(d)
+	}
+	six.Freeze()
+	return six
+}
+
 // entityTitle renders a page title; a fraction of titles carry the type word
 // ("Louvre Museum — official site"), which is what makes the TIN/TIS
 // baselines partially effective on POI types.

@@ -37,11 +37,12 @@ const (
 
 // settings accumulates the functional options of New.
 type settings struct {
-	seed        int64
-	scale       string
-	classifier  string
-	parallelism int
-	shareCache  bool
+	seed         int64
+	scale        string
+	classifier   string
+	parallelism  int
+	shareCache   bool
+	searchShards int
 }
 
 // Option configures New. Options validate eagerly: an invalid value makes
@@ -98,6 +99,21 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithSearchShards sets the shard count of the service's search index: each
+// query's BM25 scoring fans out across the shards in parallel, with results
+// byte-identical to a monolithic index at any count. 0 (the default)
+// selects one shard per available CPU, capped at 8; 1 disables sharding;
+// negative values are rejected.
+func WithSearchShards(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return &OptionError{Option: "WithSearchShards", Value: fmt.Sprint(n)}
+		}
+		s.searchShards = n
+		return nil
+	}
+}
+
 // WithSharedCache shares query verdicts across every table the service
 // annotates, so repeated cell values stop costing search round-trips — the
 // cross-table cache motivated by the paper's §6.4 latency analysis. The
@@ -143,9 +159,10 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	}
 
 	cfg := eval.LabConfig{
-		Seed:        st.seed,
-		Parallelism: st.parallelism,
-		ShareCache:  st.shareCache,
+		Seed:         st.seed,
+		Parallelism:  st.parallelism,
+		ShareCache:   st.shareCache,
+		SearchShards: st.searchShards,
 	}
 	if st.scale != ScaleFull {
 		cfg.KBPerType = 60
@@ -245,6 +262,11 @@ type Stats struct {
 	// Queries is the number of search-engine queries issued (after the
 	// per-table deduplication and, when configured, the shared cache).
 	Queries int
+	// Batches is the number of backend batch calls the queries travelled
+	// in (the pipeline submits a table's deduped queries in chunks);
+	// Queries/Batches is the average batch size. 0 when every query was
+	// answered by the shared cache.
+	Batches int
 	// Skipped counts pre-processing eliminations per reason; nil when
 	// nothing was skipped.
 	Skipped map[string]int
@@ -350,6 +372,7 @@ func (s *Service) run(ctx context.Context, cfg annotate.Config, req *AnnotateReq
 			Cols:      req.Table.NumCols(),
 			Annotated: len(res.Annotations),
 			Queries:   res.Queries,
+			Batches:   res.Batches,
 		},
 		CacheStats: CacheStats{Hits: res.CacheHits, Misses: res.CacheMisses},
 	}
