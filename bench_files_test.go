@@ -1,10 +1,11 @@
 package repro
 
 // Guard rails for the standing benchmark trajectory files: BENCH_search.json
-// (cmd/benchsearch) and BENCH_annotate.json (cmd/benchannotate) must always
-// parse, keep at least their seeded history, and append chronologically —
-// a rebase or hand-edit that reorders or truncates the history should fail
-// CI, not silently rewrite the project's performance record.
+// (cmd/benchsearch), BENCH_annotate.json (cmd/benchannotate) and
+// BENCH_geo.json (cmd/benchgeo) must always parse, keep at least their
+// seeded history, and append chronologically — a rebase or hand-edit that
+// reorders or truncates the history should fail CI, not silently rewrite
+// the project's performance record.
 
 import (
 	"encoding/json"
@@ -63,4 +64,7 @@ func checkTrajectory(t *testing.T, path string, minRuns int) {
 func TestBenchTrajectoryFiles(t *testing.T) {
 	checkTrajectory(t, "BENCH_search.json", 2)
 	checkTrajectory(t, "BENCH_annotate.json", 1)
+	// The geo trajectory must keep both seeded runs: the all-pairs
+	// baseline and the sparse rewrite it is compared against.
+	checkTrajectory(t, "BENCH_geo.json", 2)
 }

@@ -136,7 +136,7 @@ func benchmark(o options, stdout io.Writer) error {
 		Types:        eval.TypeStrings(),
 		Postprocess:  true,
 		Disambiguate: true,
-		Gazetteer:    lab.World.Gaz,
+		Gazetteer:    lab.Geo,
 		CacheSalt:    "svm",
 	}
 

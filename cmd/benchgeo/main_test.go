@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gazetteer"
+)
+
+func TestParseScales(t *testing.T) {
+	got, err := parseScales(" 1, 8,91 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 8 || got[2] != 91 {
+		t.Fatalf("parseScales = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "a", "1,,2"} {
+		if _, err := parseScales(bad); err == nil {
+			t.Errorf("parseScales(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	all := []gazetteer.LocID{3, 5, 9, 11, 20, 31}
+	got := sample(all, 11, 4, rng)
+	if len(got) != 4 {
+		t.Fatalf("sample returned %d candidates, want 4", len(got))
+	}
+	hasMust := false
+	for i, id := range got {
+		if id == 11 {
+			hasMust = true
+		}
+		if i > 0 && got[i-1] >= id {
+			t.Fatalf("sample not strictly increasing: %v", got)
+		}
+	}
+	if !hasMust {
+		t.Fatalf("sample %v is missing the mandatory candidate", got)
+	}
+	if short := sample(all[:2], 3, 5, rng); len(short) != 2 {
+		t.Fatalf("sample of a small list = %v, want the whole list", short)
+	}
+}
+
+func TestCanonicalPoint(t *testing.T) {
+	r := run{Points: []point{
+		{GazLocations: 300, BuildCellsPerSec: 10},
+		{GazLocations: 9000, BuildCellsPerSec: 77},
+		{GazLocations: 500, BuildCellsPerSec: 99},
+	}}
+	if got := canonicalPoint(r); got != 77 {
+		t.Errorf("canonicalPoint = %v, want the largest-gazetteer point's 77", got)
+	}
+	if got := canonicalPoint(run{}); got != 0 {
+		t.Errorf("canonicalPoint on empty run = %v, want 0", got)
+	}
+}
+
+// TestBenchmarkAppendsTrajectory runs the harness twice at a tiny operating
+// point into a fresh trajectory file: both runs must append with their
+// labels and non-trivial graphs, and the speedup must be computed.
+func TestBenchmarkAppendsTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_geo.json")
+	o := options{
+		label:  "first",
+		out:    out,
+		seed:   7,
+		scales: []int{1, 2},
+		rows:   8,
+		cols:   3,
+		cands:  4,
+		repeat: 1,
+	}
+	var stdout bytes.Buffer
+	if err := benchmark(o, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	o.label = "second"
+	if err := benchmark(o, &stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("trajectory does not parse: %v", err)
+	}
+	if len(traj.Runs) != 2 || traj.Runs[0].Label != "first" || traj.Runs[1].Label != "second" {
+		t.Fatalf("runs = %+v, want [first second]", traj.Runs)
+	}
+	for i, r := range traj.Runs {
+		if len(r.Points) != 2 {
+			t.Fatalf("run %d has %d points, want 2", i, len(r.Points))
+		}
+		for _, p := range r.Points {
+			if p.GazLocations == 0 || p.Nodes == 0 || p.BuildCellsPerSec <= 0 || p.ResolveCellsPerSec <= 0 {
+				t.Errorf("run %d has a degenerate point: %+v", i, p)
+			}
+		}
+		if r.RecordedAt == "" {
+			t.Errorf("run %d missing recorded_at", i)
+		}
+	}
+	if traj.BuildSpeedup <= 0 {
+		t.Errorf("build speedup = %v, want > 0", traj.BuildSpeedup)
+	}
+	if !strings.Contains(stdout.String(), "speedup vs first run") {
+		t.Errorf("stdout missing summary line:\n%s", stdout.String())
+	}
+}

@@ -3,8 +3,9 @@
 //
 //	POST /v1/annotate        annotate one table
 //	POST /v1/annotate:batch  annotate several tables over the worker pool
+//	POST /v1/geocode         geocode + disambiguate one table's Location columns
 //	GET  /healthz            liveness
-//	GET  /statz              serving and cache statistics
+//	GET  /statz              serving, cache and geo statistics
 //
 // Usage:
 //

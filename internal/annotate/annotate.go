@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/classify"
-	"repro/internal/disambig"
 	"repro/internal/gazetteer"
 	"repro/internal/qcache"
 	"repro/internal/search"
@@ -129,8 +128,11 @@ type Config struct {
 	// Disambiguate enables the §5.2.2 spatial query augmentation; it
 	// requires Gazetteer.
 	Disambiguate bool
-	// Gazetteer geocodes Location-column cells for disambiguation.
-	Gazetteer *gazetteer.Gazetteer
+	// Gazetteer geocodes Location-column cells for disambiguation and for
+	// the opt-in GeoAnnotate stage. Any read-only gazetteer works; the
+	// service wires the immutable gazetteer.Frozen, tests often use the
+	// mutable builder directly.
+	Gazetteer gazetteer.Geo
 	// ClusterThreshold, when positive, replaces the flat majority rule
 	// of Eq. 1 with the cluster-separated decision the paper leaves as
 	// future work (§5.2): snippets are clustered by cosine similarity
@@ -157,6 +159,12 @@ type Config struct {
 	// Cache (e.g. "svm" vs "bayes", or per search backend). Ignored
 	// when Cache is nil.
 	CacheSalt string
+
+	// geo optionally carries one table's precomputed geocode+disambiguate
+	// resolution (set via PrepareGeo) so the Disambiguate stage and
+	// GeoAnnotate share a single voting pass. Bound to its table: runs
+	// over any other table ignore it.
+	geo *geoResolution
 }
 
 func (c Config) k() int {
@@ -691,27 +699,16 @@ func majorityType(counts map[string]int, k int) (string, float64, bool) {
 // resolveRowCities geocodes every Location-column cell, resolves ambiguous
 // interpretations with the §5.2.2 voting graph across the whole table, and
 // returns the chosen city name per row. Rows without resolvable spatial data
-// are absent from the map.
+// are absent from the map. The resolution is reused when PrepareGeo ran for
+// this table; the stage runs to completion (plan() carries no context),
+// matching the pre-geo pipeline's semantics.
 func (c Config) resolveRowCities(t *table.Table) map[int]string {
-	var interps []disambig.Interpretation
-	for _, j := range t.ColumnIndexesOfType(table.Location) {
-		for i := 1; i <= t.NumRows(); i++ {
-			cands := c.Gazetteer.Geocode(t.Cell(i, j))
-			if len(cands) == 0 {
-				continue
-			}
-			interps = append(interps, disambig.Interpretation{
-				Cell:       disambig.CellRef{Row: i, Col: j},
-				Candidates: cands,
-			})
-		}
-	}
-	if len(interps) == 0 {
+	res, _ := c.geoFor(nil, t) // nil ctx: resolveGeo only errors on cancellation
+	if res == nil {
 		return nil
 	}
-	choice := disambig.Resolve(interps, c.Gazetteer)
 	out := make(map[int]string)
-	for cell, loc := range choice {
+	for cell, loc := range res.choice {
 		if city := c.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
 			out[cell.Row] = c.Gazetteer.Name(city)
 		}

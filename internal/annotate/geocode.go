@@ -1,0 +1,158 @@
+package annotate
+
+import (
+	"context"
+
+	"repro/internal/disambig"
+	"repro/internal/gazetteer"
+	"repro/internal/table"
+)
+
+// GeoAnnotation is one Location-column cell resolved against the gazetteer:
+// the §5.2.2 geocode+disambiguate machinery surfaced as an output product
+// rather than only as internal query augmentation.
+type GeoAnnotation struct {
+	Row, Col int // 1-based, the paper's T(i,j)
+	// Location is the chosen interpretation rendered with its full
+	// container chain, e.g. "Pennsylvania Avenue, Washington, D.C., USA".
+	Location string
+	// Kind is the hierarchy level of the chosen location ("street",
+	// "city", "state", "country").
+	Kind string
+	// City is the containing city's bare name; empty when the location
+	// sits above city level.
+	City string
+	// Candidates is the size of the cell's candidate set before
+	// disambiguation; 1 means the cell was unambiguous.
+	Candidates int
+	// Score is the chosen interpretation's share of the cell's final
+	// score distribution (1 for unambiguous cells; see disambig).
+	Score float64
+}
+
+// geoResolution is one table's geocode+disambiguate result — the geocoded
+// interpretations and the voting outcome — computed once and shared between
+// the §5.2.2 spatial query augmentation and the GeoAnnotate output so a
+// request wanting both never resolves the same table twice.
+type geoResolution struct {
+	table   *table.Table
+	interps []disambig.Interpretation
+	choice  map[disambig.CellRef]gazetteer.LocID
+	detail  map[disambig.CellRef]map[gazetteer.LocID]float64
+}
+
+// resolveGeo geocodes the table's Location columns and runs the voting
+// graph; nil when the config has no gazetteer or nothing geocodes. With a
+// non-nil ctx it checks cancellation every geoCancelStride geocoded cells
+// and once more before graph propagation — geocoding against a large
+// gazetteer is the stage's dominant cost, and an abandoned request should
+// release its admission slot instead of finishing work nobody reads. (The
+// Disambiguate stage inside plan() passes no ctx, preserving its historical
+// run-to-completion semantics.)
+func (c Config) resolveGeo(ctx context.Context, t *table.Table) (*geoResolution, error) {
+	if c.Gazetteer == nil {
+		return nil, nil
+	}
+	const geoCancelStride = 64
+	var interps []disambig.Interpretation
+	cells := 0
+	for _, j := range t.ColumnIndexesOfType(table.Location) {
+		for i := 1; i <= t.NumRows(); i++ {
+			if ctx != nil && cells%geoCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			cells++
+			cands := c.Gazetteer.Geocode(t.Cell(i, j))
+			if len(cands) == 0 {
+				continue
+			}
+			interps = append(interps, disambig.Interpretation{
+				Cell:       disambig.CellRef{Row: i, Col: j},
+				Candidates: cands,
+			})
+		}
+	}
+	if len(interps) == 0 {
+		return nil, nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	choice, detail := disambig.ResolveScores(interps, c.Gazetteer)
+	return &geoResolution{table: t, interps: interps, choice: choice, detail: detail}, nil
+}
+
+// geoFor returns the precomputed resolution when one was prepared for THIS
+// table (see PrepareGeo), resolving freshly otherwise.
+func (c Config) geoFor(ctx context.Context, t *table.Table) (*geoResolution, error) {
+	if c.geo != nil && c.geo.table == t {
+		return c.geo, nil
+	}
+	return c.resolveGeo(ctx, t)
+}
+
+// PrepareGeo returns a copy of the config carrying the table's resolved
+// geography, so a subsequent Annotate (whose Disambiguate stage needs the
+// per-row cities) and GeoAnnotate (whose output is the resolution itself)
+// on the SAME table share one geocode+vote pass. The precomputation is
+// bound to the given table; runs over any other table resolve freshly, so a
+// prepared config is never wrong, only warmer. The error is ctx.Err() when
+// the context cancels mid-resolution.
+func (c Config) PrepareGeo(ctx context.Context, t *table.Table) (Config, error) {
+	res, err := c.resolveGeo(ctx, t)
+	if err != nil {
+		return c, err
+	}
+	c.geo = res
+	return c, nil
+}
+
+// GeoAnnotate runs the opt-in geocode+disambiguate stage over one table:
+// every Location-column cell is geocoded to its candidate interpretations,
+// the §5.2.2 voting graph resolves the ambiguity table-wide, and each
+// geocodable cell yields one GeoAnnotation, in column-major cell order.
+// Cells the gazetteer cannot geocode are omitted. Returns nil when the
+// config has no gazetteer or the table has no geocodable cells.
+//
+// The stage executes from the immutable Config like every other pipeline
+// stage: it mutates nothing, so one Config may run any number of concurrent
+// GeoAnnotate calls, and it costs no search-engine queries — only gazetteer
+// lookups and graph propagation (or neither, after PrepareGeo).
+// Cancellation is observed between geocoded cells and before propagation;
+// the error is then ctx.Err(), never a truncated result.
+func (c Config) GeoAnnotate(ctx context.Context, t *table.Table) ([]GeoAnnotation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := c.geoFor(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, nil
+	}
+	out := make([]GeoAnnotation, 0, len(res.interps))
+	for _, it := range res.interps {
+		loc := res.choice[it.Cell]
+		if loc == gazetteer.NoLocation {
+			continue // unreachable: every interpretation has candidates
+		}
+		ga := GeoAnnotation{
+			Row:        it.Cell.Row,
+			Col:        it.Cell.Col,
+			Location:   c.Gazetteer.FullName(loc),
+			Kind:       c.Gazetteer.Kind(loc).String(),
+			Candidates: len(it.Candidates),
+			Score:      res.detail[it.Cell][loc],
+		}
+		if city := c.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
+			ga.City = c.Gazetteer.Name(city)
+		}
+		out = append(out, ga)
+	}
+	return out, nil
+}

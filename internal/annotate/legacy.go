@@ -36,8 +36,9 @@ type Annotator struct {
 	// Disambiguate enables the §5.2.2 spatial query augmentation; it
 	// requires Gazetteer.
 	Disambiguate bool
-	// Gazetteer geocodes Location-column cells for disambiguation.
-	Gazetteer *gazetteer.Gazetteer
+	// Gazetteer geocodes Location-column cells for disambiguation. Both
+	// the mutable *gazetteer.Gazetteer and the frozen form satisfy it.
+	Gazetteer gazetteer.Geo
 	// ClusterThreshold, when positive, selects the cluster-separated
 	// decision rule; see Config.ClusterThreshold.
 	ClusterThreshold float64
@@ -54,7 +55,7 @@ type Annotator struct {
 // Config snapshots the annotator's fields into the immutable per-run
 // configuration the pipeline executes.
 func (a *Annotator) Config() Config {
-	return Config{
+	cfg := Config{
 		Searcher:         a.Engine,
 		Classifier:       a.Classifier,
 		Types:            a.Types,
@@ -62,12 +63,33 @@ func (a *Annotator) Config() Config {
 		Pre:              a.Pre,
 		Postprocess:      a.Postprocess,
 		Disambiguate:     a.Disambiguate,
-		Gazetteer:        a.Gazetteer,
 		ClusterThreshold: a.ClusterThreshold,
 		Parallelism:      a.Parallelism,
 		Cache:            a.Cache,
 		CacheSalt:        a.CacheSalt,
 	}
+	// A nil gazetteer — including a typed-nil *Gazetteer or *Frozen that
+	// pre-split callers may still assign — must stay a nil
+	// Config.Gazetteer interface so the pipeline's "no gazetteer" guards
+	// keep working exactly as they did when the field was concrete.
+	if !isNilGazetteer(a.Gazetteer) {
+		cfg.Gazetteer = a.Gazetteer
+	}
+	return cfg
+}
+
+// isNilGazetteer reports whether g is nil outright or a typed-nil pointer of
+// either gazetteer form.
+func isNilGazetteer(g gazetteer.Geo) bool {
+	switch v := g.(type) {
+	case nil:
+		return true
+	case *gazetteer.Builder:
+		return v == nil
+	case *gazetteer.Frozen:
+		return v == nil
+	}
+	return false
 }
 
 func (a *Annotator) k() int { return a.Config().k() }

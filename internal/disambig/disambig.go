@@ -3,11 +3,24 @@
 // geocoder interpretation, candidates that share a geographic container and
 // sit in the same row or column vote for each other, and iterative score
 // propagation selects the interpretation with the largest score.
+//
+// The voting graph is built sparsely: instead of testing every ordered node
+// pair (the O(n²) construction the paper implies, kept as an executable
+// specification in reference_test.go), nodes are bucketed by row and by
+// column and, within each bucket, indexed by their location and by their
+// direct container. The three ways two locations can cohere — equal direct
+// containers, or one being the direct container of the other — are then
+// answered by hash lookups, so construction costs O(nodes + edges) instead
+// of O(nodes²). Adjacency is stored as CSR arrays and score propagation
+// parallelises over nodes for large tables. Results are bit-identical to the
+// reference: the same choices and the same float64 scores (differential and
+// fuzz enforced).
 package disambig
 
 import (
 	"math"
-	"sort"
+	"runtime"
+	"sync"
 
 	"repro/internal/gazetteer"
 )
@@ -19,23 +32,61 @@ type CellRef struct {
 }
 
 // Interpretation is the geocoder output for one cell: the candidate locations
-// the cell's address may denote.
+// the cell's address may denote. A repeated candidate adds no information, so
+// duplicates are dropped during graph construction (they would otherwise
+// split the cell's uniform prior and vote twice); the invalid NoLocation id
+// is ignored. An empty candidate set marks the cell as geocoder-unresolvable
+// and resolves to an explicit NoLocation entry.
 type Interpretation struct {
 	Cell       CellRef
 	Candidates []gazetteer.LocID
 }
 
-// node is one (cell, candidate) pair in the voting graph.
-type node struct {
-	cell CellRef
-	loc  gazetteer.LocID
-	in   []int // indexes of nodes voting for this node
+// Graph is the voting graph of Figure 7b in columnar form: one entry per
+// (cell, candidate) node, cells deduplicated in first-appearance order, and
+// the in-edge lists concatenated CSR-style with every list sorted by voter
+// index — the exact summation order of the reference implementation, which
+// keeps the propagated float64 scores bit-identical.
+type Graph struct {
+	g gazetteer.Geo
+
+	cells     []CellRef // deduplicated cells, first-appearance order
+	cellNodes [][]int32 // node indexes per cell, ascending
+	nodeCell  []int32   // node -> index into cells
+	locs      []gazetteer.LocID
+	parents   []gazetteer.LocID // locs' direct containers, precomputed
+
+	inOff []int32 // CSR: node i's voters are in[inOff[i]:inOff[i+1]]
+	in    []int32
 }
 
-// Graph is the voting graph of Figure 7b.
-type Graph struct {
-	nodes []node
-	g     *gazetteer.Gazetteer
+// radixSortByKey stable-sorts the parallel (keys, nodes) record arrays by
+// key, least-significant byte first, using as many 8-bit passes as max
+// needs. All buffers are caller-allocated, so sorting allocates nothing.
+func radixSortByKey(keys []int64, nodes []int32, tmpK []int64, tmpN []int32, max int64) {
+	var cnt [256]int32
+	for shift := uint(0); max>>shift > 0; shift += 8 {
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, k := range keys {
+			cnt[(k>>shift)&0xff]++
+		}
+		s := int32(0)
+		for b := 0; b < 256; b++ {
+			c := cnt[b]
+			cnt[b] = s
+			s += c
+		}
+		for i, k := range keys {
+			b := (k >> shift) & 0xff
+			tmpK[cnt[b]] = k
+			tmpN[cnt[b]] = nodes[i]
+			cnt[b]++
+		}
+		copy(keys, tmpK)
+		copy(nodes, tmpN)
+	}
 }
 
 // BuildGraph constructs the voting graph. A directed edge v -> w exists iff
@@ -44,52 +95,189 @@ type Graph struct {
 // sense: equal direct containers, or one location being the direct container
 // of the other (the street "Pennsylvania Ave, Washington" votes for the city
 // "Washington, D.C." in the same row, and vice versa).
-func BuildGraph(interps []Interpretation, g *gazetteer.Gazetteer) *Graph {
+//
+// The relation is symmetric and its three clauses are mutually exclusive
+// (a location is never its own container and containment is acyclic), so
+// every edge is discovered exactly once via the bucket indexes.
+func BuildGraph(interps []Interpretation, g gazetteer.Geo) *Graph {
 	gr := &Graph{g: g}
+
+	// Nodes: one per distinct (cell, candidate) pair, in input order.
+	capHint := 0
 	for _, it := range interps {
+		capHint += len(it.Candidates)
+	}
+	gr.locs = make([]gazetteer.LocID, 0, capHint)
+	gr.parents = make([]gazetteer.LocID, 0, capHint)
+	gr.nodeCell = make([]int32, 0, capHint)
+	cellIdx := map[CellRef]int32{}
+	dup := map[gazetteer.LocID]bool{}
+	for _, it := range interps {
+		ci, ok := cellIdx[it.Cell]
+		if !ok {
+			ci = int32(len(gr.cells))
+			cellIdx[it.Cell] = ci
+			gr.cells = append(gr.cells, it.Cell)
+			gr.cellNodes = append(gr.cellNodes, nil)
+		}
+		if len(it.Candidates) == 0 {
+			continue
+		}
+		clear(dup)
+		for _, ni := range gr.cellNodes[ci] {
+			dup[gr.locs[ni]] = true
+		}
 		for _, loc := range it.Candidates {
-			gr.nodes = append(gr.nodes, node{cell: it.Cell, loc: loc})
+			if loc == gazetteer.NoLocation || dup[loc] {
+				continue
+			}
+			dup[loc] = true
+			ni := int32(len(gr.locs))
+			gr.locs = append(gr.locs, loc)
+			gr.parents = append(gr.parents, g.Parent(loc))
+			gr.nodeCell = append(gr.nodeCell, ci)
+			gr.cellNodes[ci] = append(gr.cellNodes[ci], ni)
 		}
 	}
-	for i := range gr.nodes {
-		for j := range gr.nodes {
-			if i == j {
-				continue
-			}
-			a, b := &gr.nodes[i], &gr.nodes[j]
-			if a.cell == b.cell {
-				continue
-			}
-			if a.cell.Row != b.cell.Row && a.cell.Col != b.cell.Col {
-				continue
-			}
-			if gr.shareContainer(a.loc, b.loc) {
-				b.in = append(b.in, i)
-			}
+
+	// Map distinct rows and columns to dense bucket ids. A node pair
+	// shares at most one bucket (same row and same column would mean the
+	// same cell).
+	rowIdx := map[int]int32{}
+	colIdx := map[int]int32{}
+	cellRowB := make([]int32, len(gr.cells))
+	cellColB := make([]int32, len(gr.cells))
+	for ci, cell := range gr.cells {
+		ri, ok := rowIdx[cell.Row]
+		if !ok {
+			ri = int32(len(rowIdx))
+			rowIdx[cell.Row] = ri
 		}
+		cellRowB[ci] = ri
+		cj, ok := colIdx[cell.Col]
+		if !ok {
+			cj = int32(len(colIdx))
+			colIdx[cell.Col] = cj
+		}
+		cellColB[ci] = cj
+	}
+
+	// Discover edges per dimension (rows, then columns) by join groups:
+	// every node contributes two records keyed by (bucket, location id) —
+	// one for its own location, one for its direct container, the role in
+	// the key's low bit. Radix-sorting the flat record arrays groups the
+	// bucket's nodes around each location id with zero hash lookups; within
+	// one group, par×par pairs share their direct container and loc×par
+	// pairs are container-of pairs, both voting in each direction. The
+	// clauses are mutually exclusive and a pair shares at most one bucket,
+	// so each directed edge is emitted exactly once.
+	n := len(gr.locs)
+	maxKey := int64(g.Len()) + 1
+	var voters, targets []int32
+	emit := func(v, t int32) {
+		voters = append(voters, v)
+		targets = append(targets, t)
+	}
+	recKey := make([]int64, 2*n)
+	recNode := make([]int32, 2*n)
+	tmpKey := make([]int64, 2*n)
+	tmpNode := make([]int32, 2*n)
+	for dim := 0; dim < 2; dim++ {
+		bucketOf := cellRowB
+		numBuckets := len(rowIdx)
+		if dim == 1 {
+			bucketOf = cellColB
+			numBuckets = len(colIdx)
+		}
+		for i := 0; i < n; i++ {
+			base := int64(bucketOf[gr.nodeCell[i]]) * maxKey
+			recKey[2*i] = (base + int64(gr.locs[i])) << 1 // role 0: own location
+			recNode[2*i] = int32(i)
+			recKey[2*i+1] = (base+int64(gr.parents[i]))<<1 | 1 // role 1: container
+			recNode[2*i+1] = int32(i)
+		}
+		radixSortByKey(recKey, recNode, tmpKey, tmpNode, (int64(numBuckets)*maxKey)<<1)
+		for lo := 0; lo < len(recKey); {
+			gid := recKey[lo] >> 1
+			hi := lo + 1
+			for hi < len(recKey) && recKey[hi]>>1 == gid {
+				hi++
+			}
+			// Within a group the sort puts role-0 (location) records
+			// before role-1 (container) records.
+			split := lo
+			for split < hi && recKey[split]&1 == 0 {
+				split++
+			}
+			locs, pars := recNode[lo:split], recNode[split:hi]
+			if gid%maxKey != 0 {
+				// Equal direct containers (the paper's base clause;
+				// NoLocation as a shared "container" does not count).
+				for _, i := range pars {
+					for _, j := range pars {
+						if gr.nodeCell[i] != gr.nodeCell[j] {
+							emit(i, j)
+						}
+					}
+				}
+			}
+			// One location is the other's direct container: the street
+			// votes for its containing city and vice versa.
+			for _, a := range locs {
+				for _, c := range pars {
+					if gr.nodeCell[a] != gr.nodeCell[c] {
+						emit(a, c)
+						emit(c, a)
+					}
+				}
+			}
+			lo = hi
+		}
+	}
+
+	// Canonicalise into CSR with every in-list sorted by voter index — the
+	// reference implementation's float summation order — via a two-pass
+	// stable counting sort: by voter, then by target.
+	ne := len(voters)
+	byVoterV := make([]int32, ne)
+	byVoterT := make([]int32, ne)
+	pos := make([]int32, n+1)
+	for _, v := range voters {
+		pos[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		pos[i+1] += pos[i]
+	}
+	for m := 0; m < ne; m++ {
+		v := voters[m]
+		byVoterV[pos[v]] = v
+		byVoterT[pos[v]] = targets[m]
+		pos[v]++
+	}
+	gr.inOff = make([]int32, n+1)
+	for _, t := range byVoterT {
+		gr.inOff[t+1]++
+	}
+	for i := 0; i < n; i++ {
+		gr.inOff[i+1] += gr.inOff[i]
+	}
+	gr.in = make([]int32, ne)
+	fill := make([]int32, n)
+	copy(fill, gr.inOff[:n])
+	for m := 0; m < ne; m++ {
+		t := byVoterT[m]
+		gr.in[fill[t]] = byVoterV[m]
+		fill[t]++
 	}
 	return gr
 }
 
-// shareContainer implements the paper's "same direct geographic container"
-// relation, extended to the container relation itself so that a street and
-// the city containing it are recognised as geographically coherent.
-func (gr *Graph) shareContainer(l1, l2 gazetteer.LocID) bool {
-	p1, p2 := gr.g.Parent(l1), gr.g.Parent(l2)
-	return (p1 != gazetteer.NoLocation && p1 == p2) || p1 == l2 || p2 == l1
-}
-
-// EdgeCount returns the number of directed edges; exposed for tests.
-func (gr *Graph) EdgeCount() int {
-	n := 0
-	for i := range gr.nodes {
-		n += len(gr.nodes[i].in)
-	}
-	return n
-}
+// EdgeCount returns the number of directed edges; exposed for tests and
+// benchmarks.
+func (gr *Graph) EdgeCount() int { return len(gr.in) }
 
 // NodeCount returns the number of nodes.
-func (gr *Graph) NodeCount() int { return len(gr.nodes) }
+func (gr *Graph) NodeCount() int { return len(gr.locs) }
 
 // Resolve runs the iterative vote propagation and picks, for every cell, the
 // candidate whose node accumulated the largest score. Scores start at
@@ -100,29 +288,62 @@ func (gr *Graph) NodeCount() int { return len(gr.nodes) }
 // normalisation preserves the ranking while guaranteeing convergence (see
 // DESIGN.md). Cells whose candidates receive no votes keep their uniform
 // prior. Ties select the smallest LocID for determinism (the paper chooses
-// randomly).
-func Resolve(interps []Interpretation, g *gazetteer.Gazetteer) map[CellRef]gazetteer.LocID {
+// randomly). A cell whose every interpretation had an empty (or all-invalid)
+// candidate set maps to NoLocation — present in the result, explicitly
+// unresolved, rather than silently missing.
+func Resolve(interps []Interpretation, g gazetteer.Geo) map[CellRef]gazetteer.LocID {
 	choice, _ := ResolveScores(interps, g)
 	return choice
 }
 
 // ResolveScores is Resolve but also returns the final per-node scores keyed
-// by cell and location, for diagnostics and tests.
-func ResolveScores(interps []Interpretation, g *gazetteer.Gazetteer) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64) {
+// by cell and location, for diagnostics and tests. A NoLocation cell's score
+// map is empty.
+func ResolveScores(interps []Interpretation, g gazetteer.Geo) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64) {
 	gr := BuildGraph(interps, g)
-	n := len(gr.nodes)
-	scores := make([]float64, n)
+	scores := gr.propagate()
 
-	// Group node indexes per cell for the normalisation step.
-	cellNodes := map[CellRef][]int{}
-	for i, nd := range gr.nodes {
-		cellNodes[nd.cell] = append(cellNodes[nd.cell], i)
+	choice := make(map[CellRef]gazetteer.LocID, len(gr.cells))
+	detail := make(map[CellRef]map[gazetteer.LocID]float64, len(gr.cells))
+	for ci, cell := range gr.cells {
+		idxs := gr.cellNodes[ci]
+		best, bestScore := gazetteer.NoLocation, math.Inf(-1)
+		m := make(map[gazetteer.LocID]float64, len(idxs))
+		for _, i := range idxs {
+			loc := gr.locs[i]
+			m[loc] = scores[i]
+			if scores[i] > bestScore || (scores[i] == bestScore && loc < best) {
+				best, bestScore = loc, scores[i]
+			}
+		}
+		choice[cell] = best // NoLocation when the cell has no candidates
+		detail[cell] = m
 	}
-	for _, idxs := range cellNodes {
+	return choice, detail
+}
+
+// propagationParallelThreshold is the node count above which the per-
+// iteration vote summation fans out over a worker pool. Each node's sum is
+// independent, so the cut-over changes wall-clock only, never results.
+const propagationParallelThreshold = 2048
+
+// propagate runs the fixed-point iteration and returns the final scores.
+func (gr *Graph) propagate() []float64 {
+	n := len(gr.locs)
+	scores := make([]float64, n)
+	for _, idxs := range gr.cellNodes {
+		if len(idxs) == 0 {
+			continue
+		}
 		init := 1.0 / float64(len(idxs))
 		for _, i := range idxs {
 			scores[i] = init
 		}
+	}
+
+	workers := 1
+	if n >= propagationParallelThreshold {
+		workers = min(runtime.GOMAXPROCS(0), 8)
 	}
 
 	const (
@@ -131,16 +352,13 @@ func ResolveScores(interps []Interpretation, g *gazetteer.Gazetteer) (map[CellRe
 	)
 	next := make([]float64, n)
 	for iter := 0; iter < maxIter; iter++ {
-		for i := range gr.nodes {
-			var sum float64
-			for _, v := range gr.nodes[i].in {
-				sum += scores[v]
-			}
-			next[i] = sum
-		}
+		gr.sumVotes(scores, next, workers)
 		// Per-cell normalisation; a cell whose candidates all scored 0
 		// reverts to its uniform prior.
-		for _, idxs := range cellNodes {
+		for _, idxs := range gr.cellNodes {
+			if len(idxs) == 0 {
+				continue
+			}
 			var total float64
 			for _, i := range idxs {
 				total += next[i]
@@ -165,22 +383,37 @@ func ResolveScores(interps []Interpretation, g *gazetteer.Gazetteer) (map[CellRe
 			break
 		}
 	}
+	return scores
+}
 
-	choice := make(map[CellRef]gazetteer.LocID, len(cellNodes))
-	detail := make(map[CellRef]map[gazetteer.LocID]float64, len(cellNodes))
-	for cell, idxs := range cellNodes {
-		sort.Ints(idxs)
-		best, bestScore := gazetteer.NoLocation, math.Inf(-1)
-		m := make(map[gazetteer.LocID]float64, len(idxs))
-		for _, i := range idxs {
-			nd := gr.nodes[i]
-			m[nd.loc] = scores[i]
-			if scores[i] > bestScore || (scores[i] == bestScore && nd.loc < best) {
-				best, bestScore = nd.loc, scores[i]
+// sumVotes computes next[i] = Σ scores[voters of i] for every node, fanning
+// the node range out over workers when the graph is large. Every in-list is
+// summed in ascending voter order regardless of the worker count, so the
+// result is bitwise deterministic.
+func (gr *Graph) sumVotes(scores, next []float64, workers int) {
+	n := len(gr.locs)
+	sumRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum float64
+			for _, v := range gr.in[gr.inOff[i]:gr.inOff[i+1]] {
+				sum += scores[v]
 			}
+			next[i] = sum
 		}
-		choice[cell] = best
-		detail[cell] = m
 	}
-	return choice, detail
+	if workers <= 1 {
+		sumRange(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sumRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }

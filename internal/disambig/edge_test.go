@@ -21,10 +21,12 @@ func TestResolveNoInterpretations(t *testing.T) {
 	}
 }
 
-// TestEmptyCandidateSetIsSkipped: a geocoder can return zero candidates for a
-// cell (unknown address). Such cells contribute no nodes, are absent from the
-// result, and do not disturb their neighbours' resolution.
-func TestEmptyCandidateSetIsSkipped(t *testing.T) {
+// TestEmptyCandidateSetResolvesToNoLocation: a geocoder can return zero
+// candidates for a cell (unknown address). Such cells contribute no nodes
+// and do not disturb their neighbours' resolution, but they are present in
+// the result as explicit NoLocation entries — callers can distinguish "the
+// geocoder could not resolve this cell" from "this cell was never submitted".
+func TestEmptyCandidateSetResolvesToNoLocation(t *testing.T) {
 	g := gazetteer.Synthetic(2)
 	balt := g.Lookup("Baltimore", gazetteer.City)
 	if len(balt) != 1 {
@@ -35,15 +37,27 @@ func TestEmptyCandidateSetIsSkipped(t *testing.T) {
 		{Cell: CellRef{1, 2}, Candidates: balt},
 		{Cell: CellRef{2, 1}, Candidates: []gazetteer.LocID{}},
 	}
-	choice := Resolve(interps, g)
-	if len(choice) != 1 {
-		t.Fatalf("resolved %d cells, want 1 (empty candidate sets skipped): %v", len(choice), choice)
+	choice, detail := ResolveScores(interps, g)
+	if len(choice) != 3 {
+		t.Fatalf("resolved %d cells, want all 3 submitted cells: %v", len(choice), choice)
 	}
 	if choice[CellRef{1, 2}] != balt[0] {
 		t.Errorf("neighbour of empty cells resolved to %v, want %v", choice[CellRef{1, 2}], balt[0])
 	}
-	if _, ok := choice[CellRef{1, 1}]; ok {
-		t.Error("cell with no candidates appeared in the resolution")
+	for _, empty := range []CellRef{{1, 1}, {2, 1}} {
+		loc, ok := choice[empty]
+		if !ok || loc != gazetteer.NoLocation {
+			t.Errorf("cell %v = (%v, present=%v), want an explicit NoLocation entry", empty, loc, ok)
+		}
+		if len(detail[empty]) != 0 {
+			t.Errorf("cell %v has scores %v, want none", empty, detail[empty])
+		}
+	}
+	// A cell that is unresolvable in one interpretation but has candidates
+	// in another is resolved normally.
+	merged := append(interps, Interpretation{Cell: CellRef{1, 1}, Candidates: balt})
+	if got := Resolve(merged, g)[CellRef{1, 1}]; got != balt[0] {
+		t.Errorf("cell with a later non-empty interpretation resolved to %v, want %v", got, balt[0])
 	}
 }
 
@@ -118,28 +132,40 @@ func TestTieBreakInvariantUnderCandidateOrder(t *testing.T) {
 	}
 }
 
-// TestDuplicateCandidatesTolerated: a geocoder repeating a candidate must not
-// panic the resolver or change which location wins.
-func TestDuplicateCandidatesTolerated(t *testing.T) {
+// TestDuplicateCandidatesDeduplicated: a geocoder repeating a candidate must
+// not change the graph — duplicates would split the cell's uniform prior and
+// vote twice, so graph construction drops them. The resolution of a
+// duplicated input is identical to the deduplicated one's.
+func TestDuplicateCandidatesDeduplicated(t *testing.T) {
 	g := gazetteer.Synthetic(5)
 	parises := g.Lookup("Paris", gazetteer.City)
-	if len(parises) < 2 {
-		t.Fatal("need ambiguous Paris")
+	balt := g.Lookup("Baltimore", gazetteer.City)
+	if len(parises) < 2 || len(balt) != 1 {
+		t.Fatalf("need ambiguous Paris (%d) and unambiguous Baltimore (%d)", len(parises), len(balt))
 	}
 	dup := append(append([]gazetteer.LocID(nil), parises...), parises...)
-	interps := []Interpretation{{Cell: CellRef{1, 1}, Candidates: dup}}
-	choice := Resolve(interps, g)
-	sel, ok := choice[CellRef{1, 1}]
-	if !ok {
-		t.Fatal("cell not resolved")
+	clean := []Interpretation{
+		{Cell: CellRef{1, 1}, Candidates: parises},
+		{Cell: CellRef{1, 2}, Candidates: balt},
 	}
-	found := false
-	for _, c := range parises {
-		if c == sel {
-			found = true
-		}
+	dirty := []Interpretation{
+		{Cell: CellRef{1, 1}, Candidates: dup},
+		{Cell: CellRef{1, 2}, Candidates: balt},
 	}
-	if !found {
-		t.Errorf("selected %v not among the candidates", sel)
+	if got, want := BuildGraph(dirty, g).NodeCount(), BuildGraph(clean, g).NodeCount(); got != want {
+		t.Fatalf("duplicated candidates created %d nodes, want %d", got, want)
+	}
+	wantChoice, wantDetail := ResolveScores(clean, g)
+	gotChoice, gotDetail := ResolveScores(dirty, g)
+	if !reflect.DeepEqual(gotChoice, wantChoice) {
+		t.Errorf("duplicated input resolves differently:\n got %v\nwant %v", gotChoice, wantChoice)
+	}
+	if !reflect.DeepEqual(gotDetail, wantDetail) {
+		t.Errorf("duplicated input scores differently:\n got %v\nwant %v", gotDetail, wantDetail)
+	}
+	// NoLocation candidates are invalid input and are ignored.
+	noisy := []Interpretation{{Cell: CellRef{1, 1}, Candidates: append([]gazetteer.LocID{gazetteer.NoLocation}, parises...)}}
+	if got, want := BuildGraph(noisy, g).NodeCount(), len(parises); got != want {
+		t.Errorf("NoLocation candidate created a node: %d nodes, want %d", got, want)
 	}
 }

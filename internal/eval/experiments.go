@@ -25,7 +25,7 @@ func (l *Lab) config(clf classify.Classifier, postprocess, disambiguate bool) an
 		K:            l.Cfg.K,
 		Postprocess:  postprocess,
 		Disambiguate: disambiguate,
-		Gazetteer:    l.World.Gaz,
+		Gazetteer:    l.Geo,
 		Parallelism:  l.Cfg.Parallelism,
 		Cache:        l.Cache,
 		CacheSalt:    l.clfName(clf),
@@ -42,7 +42,7 @@ func (l *Lab) annotator(clf classify.Classifier, postprocess, disambiguate bool)
 		K:            l.Cfg.K,
 		Postprocess:  postprocess,
 		Disambiguate: disambiguate,
-		Gazetteer:    l.World.Gaz,
+		Gazetteer:    l.Geo,
 		Parallelism:  l.Cfg.Parallelism,
 		Cache:        l.Cache,
 		CacheSalt:    l.clfName(clf),

@@ -13,6 +13,7 @@ import (
 	"repro/internal/annotate"
 	"repro/internal/classify"
 	"repro/internal/dataset"
+	"repro/internal/gazetteer"
 	"repro/internal/kb"
 	"repro/internal/qcache"
 	"repro/internal/search"
@@ -83,6 +84,12 @@ type Lab struct {
 	KB     *kb.KB
 	Engine *search.Engine
 
+	// Geo is the immutable gazetteer frozen from the universe's mutable
+	// one; the annotation pipeline and the serving layer work against it
+	// (results are identical to the builder — differentially enforced in
+	// internal/gazetteer).
+	Geo *gazetteer.Frozen
+
 	SVM   classify.Classifier
 	Bayes classify.Classifier
 
@@ -138,6 +145,7 @@ func NewLab(cfg LabConfig) *Lab {
 		KBPerType:     cfg.KBPerType,
 		AmbiguityRate: cfg.AmbiguityRate,
 	})
+	l.Geo = l.World.Gaz.Freeze()
 	six := webgen.BuildShardedIndex(l.World, webgen.Config{Seed: cfg.Seed + 1}, cfg.SearchShards)
 	l.Engine = search.NewShardedEngine(six)
 	l.KB = kb.FromWorld(l.World, cfg.Seed+2)

@@ -4,11 +4,18 @@
 // countries), formats and parses postal addresses — including the partial,
 // ambiguous addresses the paper highlights — and geocodes an address string
 // to the set of candidate interpretations.
+//
+// The package splits the lifecycle in two: a mutable Builder accumulates
+// locations during dataset construction, and Freeze converts it into an
+// immutable Frozen gazetteer with compact columnar storage (interned names,
+// precomputed container chains, per-parent child ranges and a candidate
+// lookup index) that serves concurrent geocoding traffic and persists to a
+// versioned binary snapshot. Both sides satisfy the read-only Geo interface
+// the disambiguation and annotation layers consume.
 package gazetteer
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -38,11 +45,45 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// LocID identifies a location inside a Gazetteer. The zero LocID is invalid.
+// LocID identifies a location inside a gazetteer. The zero LocID is invalid.
+// Builder and the Frozen gazetteer it freezes into share the same id space.
 type LocID int
 
 // NoLocation is the invalid LocID.
 const NoLocation LocID = 0
+
+// Geo is the read-only gazetteer view the rest of the system works against:
+// the mutable *Builder satisfies it during dataset construction, and the
+// immutable *Frozen satisfies it in the serving path. Implementations agree
+// exactly — Frozen is differentially tested to return identical results.
+type Geo interface {
+	// Len returns the number of locations stored.
+	Len() int
+	// Name returns the bare name of a location.
+	Name(LocID) string
+	// Kind returns the hierarchy level of a location.
+	Kind(LocID) Kind
+	// Parent returns the direct geographic container, or NoLocation for
+	// countries (and for NoLocation itself).
+	Parent(LocID) LocID
+	// Containers returns the chain of containers from the direct one up
+	// to the country.
+	Containers(LocID) []LocID
+	// CityOf returns the city containing the location (or the location
+	// itself if it is a city), or NoLocation above city level.
+	CityOf(LocID) LocID
+	// Lookup returns all locations of the given kind with the given name,
+	// in increasing id order. Matching is case-insensitive.
+	Lookup(name string, kind Kind) []LocID
+	// LookupAny returns all locations with the given name regardless of
+	// kind, in increasing id order.
+	LookupAny(name string) []LocID
+	// FullName renders the location with its full container chain.
+	FullName(LocID) string
+	// Geocode resolves an address string to its candidate LocIDs, in
+	// increasing id order; nil when the address is unresolvable.
+	Geocode(address string) []LocID
+}
 
 // location is the internal record for one geographic location.
 type location struct {
@@ -51,19 +92,28 @@ type location struct {
 	parent LocID // direct container; NoLocation for countries
 }
 
-// Gazetteer is an in-memory geographic database.
-type Gazetteer struct {
+// Builder is the mutable gazetteer under construction: an append-only store
+// of locations. It is not safe for concurrent use; call Freeze once the
+// dataset is complete to obtain the immutable, concurrency-safe form.
+type Builder struct {
 	locs   []location // index 0 unused so that LocID 0 stays invalid
 	byName map[string][]LocID
 }
 
-// New returns an empty gazetteer.
-func New() *Gazetteer {
-	return &Gazetteer{
+// Gazetteer is the historical name of the mutable Builder; existing callers
+// keep working unchanged. New code should say Builder (or work against Geo).
+type Gazetteer = Builder
+
+// New returns an empty mutable gazetteer.
+func New() *Builder {
+	return &Builder{
 		locs:   make([]location, 1),
 		byName: map[string][]LocID{},
 	}
 }
+
+// NewBuilder is New under the post-split name.
+func NewBuilder() *Builder { return New() }
 
 // Add inserts a location under the given parent and returns its id. Countries
 // take parent = NoLocation. Add panics if the parent/kind combination
@@ -86,6 +136,8 @@ func (g *Gazetteer) Add(name string, kind Kind, parent LocID) LocID {
 	id := LocID(len(g.locs))
 	g.locs = append(g.locs, location{name: name, kind: kind, parent: parent})
 	key := normalizeName(name)
+	// Ids are assigned in increasing order, so every byName list is sorted
+	// by construction — Lookup and LookupAny rely on this invariant.
 	g.byName[key] = append(g.byName[key], id)
 	return id
 }
@@ -124,8 +176,9 @@ func (g *Gazetteer) CityOf(id LocID) LocID {
 	return NoLocation
 }
 
-// Lookup returns all locations of the given kind with the given name,
-// sorted by id. Name matching is case-insensitive.
+// Lookup returns all locations of the given kind with the given name, in
+// increasing id order (byName lists are append-ordered by id, so no sort is
+// needed). Name matching is case-insensitive.
 func (g *Gazetteer) Lookup(name string, kind Kind) []LocID {
 	var out []LocID
 	for _, id := range g.byName[normalizeName(name)] {
@@ -133,15 +186,13 @@ func (g *Gazetteer) Lookup(name string, kind Kind) []LocID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// LookupAny returns all locations with the given name regardless of kind.
+// LookupAny returns all locations with the given name regardless of kind, in
+// increasing id order.
 func (g *Gazetteer) LookupAny(name string) []LocID {
-	out := append([]LocID(nil), g.byName[normalizeName(name)]...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]LocID(nil), g.byName[normalizeName(name)]...)
 }
 
 // FullName renders the location with its full container chain, e.g.

@@ -1,7 +1,6 @@
 package gazetteer
 
 import (
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -66,8 +65,13 @@ func ParseAddress(s string) Address {
 		return a
 	}
 	first := rest[0]
-	if i := strings.IndexByte(first, ' '); i > 0 {
-		if n, err := strconv.Atoi(first[:i]); err == nil {
+	// Only an all-digit leading token with a positive value is a street
+	// number; "−12 Main", "+12 Main" and "0 Main" keep their first token
+	// as part of the street name. (Format renders only positive numbers,
+	// so anything else would break the parse∘format fixed point the fuzz
+	// target enforces.)
+	if i := strings.IndexByte(first, ' '); i > 0 && allDigits(first[:i]) {
+		if n, err := strconv.Atoi(first[:i]); err == nil && n > 0 {
 			a.StreetNumber = n
 			first = strings.TrimSpace(first[i+1:])
 		}
@@ -86,15 +90,16 @@ func ParseAddress(s string) Address {
 }
 
 func isZip(s string) bool {
-	if len(s) < 4 {
-		return false
-	}
+	return len(s) >= 4 && allDigits(s)
+}
+
+func allDigits(s string) bool {
 	for i := 0; i < len(s); i++ {
 		if s[i] < '0' || s[i] > '9' {
 			return false
 		}
 	}
-	return true
+	return len(s) > 0
 }
 
 // Geocode resolves an address string to its candidate interpretations, most
@@ -128,7 +133,8 @@ func (g *Gazetteer) Geocode(address string) []LocID {
 		}
 		cands = g.narrow(cands, q)
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	// Candidates come from one Lookup (increasing id order) and narrow
+	// preserves order, so the result is already sorted.
 	return cands
 }
 

@@ -1,0 +1,217 @@
+package gazetteer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frozen gazetteer persistence: a compact binary snapshot so a gazetteer
+// built (or synthesized at scale) once can be reloaded without regeneration,
+// mirroring the search index's versioned format. Format (little-endian):
+//
+//	magic "TGAZ" | version u32
+//	locCount u32 | nameCount u32
+//	names: nameCount len-prefixed strings (interned exact names)
+//	locs: per location 1..locCount: nameID u32, kind u32, parent u32
+//	integrity: chainLen u32 | childLen u32 | normCount u32
+//
+// Only the primary columns are stored; the derived structures (normalized
+// names, container chains, child ranges, lookup buckets, cityOf) are rebuilt
+// on load and checked against the stored integrity section, keeping the file
+// small at the cost of a cheap re-derivation — the same trade the search
+// index makes. The reader validates the hierarchy (kind/parent agreement,
+// parents preceding children) so a corrupt file returns an error instead of
+// panicking dataset-construction invariants.
+
+const (
+	gazMagic   = "TGAZ"
+	gazVersion = 1
+
+	// maxGazLocations bounds the location count a reader accepts; far
+	// above any real dataset, it only rejects obviously corrupt headers.
+	maxGazLocations = 1 << 26
+)
+
+// countWriter counts the bytes that actually reach the underlying writer,
+// so WriteTo's reported n stays honest when a write (or the final flush)
+// fails partway.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serialises the frozen gazetteer. It returns the byte count written
+// to w (buffered internally; the count reflects flushed bytes, per the
+// io.WriterTo contract).
+func (f *Frozen) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	u32 := func(v uint32) error {
+		return binary.Write(bw, binary.LittleEndian, v)
+	}
+	str := func(s string) error {
+		if err := u32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	err := func() error {
+		if _, err := bw.WriteString(gazMagic); err != nil {
+			return err
+		}
+		if err := u32(gazVersion); err != nil {
+			return err
+		}
+		if err := u32(uint32(f.Len())); err != nil {
+			return err
+		}
+		if err := u32(uint32(len(f.names))); err != nil {
+			return err
+		}
+		for _, name := range f.names {
+			if err := str(name); err != nil {
+				return err
+			}
+		}
+		for i := 1; i <= f.Len(); i++ {
+			if err := u32(uint32(f.nameID[i])); err != nil {
+				return err
+			}
+			if err := u32(uint32(f.kinds[i])); err != nil {
+				return err
+			}
+			if err := u32(uint32(f.parents[i])); err != nil {
+				return err
+			}
+		}
+		// Integrity section: derived-structure sizes the reader verifies
+		// after rebuilding.
+		if err := u32(uint32(len(f.chains))); err != nil {
+			return err
+		}
+		if err := u32(uint32(len(f.children))); err != nil {
+			return err
+		}
+		return u32(uint32(len(f.norms)))
+	}()
+	if err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadFrozen loads a gazetteer snapshot previously written with WriteTo,
+// validating the header, the hierarchy and the derived-structure integrity
+// section. The result behaves identically to the Frozen that was written.
+func ReadFrozen(r io.Reader) (*Frozen, error) {
+	br := bufio.NewReader(r)
+	u32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	str := func() (string, error) {
+		n, err := u32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("gazetteer: corrupt snapshot (name length %d)", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	magic := make([]byte, len(gazMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("gazetteer: reading magic: %w", err)
+	}
+	if string(magic) != gazMagic {
+		return nil, fmt.Errorf("gazetteer: bad magic %q", magic)
+	}
+	version, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != gazVersion {
+		return nil, fmt.Errorf("gazetteer: unsupported snapshot version %d", version)
+	}
+	locCount, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	nameCount, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if locCount > maxGazLocations || nameCount > locCount {
+		return nil, fmt.Errorf("gazetteer: corrupt snapshot (%d locations, %d names)", locCount, nameCount)
+	}
+	names := make([]string, nameCount)
+	for i := range names {
+		if names[i], err = str(); err != nil {
+			return nil, fmt.Errorf("gazetteer: name %d: %w", i, err)
+		}
+	}
+	locs := make([]location, 1, locCount+1)
+	for id := uint32(1); id <= locCount; id++ {
+		nameID, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("gazetteer: location %d: %w", id, err)
+		}
+		kind, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("gazetteer: location %d: %w", id, err)
+		}
+		parent, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("gazetteer: location %d: %w", id, err)
+		}
+		if nameID >= uint32(len(names)) {
+			return nil, fmt.Errorf("gazetteer: location %d: name id %d out of range", id, nameID)
+		}
+		if kind > uint32(Country) {
+			return nil, fmt.Errorf("gazetteer: location %d: bad kind %d", id, kind)
+		}
+		k := Kind(kind)
+		switch {
+		case k == Country && parent != 0:
+			return nil, fmt.Errorf("gazetteer: location %d: country with parent %d", id, parent)
+		case k != Country && (parent == 0 || parent >= id):
+			return nil, fmt.Errorf("gazetteer: location %d: bad parent %d", id, parent)
+		case k != Country && locs[parent].kind != k+1:
+			return nil, fmt.Errorf("gazetteer: location %d: %s contained in %s", id, k, locs[parent].kind)
+		}
+		locs = append(locs, location{name: names[nameID], kind: k, parent: LocID(parent)})
+	}
+	f := freeze(locs)
+	for _, check := range []struct {
+		name string
+		want int
+	}{
+		{"chain length", len(f.chains)},
+		{"child count", len(f.children)},
+		{"normalized name count", len(f.norms)},
+	} {
+		got, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("gazetteer: integrity section: %w", err)
+		}
+		if int(got) != check.want {
+			return nil, fmt.Errorf("gazetteer: %s mismatch: %d stored, %d rebuilt", check.name, got, check.want)
+		}
+	}
+	return f, nil
+}

@@ -1,6 +1,9 @@
 package gazetteer
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Synthetic builds the gazetteer used by the synthetic universe. It contains
 // a handful of countries, states and a few hundred cities, with deliberate
@@ -9,7 +12,19 @@ import "math/rand"
 // street level (Pennsylvania Avenue, Main Street, Clarksville Street, …),
 // reproducing the ambiguity structure of Figure 7 in the paper. The extra
 // cities and street assignments are drawn deterministically from seed.
-func Synthetic(seed int64) *Gazetteer {
+// Synthetic(seed) is SyntheticScale(seed, 1); the two agree exactly on the
+// base id range.
+func Synthetic(seed int64) *Gazetteer { return SyntheticScale(seed, 1) }
+
+// SyntheticScale builds the synthetic gazetteer at a chosen size: scale <= 1
+// is exactly Synthetic(seed) (same locations, same ids); every additional
+// scale unit appends one more country with ten states, a hundred cities and
+// ~1000 streets (≈1100 locations), drawn deterministically from the same
+// seed. City and street names come from small shared pools, so name
+// collisions — the ambiguity the disambiguator resolves — grow linearly with
+// the gazetteer: at scale ≈ 90 the gazetteer exceeds 100k locations and a
+// bare street name geocodes to over a thousand candidates.
+func SyntheticScale(seed int64, scale int) *Gazetteer {
 	rng := rand.New(rand.NewSource(seed))
 	g := New()
 
@@ -108,7 +123,44 @@ func Synthetic(seed int64) *Gazetteer {
 	ensureStreet(g, "Clarksville Street", "Paris", states["TX"])
 	ensureStreet(g, "Clarksville Street", "Bogata", states["TX"])
 	ensureStreet(g, "Clarksville Street", "Trenton", states["KY"])
+	grow(g, rng, scale)
 	return g
+}
+
+// scaleCityNames and scaleStreetNames are the shared name pools the growth
+// rounds draw from; reusing a small pool across many cities is what makes
+// the scaled gazetteer ambiguous rather than merely large.
+var (
+	scaleCityNames   = crossNames([]string{"Aber", "Avon", "Bel", "Brook", "Clar", "Cres", "Dun", "East", "Fair", "Glen", "Green", "Hart", "Kings", "Lake", "Mill", "North", "Oak", "Spring", "West", "Wood"}, []string{"dale", "field", "ford", "haven", "mont", "port", "side", "ton", "ville", "wick"})
+	scaleStreetNames = crossNames([]string{"Alder", "Aspen", "Bay", "Birch", "Cedar", "Cherry", "Dogwood", "Fern", "Hazel", "Holly", "Juniper", "Laurel", "Linden", "Magnolia", "Myrtle", "Poplar", "Rowan", "Spruce", "Walnut", "Willow"}, []string{" Avenue", " Court", " Road"})
+)
+
+// crossNames returns the cross product prefix+suffix in prefix-major order.
+func crossNames(prefixes, suffixes []string) []string {
+	out := make([]string, 0, len(prefixes)*len(suffixes))
+	for _, p := range prefixes {
+		for _, s := range suffixes {
+			out = append(out, p+s)
+		}
+	}
+	return out
+}
+
+// grow appends scale-1 growth rounds to the base gazetteer, continuing the
+// base construction's deterministic random stream.
+func grow(g *Gazetteer, rng *rand.Rand, scale int) {
+	for r := 1; r < scale; r++ {
+		country := g.Add(fmt.Sprintf("Terra %d", r), Country, NoLocation)
+		for s := 1; s <= 10; s++ {
+			state := g.Add(fmt.Sprintf("Region %d-%d", r, s), State, country)
+			for c := 0; c < 10; c++ {
+				city := g.Add(scaleCityNames[rng.Intn(len(scaleCityNames))], City, state)
+				for k, n := 0, 8+rng.Intn(5); k < n; k++ {
+					g.Add(scaleStreetNames[rng.Intn(len(scaleStreetNames))], Street, city)
+				}
+			}
+		}
+	}
 }
 
 // ensureStreet adds the street to the named city in the given state unless it

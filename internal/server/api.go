@@ -31,6 +31,9 @@ type AnnotateRequestJSON struct {
 	Disambiguate *bool `json:"disambiguate,omitempty"`
 	// Trace additionally returns per-cell decision explanations.
 	Trace bool `json:"trace,omitempty"`
+	// Geocode additionally resolves Location-column cells against the
+	// gazetteer into geo_annotations.
+	Geocode bool `json:"geocode,omitempty"`
 }
 
 // BatchRequestJSON is the body of POST /v1/annotate:batch.
@@ -67,14 +70,48 @@ type TimingJSON struct {
 	TotalMs float64 `json:"total_ms"`
 }
 
+// GeoAnnotationJSON is one Location-column cell resolved against the
+// gazetteer.
+type GeoAnnotationJSON struct {
+	Row        int     `json:"row"`
+	Col        int     `json:"col"`
+	Location   string  `json:"location"`
+	Kind       string  `json:"kind"`
+	City       string  `json:"city,omitempty"`
+	Candidates int     `json:"candidates"`
+	Score      float64 `json:"score"`
+}
+
 // AnnotateResponseJSON is the body of a successful POST /v1/annotate.
 type AnnotateResponseJSON struct {
-	Annotations []AnnotationJSON  `json:"annotations"`
-	ColumnTypes map[string]string `json:"column_types,omitempty"`
-	Trace       []string          `json:"trace,omitempty"`
-	Stats       StatsJSON         `json:"stats"`
-	Cache       CacheJSON         `json:"cache"`
-	Timing      TimingJSON        `json:"timing"`
+	Annotations    []AnnotationJSON    `json:"annotations"`
+	ColumnTypes    map[string]string   `json:"column_types,omitempty"`
+	Trace          []string            `json:"trace,omitempty"`
+	GeoAnnotations []GeoAnnotationJSON `json:"geo_annotations,omitempty"`
+	Stats          StatsJSON           `json:"stats"`
+	Cache          CacheJSON           `json:"cache"`
+	Timing         TimingJSON          `json:"timing"`
+}
+
+// GeocodeRequestJSON is the body of POST /v1/geocode.
+type GeocodeRequestJSON struct {
+	// Table is the table to geocode, in the internal/table JSON
+	// interchange format.
+	Table json.RawMessage `json:"table"`
+}
+
+// GeoStatsJSON mirrors repro.GeoStats.
+type GeoStatsJSON struct {
+	LocationCells int `json:"location_cells"`
+	Resolved      int `json:"resolved"`
+	Ambiguous     int `json:"ambiguous"`
+}
+
+// GeocodeResponseJSON is the body of a successful POST /v1/geocode.
+type GeocodeResponseJSON struct {
+	Annotations []GeoAnnotationJSON `json:"annotations"`
+	Stats       GeoStatsJSON        `json:"stats"`
+	Timing      TimingJSON          `json:"timing"`
 }
 
 // BatchResponseJSON is the body of a successful POST /v1/annotate:batch.
@@ -105,6 +142,17 @@ type StatzJSON struct {
 	Failed      int64       `json:"failed"`
 	Search      *SearchFull `json:"search,omitempty"`
 	Cache       *CacheFull  `json:"cache,omitempty"`
+	Geo         *GeoFull    `json:"geo,omitempty"`
+}
+
+// GeoFull is the geo subsystem's point-in-time serving state: the frozen
+// gazetteer's size, the number of POST /v1/geocode requests served, and the
+// cells resolved across both that endpoint and annotate requests that
+// carried the geocode flag.
+type GeoFull struct {
+	GazetteerLocations int   `json:"gazetteer_locations"`
+	Requests           int64 `json:"requests"`
+	CellsResolved      int64 `json:"cells_resolved"`
 }
 
 // SearchFull is the search engine's point-in-time serving state: total and
@@ -151,7 +199,59 @@ func (w *AnnotateRequestJSON) toRequest() (*repro.AnnotateRequest, error) {
 		Postprocess:  repro.ToggleOf(w.Postprocess),
 		Disambiguate: repro.ToggleOf(w.Disambiguate),
 		Trace:        w.Trace,
+		Geocode:      w.Geocode,
 	}, nil
+}
+
+// toGeocodeRequest parses the wire request into the service request.
+func (w *GeocodeRequestJSON) toRequest() (*repro.GeocodeRequest, error) {
+	if len(w.Table) == 0 {
+		return nil, &repro.RequestError{Field: "table", Reason: "missing"}
+	}
+	tbl, err := table.ReadJSON(bytes.NewReader(w.Table))
+	if err != nil {
+		return nil, &repro.RequestError{Field: "table", Reason: err.Error()}
+	}
+	return &repro.GeocodeRequest{Table: tbl}, nil
+}
+
+// geoToWire converts the service geo annotations to their wire form.
+func geoToWire(gas []repro.GeoAnnotation) []GeoAnnotationJSON {
+	if len(gas) == 0 {
+		return nil
+	}
+	out := make([]GeoAnnotationJSON, len(gas))
+	for i, ga := range gas {
+		out[i] = GeoAnnotationJSON{
+			Row:        ga.Row,
+			Col:        ga.Col,
+			Location:   ga.Location,
+			Kind:       ga.Kind,
+			City:       ga.City,
+			Candidates: ga.Candidates,
+			Score:      ga.Score,
+		}
+	}
+	return out
+}
+
+// geocodeToWire converts a service geocode response to its wire form.
+func geocodeToWire(resp *repro.GeocodeResponse) GeocodeResponseJSON {
+	out := GeocodeResponseJSON{
+		// Annotations is always present in the wire format, even when
+		// empty, so clients can range over it without a nil check.
+		Annotations: geoToWire(resp.Annotations),
+		Stats: GeoStatsJSON{
+			LocationCells: resp.Stats.LocationCells,
+			Resolved:      resp.Stats.Resolved,
+			Ambiguous:     resp.Stats.Ambiguous,
+		},
+		Timing: TimingJSON{TotalMs: float64(resp.Timing.Total) / float64(time.Millisecond)},
+	}
+	if out.Annotations == nil {
+		out.Annotations = []GeoAnnotationJSON{}
+	}
+	return out
 }
 
 // toWire converts a service response to its wire form.
@@ -159,8 +259,9 @@ func toWire(resp *repro.AnnotateResponse) AnnotateResponseJSON {
 	out := AnnotateResponseJSON{
 		// Annotations is always present in the wire format, even when
 		// empty, so clients can range over it without a nil check.
-		Annotations: make([]AnnotationJSON, len(resp.Annotations)),
-		Trace:       resp.Trace,
+		Annotations:    make([]AnnotationJSON, len(resp.Annotations)),
+		Trace:          resp.Trace,
+		GeoAnnotations: geoToWire(resp.GeoAnnotations),
 		Stats: StatsJSON{
 			Rows:      resp.Stats.Rows,
 			Cols:      resp.Stats.Cols,

@@ -49,6 +49,9 @@ type Server struct {
 	served   atomic.Int64
 	rejected atomic.Int64
 	failed   atomic.Int64
+
+	geoRequests atomic.Int64 // POST /v1/geocode calls served
+	geoResolved atomic.Int64 // cells resolved, geocode + annotate paths
 }
 
 // New builds a Server; it panics when cfg.Service is nil (a wiring bug, not
@@ -84,12 +87,14 @@ func New(cfg Config) *Server {
 //
 //	POST /v1/annotate        annotate one table
 //	POST /v1/annotate:batch  annotate several tables over the worker pool
+//	POST /v1/geocode         geocode + disambiguate one table's Location columns
 //	GET  /healthz            liveness (the service is built and serving)
-//	GET  /statz              serving and cache statistics
+//	GET  /statz              serving, cache and geo statistics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
 	mux.HandleFunc("POST /v1/annotate:batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/geocode", s.handleGeocode)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
@@ -148,7 +153,40 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.served.Add(1)
+	s.geoResolved.Add(int64(len(resp.GeoAnnotations)))
 	writeJSON(w, http.StatusOK, toWire(resp))
+}
+
+// handleGeocode serves the standalone geocode+disambiguate endpoint. A
+// geocode request costs no search-engine queries, but it still occupies one
+// admission slot: gazetteer lookups and graph propagation over a large table
+// are real work.
+func (s *Server) handleGeocode(w http.ResponseWriter, r *http.Request) {
+	var wire GeocodeRequestJSON
+	if !s.decodeBody(w, r, &wire) {
+		return
+	}
+	req, err := wire.toRequest()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if status, code, msg, bad := s.tooLarge(req.Table); bad {
+		s.writeError(w, status, code, msg)
+		return
+	}
+	if !s.admit(w, 1) {
+		return
+	}
+	defer s.release(1)
+	resp, err := s.svc.Geocode(r.Context(), req)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	s.geoRequests.Add(1)
+	s.geoResolved.Add(int64(resp.Stats.Resolved))
+	writeJSON(w, http.StatusOK, geocodeToWire(resp))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +224,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	out := BatchResponseJSON{Responses: make([]AnnotateResponseJSON, len(resps))}
 	for i, resp := range resps {
 		out.Responses[i] = toWire(resp)
+		s.geoResolved.Add(int64(len(resp.GeoAnnotations)))
 	}
 	s.served.Add(int64(len(resps)))
 	writeJSON(w, http.StatusOK, out)
@@ -220,6 +259,11 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		st := c.Stats()
 		out.Cache = &CacheFull{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, HitRate: st.HitRate()}
 	}
+	out.Geo = &GeoFull{
+		GazetteerLocations: s.svc.Geo().Len(),
+		Requests:           s.geoRequests.Load(),
+		CellsResolved:      s.geoResolved.Load(),
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -242,6 +286,17 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
+// tooLarge enforces the server-side table size limit, shared by every route
+// that accepts a table so their admission rules cannot drift. bad is true
+// with the error triple filled when the table exceeds MaxCells.
+func (s *Server) tooLarge(t *repro.Table) (status int, code, msg string, bad bool) {
+	if cells := t.NumRows() * t.NumCols(); cells > s.cfg.MaxCells {
+		return http.StatusRequestEntityTooLarge, "table_too_large",
+			fmt.Sprintf("table has %d cells, limit is %d", cells, s.cfg.MaxCells), true
+	}
+	return 0, "", "", false
+}
+
 // prepare converts one wire request, enforcing the server-side table size
 // limit. On failure it returns a nil request plus the error triple.
 func (s *Server) prepare(wire *AnnotateRequestJSON) (req *repro.AnnotateRequest, status int, code, msg string) {
@@ -249,9 +304,8 @@ func (s *Server) prepare(wire *AnnotateRequestJSON) (req *repro.AnnotateRequest,
 	if err != nil {
 		return nil, http.StatusBadRequest, "invalid_request", err.Error()
 	}
-	if cells := req.Table.NumRows() * req.Table.NumCols(); cells > s.cfg.MaxCells {
-		return nil, http.StatusRequestEntityTooLarge, "table_too_large",
-			fmt.Sprintf("table has %d cells, limit is %d", cells, s.cfg.MaxCells)
+	if status, code, msg, bad := s.tooLarge(req.Table); bad {
+		return nil, status, code, msg
 	}
 	return req, 0, "", ""
 }

@@ -59,6 +59,9 @@ type (
 	Annotator = annotate.Annotator
 	// Annotation is one annotated cell with its Eq. 1 score.
 	Annotation = annotate.Annotation
+	// GeoAnnotation is one Location-column cell resolved against the
+	// gazetteer (AnnotateRequest.Geocode / Service.Geocode).
+	GeoAnnotation = annotate.GeoAnnotation
 	// Result is the annotation output for one table.
 	//
 	// Deprecated: Result is what the pre-v1 Annotator returns; the v1 API

@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/gazetteer"
 	"repro/internal/kb"
 	"repro/internal/search"
+	"repro/internal/table"
 	"repro/internal/world"
 )
 
@@ -183,7 +185,7 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 			Types:        eval.TypeStrings(),
 			Postprocess:  true,
 			Disambiguate: true,
-			Gazetteer:    lab.World.Gaz,
+			Gazetteer:    lab.Geo,
 			Parallelism:  st.parallelism,
 			Cache:        lab.Cache,
 			CacheSalt:    st.classifier,
@@ -251,6 +253,12 @@ type AnnotateRequest struct {
 	// (cmd/annotate's -explain view). The trace pass re-queries the
 	// engine, roughly doubling the request's query cost.
 	Trace bool
+	// Geocode additionally runs the §5.2.2 geocode+disambiguate stage as
+	// an output product: every Location-column cell resolved against the
+	// gazetteer appears in AnnotateResponse.GeoAnnotations. Off by
+	// default; the stage costs gazetteer lookups and graph propagation but
+	// no search-engine queries.
+	Geocode bool
 }
 
 // Stats summarises one annotation run.
@@ -300,6 +308,9 @@ type AnnotateResponse struct {
 	// Trace holds one human-readable explanation per cell when the
 	// request set Trace.
 	Trace []string
+	// GeoAnnotations holds the resolved Location-column cells when the
+	// request set Geocode; nil otherwise (and when nothing geocoded).
+	GeoAnnotations []GeoAnnotation
 	// Stats, CacheStats and Timing describe the run.
 	Stats      Stats
 	CacheStats CacheStats
@@ -360,6 +371,14 @@ func (s *Service) Annotate(ctx context.Context, req *AnnotateRequest) (*Annotate
 // run executes an already-validated request with its derived config.
 func (s *Service) run(ctx context.Context, cfg annotate.Config, req *AnnotateRequest) (*AnnotateResponse, error) {
 	start := time.Now()
+	if req.Geocode {
+		// One geocode+vote pass serves both the Disambiguate stage and
+		// the GeoAnnotations output.
+		var err error
+		if cfg, err = cfg.PrepareGeo(ctx, req.Table); err != nil {
+			return nil, err
+		}
+	}
 	res, err := cfg.Annotate(ctx, req.Table)
 	if err != nil {
 		return nil, err
@@ -392,8 +411,84 @@ func (s *Service) run(ctx context.Context, cfg annotate.Config, req *AnnotateReq
 			resp.Trace[i] = e.String()
 		}
 	}
+	if req.Geocode {
+		gas, err := cfg.GeoAnnotate(ctx, req.Table)
+		if err != nil {
+			return nil, err
+		}
+		resp.GeoAnnotations = gas
+	}
 	resp.Timing = Timing{Total: time.Since(start)}
 	return resp, nil
+}
+
+// GeocodeRequest asks the service to geocode and disambiguate one table's
+// Location columns without running the annotation pipeline.
+type GeocodeRequest struct {
+	// Table is the GFT-style table to geocode. Required.
+	Table *Table
+}
+
+// GeoStats summarises one geocode run.
+type GeoStats struct {
+	// LocationCells is the number of non-empty cells in Location-typed
+	// columns.
+	LocationCells int
+	// Resolved is the number of cells the gazetteer geocoded (each yields
+	// one GeoAnnotation).
+	Resolved int
+	// Ambiguous is the number of resolved cells that had more than one
+	// candidate interpretation before disambiguation.
+	Ambiguous int
+}
+
+// GeocodeResponse is the result of one GeocodeRequest.
+type GeocodeResponse struct {
+	// Annotations are the resolved Location-column cells in deterministic
+	// column-major cell order.
+	Annotations []GeoAnnotation
+	// Stats and Timing describe the run.
+	Stats  GeoStats
+	Timing Timing
+}
+
+// Geocode resolves one table's Location columns against the gazetteer: the
+// §5.2.2 geocode+disambiguate stage as a standalone request, costing no
+// search-engine queries. It returns a *RequestError for invalid requests and
+// ctx.Err() on cancellation. Safe for concurrent use.
+func (s *Service) Geocode(ctx context.Context, req *GeocodeRequest) (*GeocodeResponse, error) {
+	if req == nil || req.Table == nil {
+		return nil, &RequestError{Field: "table", Reason: "missing"}
+	}
+	if req.Table.NumCols() == 0 {
+		return nil, &RequestError{Field: "table", Reason: "has no columns"}
+	}
+	start := time.Now()
+	gas, err := s.base.GeoAnnotate(ctx, req.Table)
+	if err != nil {
+		return nil, err
+	}
+	resp := &GeocodeResponse{Annotations: gas, Stats: geoStats(req.Table, gas)}
+	resp.Timing = Timing{Total: time.Since(start)}
+	return resp, nil
+}
+
+// geoStats derives the run summary from the table and its annotations.
+func geoStats(t *Table, gas []GeoAnnotation) GeoStats {
+	st := GeoStats{Resolved: len(gas)}
+	for _, j := range t.ColumnIndexesOfType(table.Location) {
+		for i := 1; i <= t.NumRows(); i++ {
+			if strings.TrimSpace(t.Cell(i, j)) != "" {
+				st.LocationCells++
+			}
+		}
+	}
+	for _, ga := range gas {
+		if ga.Candidates > 1 {
+			st.Ambiguous++
+		}
+	}
+	return st
 }
 
 // Explain runs the request in tracing mode ONLY: one human-readable
@@ -548,8 +643,13 @@ func (s *Service) Classifier(name string) classify.Classifier {
 // Engine exposes the simulated web search engine.
 func (s *Service) Engine() *search.Engine { return s.lab.Engine }
 
-// Gazetteer exposes the geocoding substrate.
+// Gazetteer exposes the mutable geocoding substrate the universe was built
+// with; the pipeline itself serves from the frozen form (see Geo).
 func (s *Service) Gazetteer() *gazetteer.Gazetteer { return s.lab.World.Gaz }
+
+// Geo exposes the immutable gazetteer the annotation pipeline and the
+// geocode endpoint serve from.
+func (s *Service) Geo() *gazetteer.Frozen { return s.lab.Geo }
 
 // KB exposes the DBpedia-like knowledge base.
 func (s *Service) KB() *kb.KB { return s.lab.KB }
