@@ -36,6 +36,11 @@ type run struct {
 	// of 32), the shape the batched annotation pipeline submits; 0 on runs
 	// recorded before the batch API existed.
 	BatchQueriesPerSec float64 `json:"batch_queries_per_sec,omitempty"`
+	// BatchSweepQueriesPerSec is the same workload at each swept batch size
+	// (keys "1", "8", "32", "128"), showing how throughput scales with the
+	// amortization of per-batch setup (term resolution, accumulator reuse);
+	// absent on runs recorded before the sweep existed.
+	BatchSweepQueriesPerSec map[string]float64 `json:"batch_sweep_queries_per_sec,omitempty"`
 }
 
 type trajectory struct {
@@ -99,14 +104,27 @@ func main() {
 	}
 	batchSecs := time.Since(start).Seconds()
 
+	// Batch-size sweep: the same query stream chunked at each size, so the
+	// trajectory records how much of the batch path's win comes from
+	// amortizing per-batch setup across more queries.
+	sweep := make(map[string]float64, 4)
+	for _, size := range []int{1, 8, 32, 128} {
+		start = time.Now()
+		for lo := 0; lo < len(terms); lo += size {
+			ix.SearchBatch(terms[lo:min(lo+size, len(terms))], 10)
+		}
+		sweep[fmt.Sprint(size)] = float64(*queries) / time.Since(start).Seconds()
+	}
+
 	r := run{
-		Label:               *label,
-		RecordedAt:          time.Now().UTC().Format(time.RFC3339),
-		CorpusDocs:          len(docs),
-		IndexDocsPerSec:     float64(len(docs)) / indexSecs,
-		TermQueriesPerSec:   float64(*queries) / termSecs,
-		PhraseQueriesPerSec: float64(*queries) / phraseSecs,
-		BatchQueriesPerSec:  float64(*queries) / batchSecs,
+		Label:                   *label,
+		RecordedAt:              time.Now().UTC().Format(time.RFC3339),
+		CorpusDocs:              len(docs),
+		IndexDocsPerSec:         float64(len(docs)) / indexSecs,
+		TermQueriesPerSec:       float64(*queries) / termSecs,
+		PhraseQueriesPerSec:     float64(*queries) / phraseSecs,
+		BatchQueriesPerSec:      float64(*queries) / batchSecs,
+		BatchSweepQueriesPerSec: sweep,
 	}
 
 	traj := trajectory{
@@ -132,6 +150,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsearch:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: indexed %d docs at %.0f docs/s, term %.0f q/s, phrase %.0f q/s (phrase speedup vs first run: %.2fx)\n",
-		*label, r.CorpusDocs, r.IndexDocsPerSec, r.TermQueriesPerSec, r.PhraseQueriesPerSec, traj.PhraseSpeedup)
+	fmt.Printf("%s: indexed %d docs at %.0f docs/s, term %.0f q/s, phrase %.0f q/s, batch %.0f q/s (phrase speedup vs first run: %.2fx)\n",
+		*label, r.CorpusDocs, r.IndexDocsPerSec, r.TermQueriesPerSec, r.PhraseQueriesPerSec, r.BatchQueriesPerSec, traj.PhraseSpeedup)
+	fmt.Printf("  batch sweep: size 1 %.0f, 8 %.0f, 32 %.0f, 128 %.0f q/s\n",
+		sweep["1"], sweep["8"], sweep["32"], sweep["128"])
 }

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	serve [-addr :8080] [-seed 42] [-scale small|full] [-classifier svm|bayes]
-//	      [-parallel 8] [-share-cache] [-max-inflight 64] [-max-cells 100000]
+//	      [-parallel 8] [-share-cache] [-cache-max-entries 0] [-cache-ttl 0]
+//	      [-max-inflight 64] [-max-cells 100000]
 //
 // The server builds the full system (corpus, index, classifiers) before it
 // starts listening, so /healthz answering 200 means the service is ready.
@@ -42,6 +43,8 @@ func main() {
 		parallel    = flag.Int("parallel", 8, "annotation parallelism (cell queries and batch tables)")
 		shards      = flag.Int("shards", 0, "search index shards (0 = one per CPU, capped at 8; results identical at any count)")
 		shareCache  = flag.Bool("share-cache", true, "share query verdicts across requests (cross-table cache)")
+		cacheMax    = flag.Int("cache-max-entries", 0, "cap the shared cache's entries, evicting oldest first (0 = unbounded)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "expire shared-cache verdicts after this long (0 = never)")
 		maxInflight = flag.Int("max-inflight", 64, "admission control: max concurrently-served annotation requests")
 		maxCells    = flag.Int("max-cells", 100000, "reject tables larger than this many cells")
 		maxBatch    = flag.Int("max-batch", 32, "max requests per /v1/annotate:batch call")
@@ -57,6 +60,9 @@ func main() {
 	}
 	if *shareCache {
 		opts = append(opts, repro.WithSharedCache())
+		if *cacheMax != 0 || *cacheTTL != 0 {
+			opts = append(opts, repro.WithCacheLimits(*cacheMax, *cacheTTL))
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -9,6 +9,7 @@ package eval
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/annotate"
 	"repro/internal/classify"
@@ -49,6 +50,11 @@ type LabConfig struct {
 	// search-engine round-trips. Off by default because it changes the
 	// reported query counts (quality numbers are unaffected).
 	ShareCache bool
+	// CacheMaxEntries caps the shared cache's entry count (0 = unbounded)
+	// and CacheTTL expires its entries (0 = never); both only matter with
+	// ShareCache set. See qcache.Options for the eviction semantics.
+	CacheMaxEntries int
+	CacheTTL        time.Duration
 	// SearchShards is the shard count of the search index: each query's
 	// scoring fans out across the shards in parallel, with results
 	// byte-identical to a monolithic index (every reported number is
@@ -137,7 +143,10 @@ func NewLab(cfg LabConfig) *Lab {
 	cfg = cfg.withDefaults()
 	l := &Lab{Cfg: cfg, runMemo: map[string]*memoEntry{}}
 	if cfg.ShareCache {
-		l.Cache = qcache.New()
+		l.Cache = qcache.NewWithOptions(qcache.Options{
+			MaxEntries: cfg.CacheMaxEntries,
+			TTL:        cfg.CacheTTL,
+		})
 	}
 
 	l.World = world.Generate(world.Config{

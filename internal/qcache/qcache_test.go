@@ -136,3 +136,96 @@ func TestShardDistribution(t *testing.T) {
 		t.Errorf("only %d/%d shards occupied; FNV distribution is broken", occupied, numShards)
 	}
 }
+
+// TestMaxEntriesEviction: a capped cache evicts each shard's oldest
+// insertion first and counts every eviction.
+func TestMaxEntriesEviction(t *testing.T) {
+	c := NewWithOptions(Options{MaxEntries: numShards}) // one entry per shard
+	// Find two keys in the same shard; the second insertion must evict the
+	// first and leave later shard-mates untouched by other shards' traffic.
+	first := "seed-key"
+	sh := c.shardFor(first)
+	var second string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.shardFor(k) == sh && k != first {
+			second = k
+			break
+		}
+	}
+	c.Put(first, Verdict{Type: "a", OK: true})
+	c.Put(second, Verdict{Type: "b", OK: true})
+	if _, ok := c.Get(first); ok {
+		t.Error("oldest entry survived a same-shard insertion past the cap")
+	}
+	if v, ok := c.Get(second); !ok || v.Type != "b" {
+		t.Errorf("newest entry = %+v, %v; want the inserted verdict", v, ok)
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	// Overwriting a key must not evict anything: the entry count is stable.
+	c.Put(second, Verdict{Type: "b2", OK: true})
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Errorf("evictions after overwrite = %d, want still 1", s.Evictions)
+	}
+	if v, _ := c.Get(second); v.Type != "b2" {
+		t.Errorf("overwrite lost: got %+v", v)
+	}
+}
+
+// TestFIFOQueueCompaction: repeated overwrites of one key cannot grow the
+// insertion-order queue without bound.
+func TestFIFOQueueCompaction(t *testing.T) {
+	c := NewWithOptions(Options{MaxEntries: numShards * 4})
+	key := "hot-key"
+	for i := 0; i < 10_000; i++ {
+		c.Put(key, Verdict{Score: float64(i)})
+	}
+	s := c.shardFor(key)
+	if n := len(s.fifo); n > 2*c.perShard+16 {
+		t.Errorf("fifo grew to %d records for one live key (perShard=%d)", n, c.perShard)
+	}
+	if v, ok := c.Get(key); !ok || v.Score != 9999 {
+		t.Errorf("hot key = %+v, %v; want the last overwrite", v, ok)
+	}
+}
+
+// TestTTLExpiry: entries past their TTL read as misses, are dropped on
+// lookup, and count as expirations (not evictions).
+func TestTTLExpiry(t *testing.T) {
+	c := NewWithOptions(Options{TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("a", Verdict{Type: "museum", OK: true})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry reported as miss")
+	}
+	now = now.Add(time.Minute) // exactly at expiry: gone
+	if _, ok := c.Get("a"); ok {
+		t.Error("expired entry reported as hit")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 1 expiration / 0 evictions", st)
+	}
+	if st.Entries != 0 {
+		t.Errorf("entries = %d, want 0 after lazy expiry collected the entry", st.Entries)
+	}
+	// GetOrCompute recomputes an expired key instead of serving it.
+	v, hit := c.GetOrCompute("a", func() Verdict { return Verdict{Type: "fresh", OK: true} })
+	if hit || v.Type != "fresh" {
+		t.Errorf("GetOrCompute on expired key = %+v, hit=%v; want recompute", v, hit)
+	}
+	// GetOrComputeBatch likewise.
+	now = now.Add(2 * time.Minute)
+	vs, hits, err := c.GetOrComputeBatch([]string{"a"}, func(miss []string) ([]Verdict, error) {
+		if len(miss) != 1 {
+			t.Errorf("batch miss keys = %v, want the expired key", miss)
+		}
+		return []Verdict{{Type: "fresher", OK: true}}, nil
+	})
+	if err != nil || hits[0] || vs[0].Type != "fresher" {
+		t.Errorf("batch on expired key = %+v hits=%v err=%v", vs, hits, err)
+	}
+}

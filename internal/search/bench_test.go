@@ -88,9 +88,9 @@ func BenchmarkSearchPhrase(b *testing.B) {
 // BenchmarkSnippet isolates snippet generation from precomputed stems.
 func BenchmarkSnippet(b *testing.B) {
 	ix := benchIndex(b, 100)
-	qset := querySet([]string{"museum", "galleri"})
+	qterms := []string{"museum", "galleri"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.snippet(i%ix.Len(), qset)
+		ix.snippet(i%ix.Len(), qterms)
 	}
 }

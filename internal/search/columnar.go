@@ -1,0 +1,297 @@
+package search
+
+import "slices"
+
+// Columnar scoring kernel. At Freeze time the pointer-heavy postings map is
+// compiled into a flat columnar form — a term-id dictionary, CSR posting
+// columns, and a precomputed per-posting partial-score column — so the BM25
+// hot loop the batched annotate path bottoms out in is a block-at-a-time
+// walk over contiguous arrays instead of a map lookup plus per-posting
+// floating-point pipeline.
+//
+// Bit-identity. The scalar loop this kernel replaced computed, per posting,
+//
+//	acc.scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + normK[p.doc])
+//
+// Every operand of that expression is frozen state: idf and normK are derived
+// at Freeze time, tf is stored in the posting. The compiler therefore
+// evaluates the exact expression — same operand order, same operations — once
+// per posting at Freeze time and stores the result in the contribution
+// column; the query-time kernel only replays the additions. Because (a) the
+// stored contribution is the identical float64 the scalar loop would have
+// produced, (b) postings within a term stay in doc order and terms are
+// scored in query-term order, every accumulator receives the same additions
+// in the same order and final scores are bit-identical, not merely close.
+// The reference differential suite, FuzzShardedSearchEquivalence and the
+// cmd/experiments goldens all enforce this.
+//
+// Language pre-filter. Only English documents can ever surface in results
+// (the paper's algorithm requests English pages), and the scalar path
+// filtered them at heap-push time after paying to score them. The compiled
+// form splits each term's postings into an English section (doc + tf +
+// contribution — what the kernel scores) and a non-English section (doc +
+// tf only — never scored, kept so the columns remain a faithful round-trip
+// of the postings map; see mergePostings and the compiler property test).
+// Dropping non-English docs from the accumulator is invisible in the output:
+// the top-k heap order is a strict total order (score desc, doc asc), so the
+// returned hits are a function of the scored candidate set, which loses only
+// documents the old path filtered anyway.
+type columns struct {
+	// termID maps a term to its column id; ids are assigned in sorted term
+	// order so compilation is deterministic for a given corpus.
+	termID map[string]int32
+	// terms is the inverse mapping (column id -> term).
+	terms []string
+
+	// English CSR sections, the scoring kernel's only inputs: term id t's
+	// postings live at engDoc/engTF/engContrib[engOff[t]:engOff[t+1]],
+	// in ascending doc order. engContrib[i] is the posting's full
+	// precomputed BM25 contribution.
+	engOff     []int32
+	engDoc     []int32
+	engTF      []int32
+	engContrib []float64
+
+	// Non-English CSR sections, never scored: term id t's postings live at
+	// othDoc/othTF[othOff[t]:othOff[t+1]], in ascending doc order.
+	othOff []int32
+	othDoc []int32
+	othTF  []int32
+
+	// ordAll shares engOff's offsets: term t's section holds a permutation
+	// of its local posting indices sorted by (contribution desc, doc asc) —
+	// the top-k total order restricted to docs whose whole score is that one
+	// term. Threshold-algorithm selection walks these instead of the doc
+	// columns, touching only the postings that can still reach the top-k.
+	ordAll []int32
+	// contribDense[t], non-nil for big terms (english df >= bigTermDF), is
+	// term t's contribution column scattered into a dense per-doc array (0
+	// for docs the term does not contain), so exact rescoring costs one load
+	// instead of a binary search over the term's postings. Indexed by term
+	// id, not a map: the scoring path tests it per query term.
+	contribDense [][]float64
+	// firstPos[t], non-nil for the same big terms, holds per doc the term's
+	// first content position plus one (0: the term has no content position in
+	// the doc). Snippet anchoring reads it in one load where a small term
+	// costs a binary search over its positional postings — and big terms are
+	// exactly the ones whose positional lists make that search long.
+	firstPos [][]int32
+	// posLists[t] aliases term t's positional posting list, so the snippet
+	// path resolves small-term anchors by term id without hashing the term
+	// string per hit.
+	posLists [][]posPosting
+}
+
+// bigTermDF is the english document frequency at or above which a term gets
+// a precomputed topOrder permutation. Below it, a dense column walk is cheap
+// enough that the extra freeze-time sort and memory buy nothing.
+const bigTermDF = 1024
+
+// compileColumns flattens the postings map into the frozen columnar form.
+// It must run after the idf table and normK are installed — contributions
+// read both — i.e. at the end of Freeze/freezeShared.
+func (ix *Index) compileColumns() *columns {
+	terms := sortedTerms(ix.postings)
+	c := &columns{
+		termID: make(map[string]int32, len(terms)),
+		terms:  terms,
+		engOff: make([]int32, 1, len(terms)+1),
+		othOff: make([]int32, 1, len(terms)+1),
+	}
+	nEng, nOth := 0, 0
+	for _, plist := range ix.postings {
+		for _, p := range plist {
+			if ix.english[p.doc] {
+				nEng++
+			} else {
+				nOth++
+			}
+		}
+	}
+	c.engDoc = make([]int32, 0, nEng)
+	c.engTF = make([]int32, 0, nEng)
+	c.engContrib = make([]float64, 0, nEng)
+	c.othDoc = make([]int32, 0, nOth)
+	c.othTF = make([]int32, 0, nOth)
+	for id, term := range terms {
+		c.termID[term] = int32(id)
+		idf := ix.idf[term]
+		for _, p := range ix.postings[term] {
+			if ix.english[p.doc] {
+				tf := float64(p.tf)
+				c.engDoc = append(c.engDoc, int32(p.doc))
+				c.engTF = append(c.engTF, int32(p.tf))
+				// The exact expression of the former scalar loop; see the
+				// bit-identity note above before changing its shape.
+				c.engContrib = append(c.engContrib, idf*tf*(bm25K1+1)/(tf+ix.normK[p.doc]))
+			} else {
+				c.othDoc = append(c.othDoc, int32(p.doc))
+				c.othTF = append(c.othTF, int32(p.tf))
+			}
+		}
+		c.engOff = append(c.engOff, int32(len(c.engDoc)))
+		c.othOff = append(c.othOff, int32(len(c.othDoc)))
+	}
+	c.ordAll = make([]int32, len(c.engDoc))
+	c.contribDense = make([][]float64, len(terms))
+	c.firstPos = make([][]int32, len(terms))
+	c.posLists = make([][]posPosting, len(terms))
+	for tid, term := range terms {
+		c.posLists[tid] = ix.positions[term]
+	}
+	for tid := range terms {
+		lo, hi := c.engOff[tid], c.engOff[tid+1]
+		docs := c.engDoc[lo:hi]
+		contribs := c.engContrib[lo:hi]
+		ord := c.ordAll[lo:hi]
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		slices.SortFunc(ord, func(a, b int32) int {
+			if contribs[a] != contribs[b] {
+				if contribs[a] > contribs[b] {
+					return -1
+				}
+				return 1
+			}
+			return int(docs[a]) - int(docs[b])
+		})
+		if hi-lo >= bigTermDF {
+			dense := make([]float64, len(ix.docs))
+			for i, d := range docs {
+				dense[d] = contribs[i]
+			}
+			c.contribDense[tid] = dense
+			fp := make([]int32, len(ix.docs))
+			for _, pp := range ix.positions[terms[tid]] {
+				fp[pp.doc] = pp.pos[0] + 1
+			}
+			c.firstPos[tid] = fp
+		}
+	}
+	return c
+}
+
+// scoreTerm adds term id tid's precomputed posting contributions into the
+// dense accumulator, recording each first-touched doc so selection can
+// enumerate and reset the sparse partials. Only a query's pre-final terms
+// come through here (the final term's pass is merged into selection) — for
+// the annotate workload those are usually the rare high-idf name terms with
+// short posting lists. The block body is hand-unrolled 4 wide: a term's
+// postings are distinct docs, so the four loads never alias the four stores
+// and the additions (plus the dependent scores[] bounds checks, the only
+// ones the compiler cannot eliminate) overlap instead of serialising.
+func (c *columns) scoreTerm(acc *accumulator, tid int32) {
+	lo, hi := c.engOff[tid], c.engOff[tid+1]
+	docs := c.engDoc[lo:hi]
+	if len(docs) == 0 {
+		return
+	}
+	// Reslice to a common length so the contribs indexing below is
+	// provably in bounds wherever docs indexing is.
+	contribs := c.engContrib[lo:hi][:len(docs)]
+	scores := acc.scores
+	// First-touch recording writes through the touched window
+	// unconditionally and advances n only when the store counted — no
+	// append bookkeeping, no conditionally-executed stores (the accumulator
+	// preallocates one slot per doc, so the window cannot overflow).
+	n := len(acc.touched)
+	touched := acc.touched[:cap(acc.touched)]
+	i := 0
+	for ; i+3 < len(docs); i += 4 {
+		d0, d1, d2, d3 := docs[i], docs[i+1], docs[i+2], docs[i+3]
+		s0, s1, s2, s3 := scores[d0], scores[d1], scores[d2], scores[d3]
+		touched[n] = d0
+		if s0 == 0 {
+			n++
+		}
+		touched[n] = d1
+		if s1 == 0 {
+			n++
+		}
+		touched[n] = d2
+		if s2 == 0 {
+			n++
+		}
+		touched[n] = d3
+		if s3 == 0 {
+			n++
+		}
+		scores[d0] = s0 + contribs[i]
+		scores[d1] = s1 + contribs[i+1]
+		scores[d2] = s2 + contribs[i+2]
+		scores[d3] = s3 + contribs[i+3]
+	}
+	for ; i < len(docs); i++ {
+		d := docs[i]
+		s := scores[d]
+		touched[n] = d
+		if s == 0 {
+			n++
+		}
+		scores[d] = s + contribs[i]
+	}
+	acc.touched = touched[:n]
+}
+
+// postingsOf reconstructs term's full posting list from the compiled
+// columns, merging the English and non-English sections back into ascending
+// doc order. It exists for the compiler's round-trip property test: columns
+// must preserve exactly the postings state they were compiled from.
+func (c *columns) postingsOf(term string) []posting {
+	tid, ok := c.termID[term]
+	if !ok {
+		return nil
+	}
+	elo, ehi := c.engOff[tid], c.engOff[tid+1]
+	olo, ohi := c.othOff[tid], c.othOff[tid+1]
+	out := make([]posting, 0, (ehi-elo)+(ohi-olo))
+	e, o := elo, olo
+	for e < ehi && o < ohi {
+		if c.engDoc[e] < c.othDoc[o] {
+			out = append(out, posting{doc: int(c.engDoc[e]), tf: int(c.engTF[e])})
+			e++
+		} else {
+			out = append(out, posting{doc: int(c.othDoc[o]), tf: int(c.othTF[o])})
+			o++
+		}
+	}
+	for ; e < ehi; e++ {
+		out = append(out, posting{doc: int(c.engDoc[e]), tf: int(c.engTF[e])})
+	}
+	for ; o < ohi; o++ {
+		out = append(out, posting{doc: int(c.othDoc[o]), tf: int(c.othTF[o])})
+	}
+	return out
+}
+
+// termResolver memoizes term -> column-id lookups across one query batch, so
+// a term shared by many queries in the batch (the annotate workload's
+// "<name> <type>" queries share their type suffixes) resolves against the
+// dictionary once per batch instead of once per query.
+type termResolver struct {
+	col  *columns
+	memo map[string]int32 // -1: term not in the index
+}
+
+func newTermResolver(col *columns) termResolver {
+	return termResolver{col: col, memo: make(map[string]int32, 64)}
+}
+
+// resolve maps qterms to column ids (absent terms -1), appending into tids'
+// storage so one scratch slice serves the whole batch.
+func (r *termResolver) resolve(qterms []string, tids []int32) []int32 {
+	tids = tids[:0]
+	for _, t := range qterms {
+		id, ok := r.memo[t]
+		if !ok {
+			id, ok = r.col.termID[t]
+			if !ok {
+				id = -1
+			}
+			r.memo[t] = id
+		}
+		tids = append(tids, id)
+	}
+	return tids
+}

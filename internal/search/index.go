@@ -7,7 +7,6 @@ package search
 
 import (
 	"math"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -65,12 +64,24 @@ type Index struct {
 	// normalizes to exactly one content token, "" otherwise. Snippet
 	// selection and phrase positions both read this instead of re-running
 	// the tokenizer+stemmer per candidate at query time.
-	wordStem  [][]string
-	postings  map[string][]posting
-	positions map[string][]posPosting // sorted by doc (Add order)
-	docLen    []int
-	totalLen  int
-	english   []bool // Lang == "en", checked in the scoring loop
+	wordStem [][]string
+	// bodyJoined[doc] is strings.Join(bodyToks[doc], " ") — the string every
+	// snippet of the doc is a substring of — and wordOff[doc][i] is the byte
+	// offset of word i within it, so snippet windows are zero-copy slices
+	// instead of per-query joins. When the body already is its own
+	// single-space join (the common case), bodyJoined shares its memory.
+	bodyJoined []string
+	wordOff    [][]int32
+	// contentToRaw[doc][p] is the raw word index (into bodyToks[doc]) of
+	// content position p — the inverse of the stems->positions mapping, so
+	// snippet selection can translate a positional-postings hit back to a
+	// window anchor without scanning wordStem.
+	contentToRaw [][]int32
+	postings     map[string][]posting
+	positions    map[string][]posPosting // sorted by doc (Add order)
+	docLen       []int
+	totalLen     int
+	english      []bool // Lang == "en", checked in the scoring loop
 
 	// Frozen state: derived ranking constants computed once per corpus
 	// generation instead of per query. frozen publishes idf/avgLen to
@@ -83,6 +94,11 @@ type Index struct {
 	// bm25K1*(1-bm25B+bm25B*dl/avgLen) — the per-posting denominator term
 	// that depends only on frozen state, hoisted out of the scoring loop.
 	normK []float64
+	// col is the columnar compilation of the postings (see columnar.go):
+	// term-id dictionary, CSR doc/tf columns and the precomputed
+	// per-posting contribution column the scoring kernel reads. Rebuilt by
+	// every freeze, so Add + re-freeze can never serve stale columns.
+	col *columns
 
 	// accPool recycles per-query dense score accumulators across queries
 	// and across concurrent readers.
@@ -136,14 +152,27 @@ func (ix *Index) Add(doc Document) {
 	for _, t := range bodyTerms {
 		tf[t]++
 	}
-	pos := 0
-	for _, s := range stems {
+	var c2r []int32
+	for i, s := range stems {
 		if s != "" {
-			ix.addPosition(s, id, int32(pos))
-			pos++
+			ix.addPosition(s, id, int32(len(c2r)))
+			c2r = append(c2r, int32(i))
 		}
 	}
 	ix.wordStem = append(ix.wordStem, stems)
+	ix.contentToRaw = append(ix.contentToRaw, c2r)
+	joined := strings.Join(words, " ")
+	if joined == doc.Body {
+		joined = doc.Body // drop the duplicate allocation, share the body
+	}
+	off := make([]int32, len(words))
+	b := int32(0)
+	for i, w := range words {
+		off[i] = b
+		b += int32(len(w)) + 1
+	}
+	ix.bodyJoined = append(ix.bodyJoined, joined)
+	ix.wordOff = append(ix.wordOff, off)
 	for t, n := range tf {
 		ix.postings[t] = append(ix.postings[t], posting{doc: id, tf: n})
 	}
@@ -187,6 +216,7 @@ func (ix *Index) Freeze() {
 		ix.avgLen = float64(ix.totalLen) / n
 	}
 	ix.freezeNormK()
+	ix.col = ix.compileColumns()
 	ix.frozen.Store(true)
 }
 
@@ -200,6 +230,7 @@ func (ix *Index) freezeShared(idf map[string]float64, avgLen float64) {
 	ix.idf = idf
 	ix.avgLen = avgLen
 	ix.freezeNormK()
+	ix.col = ix.compileColumns()
 	ix.frozen.Store(true)
 }
 
@@ -223,13 +254,20 @@ func (ix *Index) ensureFrozen() {
 	}
 }
 
-// accumulator is the per-query dense scoring state: a score per document plus
-// the list of touched documents, so resetting costs O(touched), not O(docs).
-// The top-k heap storage rides along so batch queries recycle it too.
+// accumulator is the per-query dense scoring state: a score per document,
+// plus the list of docs the pre-final terms touched — the sparse partials
+// selection combines with the final term's column. The top-k heap storage
+// and the term-id scratch ride along so batch queries recycle them too.
 type accumulator struct {
-	scores  []float64
-	touched []int
+	scores []float64
+	// touched is a window over storage preallocated to one entry per doc (a
+	// doc is recorded only on first touch, so it cannot overflow): scoreTerm
+	// writes through it unconditionally and bumps the length conditionally,
+	// which keeps slice-growth checks and data-dependent stores out of the
+	// kernel loop.
+	touched []int32
 	heap    []hit
+	tids    []int32
 }
 
 func (ix *Index) getAccumulator() *accumulator {
@@ -239,15 +277,16 @@ func (ix *Index) getAccumulator() *accumulator {
 	}
 	if len(acc.scores) < len(ix.docs) {
 		acc.scores = make([]float64, len(ix.docs))
+		// One slot per doc plus a spare: the kernel's unconditional store
+		// lands in the spare when every doc is already touched.
+		acc.touched = make([]int32, 0, len(ix.docs)+1)
 	}
 	return acc
 }
 
 func (ix *Index) putAccumulator(acc *accumulator) {
-	for _, d := range acc.touched {
-		acc.scores[d] = 0
-	}
-	acc.touched = acc.touched[:0]
+	// Scores are already zero: selectTop consumes (and zeroes) every score
+	// the kernel wrote, and every scoring path ends in selectTop.
 	ix.accPool.Put(acc)
 }
 
@@ -324,72 +363,264 @@ func (t *topK) drain() []hit {
 	return t.h
 }
 
-// topDocs scores the query terms over the postings lists into a dense
+// topDocs scores the query terms through the columnar kernel into a dense
 // accumulator and returns the k best English documents (score desc, doc asc).
 // Snippets are not generated here — materialize is called only for the hits a
 // caller actually returns. The returned slice aliases the accumulator's heap
 // storage and is valid until the accumulator's next use.
 func (ix *Index) topDocs(acc *accumulator, qterms []string, k int) []hit {
 	ix.ensureFrozen()
+	col := ix.col
+	tids := acc.tids[:0]
 	for _, t := range qterms {
-		plist := ix.postings[t]
-		if len(plist) == 0 {
-			continue
+		tid, ok := col.termID[t]
+		if !ok {
+			tid = -1
 		}
-		idf := ix.idf[t]
-		for _, p := range plist {
-			tf := float64(p.tf)
-			if acc.scores[p.doc] == 0 {
-				acc.touched = append(acc.touched, p.doc)
-			}
-			acc.scores[p.doc] += idf * tf * (bm25K1 + 1) / (tf + ix.normK[p.doc])
+		tids = append(tids, tid)
+	}
+	acc.tids = tids
+	return ix.topDocsResolved(acc, tids, k)
+}
+
+// topDocsResolved is topDocs for pre-resolved term ids (-1 = absent term) —
+// the batch path resolves a whole batch's terms once and scores through
+// here. The index must already be frozen.
+//
+// All but the last present term are accumulated through the branch-free
+// kernel; the last term's pass is merged with top-k selection, where each of
+// its postings reaches its final sum (earlier contributions landed already,
+// the final term's lands last). Two selection bodies share that step — a
+// sparse one for the workload's dominant query shape, a dense walk otherwise
+// — and both leave the accumulator clean (scores all zero, touched empty)
+// and produce the identical result: per surviving doc the additions happen
+// in query-term order (bit-identical sums), and the heap order is a strict
+// total order (score desc, doc asc), so candidate enumeration order cannot
+// affect the output. Every accumulated score is strictly positive (idf > 0
+// for any present term, tf >= 1), which is what lets "score == 0" mean "not
+// scored or already consumed".
+//
+// Routing: the sparse body applies whenever the final present term is big (has
+// contribDense) — the annotate workload's "<name> <type>" queries, whose type
+// suffix is always a long column. Pre-final terms of any size are fine: the
+// kernel records every doc they touch, so the sparse completion pass sees all
+// of them. A small final term means a short final column, where the dense
+// walk is already cheap.
+func (ix *Index) topDocsResolved(acc *accumulator, tids []int32, k int) []hit {
+	col := ix.col
+	last := -1
+	for i, tid := range tids {
+		if tid >= 0 {
+			last = i
 		}
 	}
-	top := topK{k: k, h: acc.heap[:0]}
-	for _, d := range acc.touched {
-		if !ix.english[d] {
-			continue
-		}
-		top.push(hit{doc: d, score: acc.scores[d]})
+	if last < 0 {
+		return acc.heap[:0]
 	}
-	hits := top.drain()
+	for _, tid := range tids[:last] {
+		if tid >= 0 {
+			col.scoreTerm(acc, tid)
+		}
+	}
+	var hits []hit
+	if col.contribDense[tids[last]] != nil {
+		hits = ix.selectTopSparse(acc, tids[last], k)
+	} else {
+		hits = ix.selectTopDense(acc, tids[last], k)
+	}
 	acc.heap = hits[:0]
-	// Reset the dense scores for the accumulator's next query.
-	for _, d := range acc.touched {
-		acc.scores[d] = 0
-	}
 	acc.touched = acc.touched[:0]
 	return hits
 }
 
+// kthContrib returns the final term's k-th best single-posting contribution,
+// a free lower bound on the query's k-th best score: that term's k best
+// postings alone already give k docs whose final scores are at least this
+// value (additions only increase a score — contributions are positive). Any
+// candidate strictly below it can never reach the top-k, so both selection
+// bodies reject on one float compare before any heap work. Returns -Inf when
+// the column is shorter than k (no bound).
+func (c *columns) kthContrib(tid int32, k int) float64 {
+	lo, hi := c.engOff[tid], c.engOff[tid+1]
+	if k < 1 || int(hi-lo) < k {
+		return math.Inf(-1)
+	}
+	// ordAll ranks the term's postings best-first; its entries are local to
+	// the section.
+	return c.engContrib[lo+c.ordAll[lo+int32(k-1)]]
+}
+
+// selectTopSparse finishes a query whose final term is big, without walking
+// that term's long column in doc order. The exact top-k candidates split
+// into (a) docs no pre-final term touched, whose whole score is one
+// final-term contribution — the precomputed ordAll permutation ranks those —
+// and (b) the touched docs, each completed with one O(1) load from the final
+// term's contribDense array (zero when the term misses the doc, and adding
+// 0.0 is bitwise identity on the positive partial). Cost scales with the
+// pre-final posting lists plus k, not with the final term's document
+// frequency.
+func (ix *Index) selectTopSparse(acc *accumulator, tid int32, k int) []hit {
+	col := ix.col
+	top := topK{k: k, h: acc.heap[:0]}
+	scores := acc.scores
+	full := k <= 0
+	rootScore := math.Inf(1)
+	rootDoc := 0
+	lo, hi := col.engOff[tid], col.engOff[tid+1]
+	docs := col.engDoc[lo:hi]
+	contribs := col.engContrib[lo:hi][:len(docs)]
+	ord := col.ordAll[lo:hi]
+	pre := col.kthContrib(tid, k)
+	if k > 0 {
+		// Phase (a): the first k untouched ord entries. They arrive already
+		// sorted in the list's total order (contrib desc, doc asc), so the
+		// rest of the untouched docs are dominated by them — and written in
+		// reverse they are sorted worst-first, hence a valid min-heap.
+		n := 0
+		for _, e := range ord {
+			d := int(docs[e])
+			if scores[d] != 0 {
+				continue // touched: pass (b) below computes its full score
+			}
+			top.h = append(top.h, hit{doc: d, score: contribs[e]})
+			if n++; n == k {
+				break
+			}
+		}
+		for i, j := 0, len(top.h)-1; i < j; i, j = i+1, j-1 {
+			top.h[i], top.h[j] = top.h[j], top.h[i]
+		}
+		if len(top.h) == k {
+			full = true
+			rootScore, rootDoc = top.h[0].score, top.h[0].doc
+		}
+	}
+	dense := col.contribDense[tid]
+	consider := func(d int32, s float64) {
+		if full && (s < rootScore || (s == rootScore && int(d) > rootDoc)) {
+			return
+		}
+		top.push(hit{doc: int(d), score: s})
+		if len(top.h) == k {
+			full = true
+			rootScore, rootDoc = top.h[0].score, top.h[0].doc
+		}
+	}
+	// Phase (b): complete every touched doc. Touched docs are unique and
+	// nothing has consumed them yet, so the 4-wide block's loads and zeroing
+	// stores never alias and the (usually missing) cache lines overlap. The
+	// s >= pre guard is the kthContrib prefilter: candidates below the final
+	// term's own k-th best posting can never place.
+	touched := acc.touched
+	j := 0
+	for ; j+3 < len(touched); j += 4 {
+		d0, d1, d2, d3 := touched[j], touched[j+1], touched[j+2], touched[j+3]
+		s0 := scores[d0] + dense[d0]
+		s1 := scores[d1] + dense[d1]
+		s2 := scores[d2] + dense[d2]
+		s3 := scores[d3] + dense[d3]
+		scores[d0] = 0
+		scores[d1] = 0
+		scores[d2] = 0
+		scores[d3] = 0
+		if s0 >= pre {
+			consider(d0, s0)
+		}
+		if s1 >= pre {
+			consider(d1, s1)
+		}
+		if s2 >= pre {
+			consider(d2, s2)
+		}
+		if s3 >= pre {
+			consider(d3, s3)
+		}
+	}
+	for ; j < len(touched); j++ {
+		d := touched[j]
+		s := scores[d] + dense[d]
+		scores[d] = 0
+		if s >= pre {
+			consider(d, s)
+		}
+	}
+	return top.drain()
+}
+
+// selectTopDense walks the final term's whole column once: after the earlier
+// terms have been accumulated, a doc in the final term's postings reaches its
+// final sum the moment that term's contribution lands, so each posting is
+// computed, considered and consumed (zeroed) in one step. A cleanup pass over
+// the touched list then consumes the docs the final term didn't cover. The
+// kthContrib prefilter and a cached copy of a full heap's root reject
+// candidates with inline compares; k <= 0 keeps the heap empty but still
+// consumes every score (the +Inf root rejects all candidates).
+func (ix *Index) selectTopDense(acc *accumulator, tid int32, k int) []hit {
+	col := ix.col
+	top := topK{k: k, h: acc.heap[:0]}
+	scores := acc.scores
+	full := k <= 0
+	rootScore := math.Inf(1)
+	rootDoc := 0
+	lo, hi := col.engOff[tid], col.engOff[tid+1]
+	docs := col.engDoc[lo:hi]
+	contribs := col.engContrib[lo:hi][:len(docs)]
+	pre := col.kthContrib(tid, k)
+	for i, d32 := range docs {
+		d := int(d32)
+		s := scores[d] + contribs[i]
+		scores[d] = 0
+		if s < pre {
+			continue // below the final term's own k-th best posting
+		}
+		if full && (s < rootScore || (s == rootScore && d > rootDoc)) {
+			continue
+		}
+		top.push(hit{doc: d, score: s})
+		if len(top.h) == k {
+			full = true
+			rootScore, rootDoc = top.h[0].score, top.h[0].doc
+		}
+	}
+	for _, d32 := range acc.touched {
+		d := int(d32)
+		s := scores[d]
+		if s == 0 {
+			continue // covered (and consumed) by the final term's walk
+		}
+		scores[d] = 0
+		if s < pre {
+			continue
+		}
+		if full && (s < rootScore || (s == rootScore && d > rootDoc)) {
+			continue
+		}
+		top.push(hit{doc: d, score: s})
+		if len(top.h) == k {
+			full = true
+			rootScore, rootDoc = top.h[0].score, top.h[0].doc
+		}
+	}
+	return top.drain()
+}
+
 // materialize renders hits as Results, generating snippets only now — for
-// the hits actually returned, not for every scored candidate. The query-term
-// set is built once per query, not per hit.
+// the hits actually returned, not for every scored candidate.
 func (ix *Index) materialize(hits []hit, qterms []string) []Result {
 	out := make([]Result, len(hits))
 	if len(hits) == 0 {
 		return out
 	}
-	qset := querySet(qterms)
 	for i, h := range hits {
 		d := ix.docs[h.doc]
 		out[i] = Result{
 			URL:     d.URL,
 			Title:   d.Title,
-			Snippet: ix.snippet(h.doc, qset),
+			Snippet: ix.snippet(h.doc, qterms),
 			Score:   h.score,
 		}
 	}
 	return out
-}
-
-// querySet returns the query terms as a set for snippet-window selection.
-func querySet(qterms []string) map[string]struct{} {
-	qset := make(map[string]struct{}, len(qterms))
-	for _, t := range qterms {
-		qset[t] = struct{}{}
-	}
-	return qset
 }
 
 // Search returns the top-k English documents for the query under BM25,
@@ -404,47 +635,151 @@ func (ix *Index) Search(query string, k int) []Result {
 	}
 	acc := ix.getAccumulator()
 	defer ix.putAccumulator(acc)
-	return ix.materialize(ix.topDocs(acc, qterms, k), qterms)
+	hits := ix.topDocs(acc, qterms, k)
+	out := make([]Result, len(hits))
+	for i, h := range hits {
+		d := ix.docs[h.doc]
+		out[i] = Result{
+			URL:     d.URL,
+			Title:   d.Title,
+			Snippet: ix.snippetResolved(h.doc, acc.tids),
+			Score:   h.score,
+		}
+	}
+	return out
 }
 
 // SearchBatch resolves a batch of queries in one call, returning the results
 // positionally: out[i] is exactly Search(queries[i], k). The batch amortizes
-// the per-query setup — one accumulator (and top-k heap) is checked out of
-// the pool for the whole batch instead of once per query.
+// per-query work three ways: one accumulator (and top-k heap) is checked out
+// of the pool for the whole batch; term-id resolution is shared across the
+// batch (a term appearing in many queries hits the dictionary once); and
+// duplicate queries — where batch queries fully overlap — are normalized,
+// scored and materialized once, later occurrences copying the first's
+// results.
 func (ix *Index) SearchBatch(queries []string, k int) [][]Result {
 	out := make([][]Result, len(queries))
 	if k <= 0 || len(ix.docs) == 0 {
 		return out
 	}
+	ix.ensureFrozen()
 	acc := ix.getAccumulator()
 	defer ix.putAccumulator(acc)
+	r := newTermResolver(ix.col)
+	var tids []int32
+	seen := make(map[string]int, len(queries))
+	// One Result arena serves the whole batch: total hits <= len(queries)*k,
+	// so the sub-slices below never reallocate, and the batch costs one
+	// allocation instead of one per query.
+	arena := make([]Result, 0, len(queries)*k)
 	for i, q := range queries {
+		if j, ok := seen[q]; ok {
+			out[i] = copyResults(out[j])
+			continue
+		}
+		seen[q] = i
 		qterms := textproc.NormalizeTokens(q)
 		if len(qterms) == 0 {
 			continue
 		}
-		out[i] = ix.materialize(ix.topDocs(acc, qterms, k), qterms)
+		tids = r.resolve(qterms, tids)
+		hits := ix.topDocsResolved(acc, tids, k)
+		lo := len(arena)
+		for _, h := range hits {
+			d := ix.docs[h.doc]
+			arena = append(arena, Result{
+				URL:     d.URL,
+				Title:   d.Title,
+				Snippet: ix.snippetResolved(h.doc, tids),
+				Score:   h.score,
+			})
+		}
+		out[i] = arena[lo:len(arena):len(arena)]
 	}
 	return out
 }
 
+// copyResults clones one query's results for a duplicate occurrence in a
+// batch, preserving nil-ness so a duplicate's results match byte-for-byte
+// what re-running the query would have returned.
+func copyResults(src []Result) []Result {
+	if src == nil {
+		return nil
+	}
+	dst := make([]Result, len(src))
+	copy(dst, src)
+	return dst
+}
+
 // snippet extracts a SnippetWords-word window around the first body word
 // whose stem matches a query term, or the leading window when no term
-// matches (title-only hits). Stems were precomputed at Add time.
-func (ix *Index) snippet(doc int, qset map[string]struct{}) string {
+// matches (title-only hits). The anchor comes from the positional postings
+// (the first content position of any query term, translated back to a raw
+// word index), which matches what a scan of the precomputed wordStem table
+// would find; the window itself is a zero-copy slice of the precomputed
+// joined body — byte-identical to joining the window's words with spaces.
+func (ix *Index) snippet(doc int, qterms []string) string {
+	first := int32(-1)
+	for _, t := range qterms {
+		if p := ix.firstPosIn(t, doc); p >= 0 && (first < 0 || p < first) {
+			first = p
+		}
+	}
+	return ix.snippetAt(doc, first)
+}
+
+// snippetResolved is snippet for callers that already hold the query's
+// resolved term ids (-1 absent): big terms anchor in one firstPos load, and
+// small terms binary-search their tid-indexed positional list — no per-hit
+// dictionary hashing either way. A term with positions always has postings,
+// so tid < 0 implies no content position.
+func (ix *Index) snippetResolved(doc int, tids []int32) string {
+	first := int32(-1)
+	for _, tid := range tids {
+		if tid < 0 {
+			continue
+		}
+		p := int32(-1)
+		if fp := ix.col.firstPos[tid]; fp != nil {
+			p = fp[doc] - 1
+		} else {
+			p = firstInPosList(ix.col.posLists[tid], doc)
+		}
+		if p >= 0 && (first < 0 || p < first) {
+			first = p
+		}
+	}
+	return ix.snippetAt(doc, first)
+}
+
+// firstInPosList returns doc's first content position within plist (sorted
+// by doc), or -1.
+func firstInPosList(plist []posPosting, doc int) int32 {
+	lo, hi := 0, len(plist)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if plist[mid].doc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(plist) || plist[lo].doc != doc {
+		return -1
+	}
+	return plist[lo].pos[0]
+}
+
+// snippetAt renders the snippet window anchored at content position first
+// (-1: no query term in the body, use the leading window).
+func (ix *Index) snippetAt(doc int, first int32) string {
 	words := ix.bodyToks[doc]
 	if len(words) == 0 {
 		return ix.docs[doc].Title
 	}
 	at := 0
-	for i, s := range ix.wordStem[doc] {
-		if s == "" {
-			continue
-		}
-		if _, ok := qset[s]; ok {
-			at = i
-			break
-		}
+	if first >= 0 {
+		at = int(ix.contentToRaw[doc][first])
 	}
 	start := at - SnippetWords/3
 	if start < 0 {
@@ -457,15 +792,42 @@ func (ix *Index) snippet(doc int, qset map[string]struct{}) string {
 			start = 0
 		}
 	}
-	return strings.Join(words[start:end], " ")
+	off := ix.wordOff[doc]
+	return ix.bodyJoined[doc][off[start] : off[end-1]+int32(len(words[end-1]))]
 }
 
-// positionsIn returns the content positions of term within doc, or nil.
+// firstPosIn returns term's first content position within doc, or -1. Big
+// terms resolve in one load from the columnar firstPos array; small terms —
+// whose positional lists are short — fall back to the positionsIn binary
+// search. Either way the answer equals positionsIn(term, doc)[0].
+func (ix *Index) firstPosIn(term string, doc int) int32 {
+	if tid, ok := ix.col.termID[term]; ok {
+		if fp := ix.col.firstPos[tid]; fp != nil {
+			return fp[doc] - 1
+		}
+	}
+	if pos := ix.positionsIn(term, doc); len(pos) > 0 {
+		return pos[0]
+	}
+	return -1
+}
+
+// positionsIn returns the content positions of term within doc, or nil. The
+// binary search is hand-rolled: sort.Search's per-probe closure call is
+// measurable on the snippet path, which probes once per (query term, hit).
 func (ix *Index) positionsIn(term string, doc int) []int32 {
 	plist := ix.positions[term]
-	i := sort.Search(len(plist), func(i int) bool { return plist[i].doc >= doc })
-	if i == len(plist) || plist[i].doc != doc {
+	lo, hi := 0, len(plist)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if plist[mid].doc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(plist) || plist[lo].doc != doc {
 		return nil
 	}
-	return plist[i].pos
+	return plist[lo].pos
 }

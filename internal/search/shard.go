@@ -162,26 +162,46 @@ func (s *ShardedIndex) topDocs(qterms []string, k int) []hit {
 	return mergeHits(lists, k)
 }
 
+// topDocsBatchLocal scores a whole batch of pre-normalized queries against
+// this one index: term ids are resolved once per batch through a shared
+// resolver, one pooled accumulator serves every query, and out[i] is nil for
+// nil qterms[i]. Unlike topDocs the returned hits are copies, not aliases of
+// accumulator storage — a batch needs all of them alive at once.
+func (ix *Index) topDocsBatchLocal(qterms [][]string, k int) [][]hit {
+	ix.ensureFrozen()
+	acc := ix.getAccumulator()
+	defer ix.putAccumulator(acc)
+	r := newTermResolver(ix.col)
+	var tids []int32
+	out := make([][]hit, len(qterms))
+	for i, terms := range qterms {
+		if terms == nil {
+			continue
+		}
+		tids = r.resolve(terms, tids)
+		out[i] = append([]hit(nil), ix.topDocsResolved(acc, tids, k)...)
+	}
+	return out
+}
+
 // topDocsBatch is the batch form of topDocs: each shard scores the whole
-// query batch in one goroutine (normalized query terms are shared across
-// shards), then the per-shard lists merge per query. out[i] is exactly
-// topDocs(qterms[i], k).
+// query batch in one goroutine through its columnar kernel (normalized query
+// terms are shared across shards, term-id resolution is shared across the
+// batch within each shard), then the per-shard lists merge per query. out[i]
+// is exactly topDocs(qterms[i], k).
 func (s *ShardedIndex) topDocsBatch(qterms [][]string, k int) [][]hit {
 	s.ensureFrozen()
 	n := len(s.shards)
-	out := make([][]hit, len(qterms))
-	if n == 1 {
-		sh := s.shards[0]
-		acc := sh.getAccumulator()
-		for i, terms := range qterms {
-			if terms == nil {
-				continue
-			}
-			s.queries[0].Add(1)
-			out[i] = append([]hit(nil), sh.topDocs(acc, terms, k)...)
+	scored := 0
+	for _, terms := range qterms {
+		if terms != nil {
+			scored++
 		}
-		sh.putAccumulator(acc)
-		return out
+	}
+	if n == 1 {
+		s.queries[0].Add(int64(scored))
+		// Global ids equal local ids in the one-shard layout.
+		return s.shards[0].topDocsBatchLocal(qterms, k)
 	}
 	lists := make([][][]hit, n) // lists[shard][query]
 	var wg sync.WaitGroup
@@ -189,20 +209,16 @@ func (s *ShardedIndex) topDocsBatch(qterms [][]string, k int) [][]hit {
 		wg.Add(1)
 		go func(si int, sh *Index) {
 			defer wg.Done()
-			perQuery := make([][]hit, len(qterms))
-			acc := sh.getAccumulator()
-			for i, terms := range qterms {
-				if terms == nil {
-					continue
-				}
-				s.queries[si].Add(1)
-				perQuery[i] = global(append([]hit(nil), sh.topDocs(acc, terms, k)...), si, n)
+			s.queries[si].Add(int64(scored))
+			perQuery := sh.topDocsBatchLocal(qterms, k)
+			for i := range perQuery {
+				perQuery[i] = global(perQuery[i], si, n)
 			}
-			sh.putAccumulator(acc)
 			lists[si] = perQuery
 		}(si, sh)
 	}
 	wg.Wait()
+	out := make([][]hit, len(qterms))
 	scratch := make([][]hit, n)
 	for i := range qterms {
 		if qterms[i] == nil {
@@ -253,7 +269,6 @@ func (s *ShardedIndex) materialize(hits []hit, qterms []string) []Result {
 		return out
 	}
 	n := len(s.shards)
-	qset := querySet(qterms)
 	for i, h := range hits {
 		sh := s.shards[h.doc%n]
 		local := h.doc / n
@@ -261,7 +276,7 @@ func (s *ShardedIndex) materialize(hits []hit, qterms []string) []Result {
 		out[i] = Result{
 			URL:     d.URL,
 			Title:   d.Title,
-			Snippet: sh.snippet(local, qset),
+			Snippet: sh.snippet(local, qterms),
 			Score:   h.score,
 		}
 	}
@@ -282,22 +297,37 @@ func (s *ShardedIndex) Search(query string, k int) []Result {
 }
 
 // SearchBatch resolves a batch of queries: out[i] is exactly
-// Search(queries[i], k). Queries are normalized once and every shard scores
-// the whole batch in a single parallel pass, so the per-query fan-out and
-// setup cost is amortized across the batch.
+// Search(queries[i], k). Queries are normalized once, duplicate queries are
+// scored and materialized once (later occurrences copy the first's results),
+// and every shard scores the deduplicated batch in a single parallel pass
+// with batch-shared term-id resolution, so the per-query fan-out and setup
+// cost is amortized across the batch. Per-shard query counters count scored
+// (unique) queries.
 func (s *ShardedIndex) SearchBatch(queries []string, k int) [][]Result {
 	out := make([][]Result, len(queries))
 	if k <= 0 || s.nDocs == 0 {
 		return out
 	}
 	qterms := make([][]string, len(queries))
+	dupOf := make([]int, len(queries))
+	seen := make(map[string]int, len(queries))
 	for i, q := range queries {
+		if j, ok := seen[q]; ok {
+			dupOf[i] = j
+			continue
+		}
+		seen[q] = i
+		dupOf[i] = -1
 		if t := textproc.NormalizeTokens(q); len(t) > 0 {
 			qterms[i] = t
 		}
 	}
 	hits := s.topDocsBatch(qterms, k)
 	for i := range queries {
+		if j := dupOf[i]; j >= 0 {
+			out[i] = copyResults(out[j])
+			continue
+		}
 		if qterms[i] == nil {
 			continue
 		}

@@ -257,7 +257,14 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if c := s.svc.Lab().Cache; c != nil {
 		st := c.Stats()
-		out.Cache = &CacheFull{Hits: st.Hits, Misses: st.Misses, Entries: st.Entries, HitRate: st.HitRate()}
+		out.Cache = &CacheFull{
+			Hits:        st.Hits,
+			Misses:      st.Misses,
+			Entries:     st.Entries,
+			HitRate:     st.HitRate(),
+			Evictions:   st.Evictions,
+			Expirations: st.Expirations,
+		}
 	}
 	out.Geo = &GeoFull{
 		GazetteerLocations: s.svc.Geo().Len(),

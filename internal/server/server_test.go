@@ -515,3 +515,74 @@ func TestDefaultsApplied(t *testing.T) {
 	}()
 	New(Config{})
 }
+
+// statzService is a second package-wide service, this one WITH the shared
+// cache (tightly capped so eviction counters move): the statz golden locks
+// the cache section's wire shape, which the cache-less testService never
+// emits. Built once; only the statz golden uses it.
+var (
+	statzSvcOnce sync.Once
+	statzSvcVal  *repro.Service
+)
+
+func statzService(t *testing.T) *repro.Service {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("service construction skipped in -short mode")
+	}
+	statzSvcOnce.Do(func() {
+		// Sequential (default) parallelism and one shard keep every /statz
+		// counter — including the FIFO eviction count — deterministic.
+		svc, err := repro.New(context.Background(), repro.WithSeed(42),
+			repro.WithSearchShards(1), repro.WithSharedCache(),
+			repro.WithCacheLimits(32, 0))
+		if err != nil {
+			panic(err)
+		}
+		statzSvcVal = svc
+	})
+	return statzSvcVal
+}
+
+// TestStatzGoldenWire locks the GET /statz JSON body byte-for-byte (uptime
+// masked — it measures the host) after one canonical annotate request, so the
+// statz wire format, including the cache section's eviction and expiration
+// counters, cannot drift unreviewed.
+func TestStatzGoldenWire(t *testing.T) {
+	srv := New(Config{Service: statzService(t)})
+	h := srv.Handler()
+	rec := post(h, "/v1/annotate", mustMarshal(t, AnnotateRequestJSON{Table: tableJSON(t)}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("annotate status = %d\n%s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statz status = %d\n%s", rec.Code, rec.Body.String())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("statz body: %v", err)
+	}
+	m["uptime_ms"] = "<wall-clock>"
+	got, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden", "service_statz.golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("statz wire format diverged from golden file.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, regenerate with -update and review the diff.", got, want)
+	}
+}

@@ -39,12 +39,14 @@ const (
 
 // settings accumulates the functional options of New.
 type settings struct {
-	seed         int64
-	scale        string
-	classifier   string
-	parallelism  int
-	shareCache   bool
-	searchShards int
+	seed            int64
+	scale           string
+	classifier      string
+	parallelism     int
+	shareCache      bool
+	cacheMaxEntries int
+	cacheTTL        time.Duration
+	searchShards    int
 }
 
 // Option configures New. Options validate eagerly: an invalid value makes
@@ -128,6 +130,26 @@ func WithSharedCache() Option {
 	}
 }
 
+// WithCacheLimits bounds the shared cache WithSharedCache enables:
+// maxEntries caps the number of cached verdicts (0 = unbounded; oldest
+// insertions are evicted first) and ttl expires a verdict that long after it
+// was cached (0 = never). Negative values are rejected. The limits have no
+// effect without WithSharedCache; eviction and expiration counts surface on
+// the serving layer's /statz cache section.
+func WithCacheLimits(maxEntries int, ttl time.Duration) Option {
+	return func(s *settings) error {
+		if maxEntries < 0 {
+			return &OptionError{Option: "WithCacheLimits", Value: fmt.Sprint(maxEntries)}
+		}
+		if ttl < 0 {
+			return &OptionError{Option: "WithCacheLimits", Value: ttl.String()}
+		}
+		s.cacheMaxEntries = maxEntries
+		s.cacheTTL = ttl
+		return nil
+	}
+}
+
 // Service is the annotation pipeline as a request/response service: one
 // expensive construction (corpus generation, indexing, classifier training)
 // via New, then any number of concurrent Annotate/AnnotateBatch/
@@ -161,10 +183,12 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	}
 
 	cfg := eval.LabConfig{
-		Seed:         st.seed,
-		Parallelism:  st.parallelism,
-		ShareCache:   st.shareCache,
-		SearchShards: st.searchShards,
+		Seed:            st.seed,
+		Parallelism:     st.parallelism,
+		ShareCache:      st.shareCache,
+		CacheMaxEntries: st.cacheMaxEntries,
+		CacheTTL:        st.cacheTTL,
+		SearchShards:    st.searchShards,
 	}
 	if st.scale != ScaleFull {
 		cfg.KBPerType = 60
