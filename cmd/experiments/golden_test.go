@@ -84,6 +84,29 @@ func TestGoldenReport(t *testing.T) {
 	}
 }
 
+// TestGoldenScenarios locks down the full scenario matrix — every
+// (adversarial world × ingestion variant) cell's micro-F, geo accuracy and
+// clean-twin byte-identity — at a reduced lab scale that keeps four world
+// builds affordable.
+func TestGoldenScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds one lab per world scenario; skipped with -short")
+	}
+	var stdout, stderr bytes.Buffer
+	err := writeScenarioReport(&stdout, &stderr, scenarioReportConfig{
+		LabCfg: eval.LabConfig{
+			Seed:              42,
+			KBPerType:         45,
+			SnippetsPerEntity: 4,
+			MaxTrainEntities:  45,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "scenarios.golden", stdout.Bytes())
+}
+
 // TestGoldenSharedCache locks down the canonical annotation run with the
 // cross-table query cache enabled: Table 1 numbers must be unchanged and the
 // cache hit/miss/entry accounting must stay deterministic.

@@ -5,6 +5,14 @@
 //
 //	experiments [-scale full|small] [-seed N] [-only table1|table2|table3|wiki|efficiency|coverage|ksweep|cluster|hybrid|subsumption|ambiguity]
 //	            [-parallel N] [-share-cache] [-latency 250ms]
+//	            [-scenarios [-scenario-worlds a,b] [-scenario-ingests x,y]]
+//
+// -scenarios switches to the scenario matrix: every (adversarial world ×
+// ingestion variant) cell runs the full pipeline over the scenario dataset
+// and reports annotation micro-F, geo disambiguation accuracy and whether
+// the cell's output is byte-identical to its clean-csv twin. The matrix
+// builds one lab per world, so the flags above (scale, seed, parallel,
+// shards) shape those labs; -only/-latency/-share-cache do not apply.
 //
 // Use -scale to trade corpus size for runtime. -parallel N annotates the
 // evaluation tables over N concurrent workers; every reported number is
@@ -37,6 +45,9 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "annotation parallelism (tables annotated concurrently; results identical at any setting)")
 		shards     = flag.Int("shards", 0, "search index shards (0 = one per CPU, capped at 8; results identical at any count)")
 		shareCache = flag.Bool("share-cache", false, "share query verdicts across tables and analyses (reduces query counts, quality unchanged)")
+		scenarios  = flag.Bool("scenarios", false, "run the scenario matrix (ingestion variants x adversarial worlds) instead of the §6 report")
+		scnWorlds  = flag.String("scenario-worlds", "", "comma-separated world-scenario filter for -scenarios (default: all)")
+		scnIngests = flag.String("scenario-ingests", "", "comma-separated ingestion-variant filter for -scenarios (default: all)")
 	)
 	flag.Parse()
 
@@ -45,6 +56,21 @@ func main() {
 		cfg.KBPerType = 60
 		cfg.SnippetsPerEntity = 5
 		cfg.MaxTrainEntities = 60
+	}
+
+	if *scenarios {
+		// Standalone mode: the matrix builds one lab per world scenario
+		// itself, so the main lab is never constructed.
+		rc := scenarioReportConfig{
+			LabCfg:  cfg,
+			Worlds:  splitList(*scnWorlds),
+			Ingests: splitList(*scnIngests),
+		}
+		if err := writeScenarioReport(os.Stdout, os.Stderr, rc); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "building lab (scale=%s, seed=%d)...\n", *scale, *seed)

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/ingest"
+)
+
+// scenarioReportConfig selects what writeScenarioReport runs.
+type scenarioReportConfig struct {
+	// LabCfg is the base lab configuration each world scenario overrides.
+	LabCfg eval.LabConfig
+	// Worlds filters the world axis by scenario name (empty = all).
+	Worlds []string
+	// Ingests filters the ingestion axis by variant name (empty = all).
+	// The clean-csv twin is computed regardless, so the =clean column is
+	// always meaningful.
+	Ingests []string
+}
+
+// resolveAxes expands the config's filters against the full axes.
+func (rc scenarioReportConfig) resolveAxes() ([]eval.WorldScenario, []ingest.Variant, error) {
+	worlds := eval.DefaultWorldScenarios()
+	if len(rc.Worlds) > 0 {
+		byName := map[string]eval.WorldScenario{}
+		for _, w := range worlds {
+			byName[w.Name] = w
+		}
+		var sel []eval.WorldScenario
+		for _, name := range rc.Worlds {
+			w, ok := byName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown world scenario %q", name)
+			}
+			sel = append(sel, w)
+		}
+		worlds = sel
+	}
+	variants := ingest.Variants()
+	if len(rc.Ingests) > 0 {
+		variants = nil
+		for _, name := range rc.Ingests {
+			v, err := ingest.ParseVariant(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			variants = append(variants, v)
+		}
+	}
+	return worlds, variants, nil
+}
+
+// writeScenarioReport runs the scenario matrix and renders one row per
+// (world × ingestion) cell: annotation micro P/R/F over Γ, geo
+// disambiguation accuracy against the universe's LocID gold truth, and
+// whether the cell's full annotation output is byte-identical to its
+// clean-csv twin. Progress goes to stderr; the stdout rendering is
+// deterministic and golden-locked.
+func writeScenarioReport(stdout, stderr io.Writer, rc scenarioReportConfig) error {
+	worlds, variants, err := rc.resolveAxes()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "scenario matrix: %d worlds x %d ingestion variants\n", len(worlds), len(variants))
+	cells, err := eval.ScenarioMatrix(rc.LabCfg, worlds, variants)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "== Scenario matrix: annotation micro-F and geo disambiguation accuracy ==")
+	fmt.Fprintf(stdout, "%-15s %-11s %7s %7s %7s %10s %9s %10s %7s\n",
+		"world", "ingest", "P", "R", "F", "geo acc", "geo", "ann/gold", "=clean")
+	for _, c := range cells {
+		same := "yes"
+		if !c.MatchesClean {
+			same = "NO"
+		}
+		fmt.Fprintf(stdout, "%-15s %-11s %7.4f %7.4f %7.4f %10.4f %4d/%-4d %4d/%-5d %7s\n",
+			c.World, c.Ingest, c.MicroP, c.MicroR, c.MicroF,
+			c.GeoAccuracy, c.GeoCorrect, c.GeoCells,
+			c.Annotated, c.Gold, same)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

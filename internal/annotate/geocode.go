@@ -28,6 +28,11 @@ type GeoAnnotation struct {
 	// Score is the chosen interpretation's share of the cell's final
 	// score distribution (1 for unambiguous cells; see disambig).
 	Score float64
+	// Loc is the chosen interpretation's gazetteer ID, for callers that
+	// compare against a gold truth (the scenario matrix's geo accuracy).
+	// Not part of the wire format — the serving layer maps fields
+	// explicitly and omits it.
+	Loc gazetteer.LocID
 }
 
 // geoResolution is one table's geocode+disambiguate result — the geocoded
@@ -148,6 +153,7 @@ func (c Config) GeoAnnotate(ctx context.Context, t *table.Table) ([]GeoAnnotatio
 			Kind:       c.Gazetteer.Kind(loc).String(),
 			Candidates: len(it.Candidates),
 			Score:      res.detail[it.Cell][loc],
+			Loc:        loc,
 		}
 		if city := c.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
 			ga.City = c.Gazetteer.Name(city)

@@ -45,10 +45,27 @@ func (g Gold) CountByType() map[string]int {
 	return out
 }
 
+// GeoGold is the geographic gold standard: for every table, the address
+// cells whose true location (the street the universe placed the entity on)
+// is known. Geo disambiguation accuracy compares the pipeline's chosen
+// LocID against it.
+type GeoGold map[string]map[CellKey]gazetteer.LocID
+
+// Add records one geographic gold annotation.
+func (g GeoGold) Add(tableName string, row, col int, loc gazetteer.LocID) {
+	m := g[tableName]
+	if m == nil {
+		m = map[CellKey]gazetteer.LocID{}
+		g[tableName] = m
+	}
+	m[CellKey{row, col}] = loc
+}
+
 // Dataset is a set of tables plus their gold standard.
 type Dataset struct {
-	Tables []*table.Table
-	Gold   Gold
+	Tables  []*table.Table
+	Gold    Gold
+	GeoGold GeoGold
 }
 
 // builder carries the generation state.
@@ -56,7 +73,8 @@ type builder struct {
 	w    *world.World
 	rng  *rand.Rand
 	ds   *Dataset
-	next int // table counter for unique names
+	next int    // table counter for unique names
+	pfx  string // table-name prefix family ("gft", or "scn" for scenarios)
 }
 
 // BuildGFT assembles the §6.2 dataset from the TablePool entities: per-type
@@ -67,7 +85,8 @@ func BuildGFT(w *world.World, seed int64) *Dataset {
 	b := &builder{
 		w:   w,
 		rng: rand.New(rand.NewSource(seed)),
-		ds:  &Dataset{Gold: Gold{}},
+		ds:  &Dataset{Gold: Gold{}, GeoGold: GeoGold{}},
+		pfx: "gft",
 	}
 
 	pools := map[world.Type][]*world.Entity{}
@@ -116,7 +135,8 @@ func BuildWikiManual(w *world.World, seed int64) *Dataset {
 	b := &builder{
 		w:   w,
 		rng: rand.New(rand.NewSource(seed)),
-		ds:  &Dataset{Gold: Gold{}},
+		ds:  &Dataset{Gold: Gold{}, GeoGold: GeoGold{}},
+		pfx: "gft",
 	}
 	var all []*world.Entity
 	for _, t := range world.AllTypes {
@@ -144,16 +164,27 @@ func (b *builder) name(prefix string) string {
 }
 
 // address renders the entity's address; 35% of the time only the street part
-// is kept (the partial addresses of §5.2.2).
-func (b *builder) address(e *world.Entity) string {
+// is kept (the partial addresses of §5.2.2). The second result is the
+// geographic gold truth for the rendered cell — the street the universe
+// placed the entity on — or NoLocation when there is no address to render.
+func (b *builder) address(e *world.Entity) (string, gazetteer.LocID) {
 	a := e.Address(b.w.Gaz)
 	if a.Street == "" {
-		return ""
+		return "", gazetteer.NoLocation
 	}
 	if b.rng.Float64() < 0.35 {
-		return gazetteer.Address{StreetNumber: a.StreetNumber, Street: a.Street}.Format()
+		return gazetteer.Address{StreetNumber: a.StreetNumber, Street: a.Street}.Format(), e.Street
 	}
-	return a.Format()
+	return a.Format(), e.Street
+}
+
+// addrCell renders the address and records its geo gold truth at (row, col).
+func (b *builder) addrCell(tableName string, row, col int, e *world.Entity) string {
+	addr, loc := b.address(e)
+	if loc != gazetteer.NoLocation {
+		b.ds.GeoGold.Add(tableName, row, col, loc)
+	}
+	return addr
 }
 
 // categoryPhrases are the short domain phrases filling the "category" column
@@ -185,7 +216,7 @@ func (b *builder) phrase(t world.Type) string {
 
 // typedTable emits one single-type table with the GFT layout of that type.
 func (b *builder) typedTable(es []*world.Entity, t world.Type) {
-	name := b.name("gft_" + sanitize(string(t)))
+	name := b.name(b.pfx + "_" + sanitize(string(t)))
 	var tbl *table.Table
 	switch {
 	case world.HasSpatial(t):
@@ -197,7 +228,7 @@ func (b *builder) typedTable(es []*world.Entity, t world.Type) {
 			table.Column{Header: "Description", Type: table.Text},
 		)
 		for i, e := range es {
-			mustAppend(tbl, e.Name, b.address(e), b.phrase(t), e.Phone, e.Description)
+			mustAppend(tbl, e.Name, b.addrCell(name, i+1, 2, e), b.phrase(t), e.Phone, e.Description)
 			b.ds.Gold.Add(name, i+1, 1, t)
 		}
 	case t == world.Mine:
@@ -250,14 +281,14 @@ func (b *builder) typedTable(es []*world.Entity, t world.Type) {
 // museums, hotels and restaurants; the second column holds verbose
 // descriptions and the third addresses.
 func (b *builder) mixedPOITable(es []*world.Entity) {
-	name := b.name("gft_mixed")
+	name := b.name(b.pfx + "_mixed")
 	tbl := table.New(name,
 		table.Column{Header: "Name", Type: table.Text},
 		table.Column{Header: "Description", Type: table.Text},
 		table.Column{Header: "Address", Type: table.Location},
 	)
 	for i, e := range es {
-		mustAppend(tbl, e.Name, e.Description, b.address(e))
+		mustAppend(tbl, e.Name, e.Description, b.addrCell(name, i+1, 3, e))
 		b.ds.Gold.Add(name, i+1, 1, e.Type)
 	}
 	b.ds.Tables = append(b.ds.Tables, tbl)
@@ -266,7 +297,7 @@ func (b *builder) mixedPOITable(es []*world.Entity) {
 // typeWordTable emits a Figure 8 style table: entity names plus a column
 // repeating the bare type word, the spurious-annotation trap for §5.3.
 func (b *builder) typeWordTable(es []*world.Entity, t world.Type) {
-	name := b.name("gft_typeword")
+	name := b.name(b.pfx + "_typeword")
 	tbl := table.New(name,
 		table.Column{Header: "Name", Type: table.Text},
 		table.Column{Header: "Type", Type: table.Text},
@@ -275,7 +306,7 @@ func (b *builder) typeWordTable(es []*world.Entity, t world.Type) {
 	word := world.TypeName(t)
 	word = string(word[0]-'a'+'A') + word[1:]
 	for i, e := range es {
-		mustAppend(tbl, e.Name, word, b.address(e))
+		mustAppend(tbl, e.Name, word, b.addrCell(name, i+1, 3, e))
 		b.ds.Gold.Add(name, i+1, 1, t)
 	}
 	b.ds.Tables = append(b.ds.Tables, tbl)

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/world"
+)
+
+// ScenarioOptions shapes the scenario-matrix dataset. The zero value selects
+// the defaults.
+type ScenarioOptions struct {
+	// Types are the entity types the tables draw from. Default: a spread
+	// of spatial POIs plus two non-spatial types (Restaurant, Museum,
+	// Hotel, Actor, Film).
+	Types []world.Type
+	// RowsPerTable caps the rows per emitted table (default 18): the
+	// matrix runs many cells, so tables stay small.
+	RowsPerTable int
+	// MixedKinds mixes all spatial POI types into shared Figure 2 style
+	// tables instead of per-type tables, the column-mixing axis of the
+	// adversarial worlds.
+	MixedKinds bool
+}
+
+func (o ScenarioOptions) withDefaults() ScenarioOptions {
+	if len(o.Types) == 0 {
+		o.Types = []world.Type{world.Restaurant, world.Museum, world.Hotel, world.Actor, world.Film}
+	}
+	if o.RowsPerTable == 0 {
+		o.RowsPerTable = 18
+	}
+	return o
+}
+
+// BuildScenario assembles the compact evaluation dataset the scenario matrix
+// feeds through each ingestion variant: one small table per type (or mixed
+// POI tables when MixedKinds is set) from the TablePool, with both
+// annotation gold and geographic gold recorded. Deterministic in seed, and
+// built on the same emitters as BuildGFT so the tables look like the §6.2
+// dataset, just smaller.
+func BuildScenario(w *world.World, seed int64, opts ScenarioOptions) *Dataset {
+	opts = opts.withDefaults()
+	b := &builder{
+		w:   w,
+		rng: rand.New(rand.NewSource(seed)),
+		ds:  &Dataset{Gold: Gold{}, GeoGold: GeoGold{}},
+		pfx: "scn",
+	}
+	if opts.MixedKinds {
+		var spatial, rest []*world.Entity
+		for _, t := range opts.Types {
+			es := w.TableEntities(t)
+			if world.HasSpatial(t) {
+				spatial = append(spatial, es...)
+			} else {
+				rest = append(rest, es...)
+			}
+		}
+		b.shuffle(spatial)
+		for len(spatial) > 0 {
+			n := min(opts.RowsPerTable, len(spatial))
+			b.mixedPOITable(spatial[:n])
+			spatial = spatial[n:]
+		}
+		for _, t := range opts.Types {
+			if !world.HasSpatial(t) {
+				b.scenarioTyped(rest, t, opts.RowsPerTable)
+			}
+		}
+		return b.ds
+	}
+	for _, t := range opts.Types {
+		b.scenarioTyped(w.TableEntities(t), t, opts.RowsPerTable)
+	}
+	return b.ds
+}
+
+// scenarioTyped emits one typed table of at most rows entities of type t
+// drawn from es.
+func (b *builder) scenarioTyped(es []*world.Entity, t world.Type, rows int) {
+	var pool []*world.Entity
+	for _, e := range es {
+		if e.Type == t {
+			pool = append(pool, e)
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	b.typedTable(pool[:min(rows, len(pool))], t)
+}

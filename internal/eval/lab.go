@@ -61,6 +61,14 @@ type LabConfig struct {
 	// unaffected). 0 selects one shard per available CPU, capped at 8;
 	// 1 effectively disables sharding.
 	SearchShards int
+
+	// Adversarial world knobs, passed straight through to world.Config
+	// and webgen.Config for the scenario matrix. All default to off and,
+	// when off, leave the generated apparatus byte-identical.
+	GazScale       int
+	POIHomonymRate float64
+	DiacriticRate  float64
+	ConfuserBoost  int
 }
 
 func (c LabConfig) withDefaults() LabConfig {
@@ -150,12 +158,18 @@ func NewLab(cfg LabConfig) *Lab {
 	}
 
 	l.World = world.Generate(world.Config{
-		Seed:          cfg.Seed,
-		KBPerType:     cfg.KBPerType,
-		AmbiguityRate: cfg.AmbiguityRate,
+		Seed:           cfg.Seed,
+		KBPerType:      cfg.KBPerType,
+		AmbiguityRate:  cfg.AmbiguityRate,
+		GazScale:       cfg.GazScale,
+		POIHomonymRate: cfg.POIHomonymRate,
+		DiacriticRate:  cfg.DiacriticRate,
 	})
 	l.Geo = l.World.Gaz.Freeze()
-	six := webgen.BuildShardedIndex(l.World, webgen.Config{Seed: cfg.Seed + 1}, cfg.SearchShards)
+	six := webgen.BuildShardedIndex(l.World, webgen.Config{
+		Seed:          cfg.Seed + 1,
+		ConfuserBoost: cfg.ConfuserBoost,
+	}, cfg.SearchShards)
 	l.Engine = search.NewShardedEngine(six)
 	l.KB = kb.FromWorld(l.World, cfg.Seed+2)
 

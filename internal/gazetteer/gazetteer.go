@@ -17,6 +17,8 @@ package gazetteer
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/textproc"
 )
 
 // Kind classifies a location in the containment hierarchy.
@@ -205,7 +207,10 @@ func (g *Gazetteer) FullName(id LocID) string {
 	return strings.Join(parts, ", ")
 }
 
-// normalizeName lower-cases and collapses whitespace for name keys.
+// normalizeName lower-cases, folds diacritics and collapses whitespace for
+// name keys, so "Cédar Lane" and "cedar lane" resolve to the same locations
+// whichever spelling a table (or a messy NFD rendering of it) uses. All the
+// built-in synthetic names are ASCII, so folding changes nothing for them.
 func normalizeName(s string) string {
-	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+	return strings.Join(strings.Fields(strings.ToLower(textproc.FoldDiacritics(s))), " ")
 }

@@ -1,0 +1,307 @@
+// Package ingest defines the ingestion variants of the scenario matrix: ways
+// of serializing a logical table into the messy formats tables arrive in —
+// ragged CSV, decomposed-unicode CSV, tidy HTML, tag-soup HTML with merged
+// cells — together with the decoder that reads each variant back through the
+// tolerant readers and Normalize.
+//
+// The contract under test end to end: for every variant v,
+// Decode(Encode(t, v), v) is the same logical table as Decode of the clean
+// CSV, so annotations over any variant are byte-identical to the clean
+// twin's. The encoders are deterministic (no randomness): the messiness is a
+// function of the table content, which keeps every scenario-matrix cell
+// reproducible.
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/table"
+	"repro/internal/textproc"
+)
+
+// Variant names one ingestion route.
+type Variant string
+
+const (
+	// CleanCSV is the reference route: WriteCSV → ReadCSV → Normalize.
+	CleanCSV Variant = "clean-csv"
+	// RaggedCSV drops trailing empty fields from every record, the way
+	// spreadsheet exports do.
+	RaggedCSV Variant = "ragged-csv"
+	// NFDCSV writes all cell text in decomposed unicode (combining
+	// marks), the way macOS tools and some PDF extractors do.
+	NFDCSV Variant = "nfd-csv"
+	// HTML renders a tidy <table>.
+	HTML Variant = "html"
+	// MessyHTML renders a tag-soup <table>: merged cells (rowspan and
+	// colspan), entity-encoded NFD text, mixed-case tags, omitted close
+	// tags, a stray empty header column and blank separator rows.
+	MessyHTML Variant = "messy-html"
+)
+
+// Variants returns every ingestion variant, clean twin first.
+func Variants() []Variant {
+	return []Variant{CleanCSV, RaggedCSV, NFDCSV, HTML, MessyHTML}
+}
+
+// ParseVariant resolves a variant name.
+func ParseVariant(s string) (Variant, error) {
+	for _, v := range Variants() {
+		if string(v) == s {
+			return v, nil
+		}
+	}
+	return "", fmt.Errorf("unknown ingestion variant %q", s)
+}
+
+// Encode serializes t into the variant's byte format.
+func Encode(t *table.Table, v Variant) ([]byte, error) {
+	var buf bytes.Buffer
+	switch v {
+	case CleanCSV:
+		if err := table.WriteCSV(&buf, t); err != nil {
+			return nil, err
+		}
+	case RaggedCSV:
+		if err := writeRaggedCSV(&buf, t); err != nil {
+			return nil, err
+		}
+	case NFDCSV:
+		if err := table.WriteCSV(&buf, decomposed(t)); err != nil {
+			return nil, err
+		}
+	case HTML:
+		writeHTML(&buf, t)
+	case MessyHTML:
+		writeMessyHTML(&buf, t)
+	default:
+		return nil, fmt.Errorf("unknown ingestion variant %q", v)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reads a variant's bytes back into a normalized logical table.
+func Decode(data []byte, v Variant, name string) (*table.Table, error) {
+	var t *table.Table
+	var err error
+	switch v {
+	case CleanCSV, RaggedCSV, NFDCSV:
+		t, err = table.ReadCSV(bytes.NewReader(data), name)
+	case HTML, MessyHTML:
+		t, err = table.ReadHTML(bytes.NewReader(data), name)
+	default:
+		return nil, fmt.Errorf("unknown ingestion variant %q", v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return table.Normalize(t)
+}
+
+// decomposed returns a copy of t with every header and cell in NFD.
+func decomposed(t *table.Table) *table.Table {
+	out := &table.Table{Name: t.Name}
+	for _, c := range t.Columns {
+		out.Columns = append(out.Columns, table.Column{
+			Header: textproc.DecomposeNFD(c.Header), Type: c.Type,
+		})
+	}
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = textproc.DecomposeNFD(v)
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	return out
+}
+
+// writeRaggedCSV emits CSV with trailing empty fields dropped from each
+// record, so rows have varying widths. A record reduced to nothing keeps one
+// field so the row itself survives (a blank line would be skipped on read).
+func writeRaggedCSV(buf *bytes.Buffer, t *table.Table) error {
+	writeRec := func(rec []string) {
+		for len(rec) > 1 && rec[len(rec)-1] == "" {
+			rec = rec[:len(rec)-1]
+		}
+		if len(rec) == 1 && rec[0] == "" {
+			// A bare blank line would be skipped on re-read; force the
+			// quoted empty field (same guard as table.WriteCSV).
+			buf.WriteString("\"\"\n")
+			return
+		}
+		for j, f := range rec {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			buf.WriteString(csvField(f))
+		}
+		buf.WriteByte('\n')
+	}
+	header := make([]string, len(t.Columns))
+	for j, c := range t.Columns {
+		header[j] = c.Header
+	}
+	writeRec(header)
+	for _, row := range t.Rows {
+		writeRec(row)
+	}
+	return nil
+}
+
+// csvField quotes a CSV field when it needs it; an empty sole field is
+// force-quoted by the caller keeping at least one field per record.
+func csvField(f string) string {
+	if strings.ContainsAny(f, ",\"\n\r") {
+		return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+	}
+	return f
+}
+
+// writeHTML renders a tidy table: one <tr> per row, <th> headers, escaped
+// text.
+func writeHTML(buf *bytes.Buffer, t *table.Table) {
+	buf.WriteString("<table>\n<tr>")
+	for _, c := range t.Columns {
+		buf.WriteString("<th>")
+		buf.WriteString(escapeHTML(c.Header))
+		buf.WriteString("</th>")
+	}
+	buf.WriteString("</tr>\n")
+	for _, row := range t.Rows {
+		buf.WriteString("<tr>")
+		for _, v := range row {
+			buf.WriteString("<td>")
+			buf.WriteString(escapeHTML(v))
+			buf.WriteString("</td>")
+		}
+		buf.WriteString("</tr>\n")
+	}
+	buf.WriteString("</table>\n")
+}
+
+func escapeHTML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// writeMessyHTML renders the adversarial HTML route. Deterministically from
+// the table content it
+//
+//   - merges vertical runs of equal non-empty values into rowspans (what a
+//     human editor does to a repeated city column),
+//   - merges a non-empty cell with a following run of empty cells into a
+//     colspan (covering trailing raggedness),
+//   - writes text as NFD with per-rune entity encoding for a/e and the
+//     HTML-special characters,
+//   - uses mixed-case tags, thead/tbody wrappers, unquoted span attributes
+//     and omitted </td> closers,
+//   - appends a stray empty header column and inserts a blank separator row,
+//
+// all of which Normalize must undo exactly.
+func writeMessyHTML(buf *bytes.Buffer, t *table.Table) {
+	w := len(t.Columns)
+	// rowsLeft[j] > 0 means column j of the current row is covered by an
+	// earlier rowspan and must not emit a cell.
+	rowsLeft := make([]int, w)
+
+	// runLen returns the length (≥1) of the vertical run of cells equal to
+	// Rows[i][j] starting at row i, capped at 4.
+	runLen := func(i, j int) int {
+		v := t.Rows[i][j]
+		if v == "" {
+			return 1
+		}
+		n := 1
+		for i+n < len(t.Rows) && n < 4 && t.Rows[i+n][j] == v {
+			n++
+		}
+		return n
+	}
+
+	buf.WriteString("<TABLE>\n<THEAD>\n <Tr>")
+	for _, c := range t.Columns {
+		buf.WriteString("<TH>")
+		buf.WriteString(messyText(c.Header))
+		buf.WriteString("</TH>")
+	}
+	// Stray empty header column: Normalize drops it (no header, no data).
+	buf.WriteString("<TH></TH></Tr>\n</THEAD>\n<TBODY>\n")
+	for i := range t.Rows {
+		if i == len(t.Rows)/2 && !anyActive(rowsLeft) {
+			// Blank separator row mid-table; Normalize drops it. Only
+			// legal while no rowspan is open — an open span would
+			// swallow the separator as one of its grid rows and shift
+			// every later row up.
+			buf.WriteString(" <tr><td></td></tr>\n")
+		}
+		buf.WriteString(" <tr>")
+		for j := 0; j < w; j++ {
+			if rowsLeft[j] > 0 {
+				rowsLeft[j]--
+				continue
+			}
+			v := t.Rows[i][j]
+			rs := runLen(i, j)
+			// Colspan-merge a non-empty cell with following empties,
+			// but only when no rowspan is in play in the swallowed
+			// columns.
+			cs := 1
+			if rs == 1 && v != "" {
+				for cs < 3 && j+cs < w && t.Rows[i][j+cs] == "" && rowsLeft[j+cs] == 0 {
+					cs++
+				}
+			}
+			buf.WriteString("<Td")
+			if rs > 1 {
+				fmt.Fprintf(buf, " rowspan=%d", rs)
+				rowsLeft[j] = rs - 1
+			}
+			if cs > 1 {
+				fmt.Fprintf(buf, " colspan=%d", cs)
+				j += cs - 1
+			}
+			buf.WriteString(">")
+			buf.WriteString(messyText(v))
+			// Omitted </td>: the next <td>/<tr> implies the close.
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("</TBODY>\n</TABLE>\n")
+}
+
+func anyActive(rowsLeft []int) bool {
+	for _, n := range rowsLeft {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// messyText renders cell text the hostile way: decomposed unicode, then
+// rune-by-rune encoding — HTML specials as named entities, 'a' and 'e' as
+// numeric character references. Encoding per rune (rather than string
+// replacement on escaped text) cannot corrupt an earlier entity.
+func messyText(s string) string {
+	var b strings.Builder
+	for _, r := range textproc.DecomposeNFD(s) {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case 'a', 'e':
+			fmt.Fprintf(&b, "&#%d;", r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

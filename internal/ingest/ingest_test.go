@@ -1,0 +1,152 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// sampleTables covers the messy-encoder edge cases: repeated column values
+// (rowspan merges), empty trailing cells (colspan merges and ragged drops),
+// diacritics (NFD round-trip), HTML-special characters, and an all-empty
+// row (dropped on every route).
+func sampleTables(t *testing.T) []*table.Table {
+	t.Helper()
+	mk := func(name string, headers []string, rows [][]string) *table.Table {
+		cols := make([]table.Column, len(headers))
+		for j, h := range headers {
+			cols[j] = table.Column{Header: h}
+		}
+		tbl := table.New(name, cols...)
+		for _, r := range rows {
+			if err := tbl.AppendRow(r...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tbl
+	}
+	return []*table.Table{
+		mk("pois", []string{"Name", "Address", "City"}, [][]string{
+			{"Chez Panisse", "1517 Shattuck Avenue", "Berkeley"},
+			{"Café Fanny", "1603 San Pablo Avenue", "Berkeley"},
+			{"Musée d'Orsay", "", "Paris"},
+			{"Tartine", "600 Guerrero Street", "Paris"},
+		}),
+		mk("merged", []string{"City", "Name", "Note"}, [][]string{
+			{"Springfield", "The Crown", ""},
+			{"Springfield", "Beacon & Anchor", ""},
+			{"Springfield", "Mélîssé", "réservé"},
+			{"Shelbyville", "<Quoted> \"Cell\"", ""},
+			{"", "", ""},
+			{"Shelbyville", "Last", "x"},
+		}),
+		mk("narrow", []string{"Name"}, [][]string{
+			{"Solo"},
+			{"Düo"},
+		}),
+		mk("sparse", []string{"A", "B", "C", "D"}, [][]string{
+			{"v", "", "", ""},
+			{"v", "", "", "tail"},
+			{"v", "mid", "", ""},
+		}),
+	}
+}
+
+func equalTables(t *testing.T, label string, want, got *table.Table) {
+	t.Helper()
+	if len(want.Columns) != len(got.Columns) || len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: dims %dx%d, want %dx%d", label, got.NumRows(), got.NumCols(), want.NumRows(), want.NumCols())
+	}
+	for j := range want.Columns {
+		if want.Columns[j] != got.Columns[j] {
+			t.Errorf("%s: column %d = %+v, want %+v", label, j, got.Columns[j], want.Columns[j])
+		}
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if want.Rows[i][j] != got.Rows[i][j] {
+				t.Errorf("%s: cell (%d,%d) = %q, want %q", label, i+1, j+1, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}
+
+// TestVariantsMatchCleanTwin is the package's core contract: every variant
+// decodes to the same logical table as the clean-CSV route.
+func TestVariantsMatchCleanTwin(t *testing.T) {
+	for _, tbl := range sampleTables(t) {
+		cleanBytes, err := Encode(tbl, CleanCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := Decode(cleanBytes, CleanCSV, tbl.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range Variants()[1:] {
+			data, err := Encode(tbl, v)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tbl.Name, v, err)
+			}
+			got, err := Decode(data, v, tbl.Name)
+			if err != nil {
+				t.Fatalf("%s/%s: %v\n%s", tbl.Name, v, err, data)
+			}
+			equalTables(t, tbl.Name+"/"+string(v), clean, got)
+		}
+	}
+}
+
+// TestFixturePairs decodes the checked-in messy/clean fixture pairs under
+// testdata/pairs: for every <name>.<ext> messy file there is a
+// <name>.clean.csv twin, and both normalize to the same logical table.
+func TestFixturePairs(t *testing.T) {
+	cleans, err := filepath.Glob(filepath.Join("testdata", "pairs", "*.clean.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cleans) == 0 {
+		t.Fatal("no fixture pairs found")
+	}
+	for _, cleanPath := range cleans {
+		base := strings.TrimSuffix(filepath.Base(cleanPath), ".clean.csv")
+		matches, err := filepath.Glob(filepath.Join("testdata", "pairs", base+".messy.*"))
+		if err != nil || len(matches) != 1 {
+			t.Fatalf("fixture %s: messy twin missing (%v)", base, err)
+		}
+		messyPath := matches[0]
+		variant := CleanCSV
+		if strings.HasSuffix(messyPath, ".html") {
+			variant = MessyHTML
+		}
+		cleanData, err := os.ReadFile(cleanPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		messyData, err := os.ReadFile(messyPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := Decode(cleanData, CleanCSV, base)
+		if err != nil {
+			t.Fatalf("fixture %s clean: %v", base, err)
+		}
+		messy, err := Decode(messyData, variant, base)
+		if err != nil {
+			t.Fatalf("fixture %s messy: %v", base, err)
+		}
+		equalTables(t, base, clean, messy)
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	if _, err := ParseVariant("messy-html"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseVariant("carrier-pigeon"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

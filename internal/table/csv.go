@@ -12,6 +12,12 @@ import (
 // ReadCSV parses a table from CSV. The first record is the header row.
 // Column types are inferred from the data (see InferColumnType), since plain
 // CSV — unlike GFT — carries no type metadata.
+//
+// Ragged input is tolerated: the table is as wide as its widest record,
+// short records are padded with empty cells, and columns past the header's
+// width get empty headers (Normalize repairs those). Real exported CSVs
+// routinely drop trailing empty fields, and rejecting them would push every
+// caller into writing its own pre-pass.
 func ReadCSV(r io.Reader, name string) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -22,16 +28,23 @@ func ReadCSV(r io.Reader, name string) (*Table, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("table %q: empty CSV", name)
 	}
+	width := 0
+	for _, rec := range records {
+		if len(rec) > width {
+			width = len(rec)
+		}
+	}
 	header := records[0]
 	t := &Table{Name: name}
-	for _, h := range header {
-		t.Columns = append(t.Columns, Column{Header: strings.TrimSpace(h)})
-	}
-	for i, rec := range records[1:] {
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("table %q: row %d has %d cells, want %d", name, i+1, len(rec), len(header))
+	for j := 0; j < width; j++ {
+		h := ""
+		if j < len(header) {
+			h = strings.TrimSpace(header[j])
 		}
-		row := make([]string, len(rec))
+		t.Columns = append(t.Columns, Column{Header: h})
+	}
+	for _, rec := range records[1:] {
+		row := make([]string, width)
 		for j, c := range rec {
 			row[j] = strings.TrimSpace(c)
 		}

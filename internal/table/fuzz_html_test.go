@@ -1,0 +1,116 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadHTML checks HTML table extraction on arbitrary markup: a parse
+// either fails cleanly or yields a rectangular table that Normalize accepts
+// (or rejects cleanly), with parsing idempotent over its own normal form —
+// a parsed table re-rendered as tidy HTML parses back to the same grid.
+func FuzzReadHTML(f *testing.F) {
+	for _, seed := range []string{
+		"<table><tr><th>Name</th><th>City</th></tr><tr><td>Louvre</td><td>Paris</td></tr></table>",
+		"<TABLE><TR><TD>a<TD>b<TR><TD>1<TD>2</TABLE>",
+		"<table><tr><td colspan=2>wide</td></tr><tr><td>a</td><td>b</td></tr></table>",
+		"<table><tr><td rowspan=\"3\">tall</td><td>x</td></tr><tr><td>y</td></tr></table>",
+		"<table><tr><td><table><tr><td>nested</td></tr></table></td><td>p</td></tr></table>",
+		"<table><tr><td>Caf&eacute;&nbsp;&amp; Bar</td><td>&#233;&#x00E9;</td></tr></table>",
+		"<table><!-- <tr><td>ghost --><tr><td>h</td></tr></table>",
+		"<table><tr><td><script>\"<td>\"</script>x</td></tr></table>",
+		"<table><tr><td>unterminated",
+		"<table><tr><td colspan=999999 rowspan=999999>bomb</td></tr></table>",
+		"<table></table>",
+		"no markup at all",
+		"<table><tr><td colspan='2 onclick=x>a<td>b</table>",
+		"< table><tr><td>not a tag</td></tr>",
+		"<table><tbody><tr class=\"a b\" data-colspan=4><td>x</td></tr></tbody></table>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		t1, err := ReadHTML(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejected cleanly
+		}
+		if len(t1.Columns) == 0 {
+			t.Fatalf("accepted HTML table with zero columns: %q", data)
+		}
+		for i, row := range t1.Rows {
+			if len(row) != len(t1.Columns) {
+				t.Fatalf("row %d has %d cells, want %d (input %q)", i, len(row), len(t1.Columns), data)
+			}
+		}
+		// Normalize must accept or reject cleanly, never panic; its
+		// output must be a fixed point.
+		n1, err := Normalize(t1)
+		if err != nil {
+			return
+		}
+		n2, err := Normalize(n1)
+		if err != nil {
+			t.Fatalf("Normalize rejected its own output: %v (input %q)", err, data)
+		}
+		if len(n1.Columns) != len(n2.Columns) || len(n1.Rows) != len(n2.Rows) {
+			t.Fatalf("Normalize not idempotent on dims (input %q)", data)
+		}
+		for j := range n1.Columns {
+			if n1.Columns[j] != n2.Columns[j] {
+				t.Fatalf("Normalize not idempotent on column %d: %+v vs %+v (input %q)", j, n1.Columns[j], n2.Columns[j], data)
+			}
+		}
+		for i := range n1.Rows {
+			for j := range n1.Rows[i] {
+				if n1.Rows[i][j] != n2.Rows[i][j] {
+					t.Fatalf("Normalize not idempotent on cell (%d,%d) (input %q)", i, j, data)
+				}
+			}
+		}
+		// Round trip: tidy re-render of the parsed grid parses back to
+		// the same grid (cell text is already entity-decoded and
+		// whitespace-collapsed, so tidy HTML is a normal form).
+		var b strings.Builder
+		b.WriteString("<table><tr>")
+		for _, c := range t1.Columns {
+			b.WriteString("<th>" + escapeCell(c.Header) + "</th>")
+		}
+		b.WriteString("</tr>")
+		for _, row := range t1.Rows {
+			b.WriteString("<tr>")
+			for _, v := range row {
+				b.WriteString("<td>" + escapeCell(v) + "</td>")
+			}
+			b.WriteString("</tr>")
+		}
+		b.WriteString("</table>")
+		t2, err := ReadHTML(strings.NewReader(b.String()), "fuzz")
+		if err != nil {
+			t.Fatalf("re-read of rendered table failed: %v\nrendered: %q\ninput: %q", err, b.String(), data)
+		}
+		if len(t2.Columns) != len(t1.Columns) || len(t2.Rows) != len(t1.Rows) {
+			t.Fatalf("HTML round trip changed dims: %dx%d -> %dx%d (input %q)",
+				len(t1.Rows), len(t1.Columns), len(t2.Rows), len(t2.Columns), data)
+		}
+		for j := range t1.Columns {
+			if t1.Columns[j].Header != t2.Columns[j].Header {
+				t.Fatalf("HTML round trip changed header %d: %q -> %q (input %q)",
+					j, t1.Columns[j].Header, t2.Columns[j].Header, data)
+			}
+		}
+		for i := range t1.Rows {
+			for j := range t1.Rows[i] {
+				if t1.Rows[i][j] != t2.Rows[i][j] {
+					t.Fatalf("HTML round trip changed cell (%d,%d): %q -> %q (input %q)",
+						i, j, t1.Rows[i][j], t2.Rows[i][j], data)
+				}
+			}
+		}
+	})
+}
+
+// escapeCell escapes text for the round-trip rendering.
+func escapeCell(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

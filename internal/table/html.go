@@ -1,0 +1,427 @@
+package table
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadHTML parses the first <table> element of an HTML document into a
+// Table. It is an ingestion-front reader in the spirit of ReadCSV: tolerant
+// of the tag soup real web tables are written in rather than a validating
+// parser. Specifically it
+//
+//   - takes the first top-level <table>; a <table> nested inside a cell is
+//     flattened into that cell's text (its structure is presentational),
+//   - honours implied closes (a new <td>/<tr> closes the open one) and
+//     stray close tags,
+//   - expands colspan (value in the first spanned column, empty cells in
+//     the rest — the merged value belongs to its leading column) and
+//     rowspan (value replicated into every spanned row — a vertically
+//     merged cell states that value for each row),
+//   - decodes character entities and collapses insignificant whitespace,
+//   - skips <script>, <style> and comments,
+//   - pads ragged rows to the widest row.
+//
+// The first row is the header row, whether or not it uses <th>, matching
+// the CSV convention. Column types are inferred from the data, like
+// ReadCSV. Callers that need the full messy-input cleanup (unicode
+// normalization, duplicate/empty header repair, empty row and column drops)
+// run the result through Normalize.
+func ReadHTML(r io.Reader, name string) (*Table, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	p := &htmlTableParser{src: string(src)}
+	p.run()
+	if !p.sawTable {
+		return nil, fmt.Errorf("table %q: no <table> element found", name)
+	}
+	if len(p.rows) == 0 {
+		return nil, fmt.Errorf("table %q: table has no rows", name)
+	}
+	width := 0
+	for _, row := range p.rows {
+		if len(row) > width {
+			width = len(row)
+		}
+	}
+	if width == 0 {
+		return nil, fmt.Errorf("table %q: table has no columns", name)
+	}
+	t := &Table{Name: name}
+	for j := 0; j < width; j++ {
+		h := ""
+		if j < len(p.rows[0]) {
+			h = p.rows[0][j]
+		}
+		t.Columns = append(t.Columns, Column{Header: h})
+	}
+	for _, row := range p.rows[1:] {
+		cells := make([]string, width)
+		copy(cells, row)
+		t.Rows = append(t.Rows, cells)
+	}
+	for j := range t.Columns {
+		t.Columns[j].Type = InferColumnType(t.ColumnValues(j + 1))
+	}
+	return t, nil
+}
+
+// spanCap bounds colspan/rowspan attribute values so a hostile span cannot
+// inflate the grid quadratically past the input size.
+const spanCap = 64
+
+// maxHTMLCells bounds the total logical grid so fuzzed input cannot balloon
+// memory; real tables are nowhere near it.
+const maxHTMLCells = 1 << 22
+
+// rowspanSlot is a column occupied by an earlier cell's rowspan: val is
+// replicated into the next `left` rows.
+type rowspanSlot struct {
+	val  string
+	left int
+}
+
+type htmlTableParser struct {
+	src string
+	pos int
+
+	sawTable   bool
+	tableDepth int // 1 = inside the target table, >1 = nested table
+	done       bool
+
+	rows  [][]string
+	cur   []string
+	inRow bool
+	col   int
+	slots []rowspanSlot
+
+	inCell  bool
+	cellBuf strings.Builder
+	// pending spans of the cell currently being collected.
+	cellColspan, cellRowspan int
+
+	cells int // running logical cell count, checked against maxHTMLCells
+}
+
+func (p *htmlTableParser) run() {
+	for p.pos < len(p.src) && !p.done {
+		i := strings.IndexByte(p.src[p.pos:], '<')
+		if i < 0 {
+			p.text(p.src[p.pos:])
+			break
+		}
+		p.text(p.src[p.pos : p.pos+i])
+		p.pos += i
+		p.tag()
+	}
+	// Unterminated table: flush whatever was open.
+	if p.tableDepth > 0 {
+		p.closeCell()
+		p.closeRow()
+	}
+}
+
+// text appends a text node to the open cell; text outside cells is
+// insignificant and dropped.
+func (p *htmlTableParser) text(s string) {
+	if p.inCell && s != "" {
+		p.cellBuf.WriteString(s)
+	}
+}
+
+// tag consumes one markup construct starting at '<'.
+func (p *htmlTableParser) tag() {
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "<!--"):
+		if end := strings.Index(rest, "-->"); end >= 0 {
+			p.pos += end + 3
+		} else {
+			p.pos = len(p.src)
+		}
+		return
+	case strings.HasPrefix(rest, "<!") || strings.HasPrefix(rest, "<?"):
+		p.skipToGt()
+		return
+	}
+	j := p.pos + 1
+	closing := false
+	if j < len(p.src) && p.src[j] == '/' {
+		closing = true
+		j++
+	}
+	nameStart := j
+	for j < len(p.src) && isTagNameByte(p.src[j]) {
+		j++
+	}
+	tagName := strings.ToLower(p.src[nameStart:j])
+	if tagName == "" {
+		// A bare '<' is cell text, not markup.
+		p.text("<")
+		p.pos++
+		return
+	}
+	attrs := p.consumeAttrs(j)
+	p.dispatch(tagName, closing, attrs)
+}
+
+func isTagNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// consumeAttrs advances pos past the tag's closing '>' (respecting quoted
+// attribute values that contain '>') and returns the raw attribute text.
+func (p *htmlTableParser) consumeAttrs(from int) string {
+	i := from
+	var quote byte
+	for i < len(p.src) {
+		c := p.src[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '>':
+			attrs := p.src[from:i]
+			p.pos = i + 1
+			return attrs
+		}
+		i++
+	}
+	attrs := p.src[from:]
+	p.pos = len(p.src)
+	return attrs
+}
+
+func (p *htmlTableParser) skipToGt() {
+	if end := strings.IndexByte(p.src[p.pos:], '>'); end >= 0 {
+		p.pos += end + 1
+	} else {
+		p.pos = len(p.src)
+	}
+}
+
+// skipRawText skips to the closing tag of a raw-text element (script/style),
+// whose content is not markup.
+func (p *htmlTableParser) skipRawText(tagName string) {
+	low := strings.ToLower(p.src[p.pos:])
+	if end := strings.Index(low, "</"+tagName); end >= 0 {
+		p.pos += end
+		p.skipToGt()
+	} else {
+		p.pos = len(p.src)
+	}
+}
+
+func (p *htmlTableParser) dispatch(tagName string, closing bool, attrs string) {
+	switch tagName {
+	case "script", "style":
+		if !closing {
+			p.skipRawText(tagName)
+		}
+		return
+	case "table":
+		if closing {
+			if p.tableDepth > 1 {
+				p.tableDepth--
+			} else if p.tableDepth == 1 {
+				p.closeCell()
+				p.closeRow()
+				p.tableDepth = 0
+				p.done = true // first table wins
+			}
+			return
+		}
+		if p.tableDepth > 0 {
+			// Nested table: presentational, flattened into the cell.
+			p.tableDepth++
+			return
+		}
+		p.sawTable = true
+		p.tableDepth = 1
+		return
+	}
+	if p.tableDepth != 1 {
+		// Outside any table, or inside a nested one: structure tags are
+		// inert; keep a space so adjacent nested cells don't concatenate.
+		if p.inCell && isSpacingTag(tagName) {
+			p.text(" ")
+		}
+		return
+	}
+	switch tagName {
+	case "tr":
+		p.closeCell()
+		p.closeRow()
+		if !closing {
+			p.startRow()
+		}
+	case "td", "th":
+		p.closeCell()
+		if !closing {
+			if !p.inRow {
+				p.startRow() // implied <tr>
+			}
+			p.inCell = true
+			p.cellColspan = spanAttr(attrs, "colspan")
+			p.cellRowspan = spanAttr(attrs, "rowspan")
+		}
+	default:
+		if p.inCell && isSpacingTag(tagName) {
+			p.text(" ")
+		}
+	}
+}
+
+// isSpacingTag lists the tags that visually separate text inside a cell; a
+// space stands in for the break so "a<br>b" stays two words.
+func isSpacingTag(tagName string) bool {
+	switch tagName {
+	case "br", "p", "div", "li", "tr", "td", "th":
+		return true
+	}
+	return false
+}
+
+// spanAttr extracts a colspan/rowspan attribute value, clamped to
+// [1, spanCap]; missing or malformed values mean 1.
+func spanAttr(attrs, name string) int {
+	low := strings.ToLower(attrs)
+	i := 0
+	for {
+		k := strings.Index(low[i:], name)
+		if k < 0 {
+			return 1
+		}
+		i += k
+		// Must be a standalone attribute name (reject data-colspan etc.).
+		if i > 0 && (isTagNameByte(low[i-1]) || low[i-1] == '-') {
+			i += len(name)
+			continue
+		}
+		i += len(name)
+		break
+	}
+	for i < len(attrs) && (attrs[i] == ' ' || attrs[i] == '\t' || attrs[i] == '\n' || attrs[i] == '\r') {
+		i++
+	}
+	if i >= len(attrs) || attrs[i] != '=' {
+		return 1
+	}
+	i++
+	for i < len(attrs) && (attrs[i] == ' ' || attrs[i] == '\t' || attrs[i] == '\n' || attrs[i] == '\r') {
+		i++
+	}
+	val := attrs[i:]
+	if val != "" && (val[0] == '"' || val[0] == '\'') {
+		q := val[0]
+		val = val[1:]
+		if end := strings.IndexByte(val, q); end >= 0 {
+			val = val[:end]
+		}
+	} else {
+		if end := strings.IndexAny(val, " \t\n\r"); end >= 0 {
+			val = val[:end]
+		}
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(val))
+	if err != nil || n < 1 {
+		return 1
+	}
+	if n > spanCap {
+		return spanCap
+	}
+	return n
+}
+
+func (p *htmlTableParser) startRow() {
+	p.inRow = true
+	p.cur = nil
+	p.col = 0
+	p.fillOccupied()
+}
+
+// fillOccupied materializes the columns at the cursor that are covered by an
+// earlier row's rowspan, replicating the spanning value.
+func (p *htmlTableParser) fillOccupied() {
+	for p.col < len(p.slots) && p.slots[p.col].left > 0 {
+		p.cur = append(p.cur, p.slots[p.col].val)
+		p.slots[p.col].left--
+		p.col++
+		p.cells++
+	}
+}
+
+// closeCell finalizes the open cell, expanding its column span and
+// registering its row span.
+func (p *htmlTableParser) closeCell() {
+	if !p.inCell {
+		return
+	}
+	p.inCell = false
+	text := collapseSpace(html.UnescapeString(p.cellBuf.String()))
+	p.cellBuf.Reset()
+	cs, rs := p.cellColspan, p.cellRowspan
+	if p.cells > maxHTMLCells {
+		// Grid bound exceeded: drop the cell but keep parsing so the
+		// error surfaces as a (bounded) malformed table, not an OOM.
+		return
+	}
+	for k := 0; k < cs; k++ {
+		v := ""
+		if k == 0 {
+			v = text
+		}
+		p.cur = append(p.cur, v)
+		p.cells++
+		if rs > 1 {
+			for len(p.slots) <= p.col {
+				p.slots = append(p.slots, rowspanSlot{})
+			}
+			p.slots[p.col] = rowspanSlot{val: v, left: rs - 1}
+		}
+		p.col++
+		p.fillOccupied()
+	}
+}
+
+func (p *htmlTableParser) closeRow() {
+	if !p.inRow {
+		return
+	}
+	p.fillOccupied()
+	// Columns to the right of the last cell may still be rowspan-occupied.
+	for c := p.col; c < len(p.slots); c++ {
+		if p.slots[c].left > 0 {
+			for p.col <= c {
+				v := ""
+				if p.col == c {
+					v = p.slots[c].val
+					p.slots[c].left--
+				}
+				p.cur = append(p.cur, v)
+				p.col++
+				p.cells++
+			}
+		}
+	}
+	p.inRow = false
+	if len(p.cur) > 0 {
+		p.rows = append(p.rows, p.cur)
+	}
+	p.cur = nil
+	p.col = 0
+}
+
+// collapseSpace trims and collapses all unicode whitespace (including NBSP)
+// to single spaces — HTML whitespace is presentational.
+func collapseSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,193 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func readHTML(t *testing.T, src string) *Table {
+	t.Helper()
+	tbl, err := ReadHTML(strings.NewReader(src), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestReadHTMLBasic(t *testing.T) {
+	tbl := readHTML(t, `
+		<html><body>
+		<table>
+		  <tr><th>Name</th><th>Address</th></tr>
+		  <tr><td>Chez Panisse</td><td>1517 Shattuck Avenue</td></tr>
+		  <tr><td>Louvre</td><td>99 Rivoli Street</td></tr>
+		</table>
+		</body></html>`)
+	if tbl.NumRows() != 2 || tbl.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d, want 2x2", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Columns[0].Header != "Name" || tbl.Columns[1].Header != "Address" {
+		t.Errorf("headers = %q, %q", tbl.Columns[0].Header, tbl.Columns[1].Header)
+	}
+	if got := tbl.Cell(1, 1); got != "Chez Panisse" {
+		t.Errorf("Cell(1,1) = %q", got)
+	}
+	if tbl.Columns[1].Type != Location {
+		t.Errorf("address column type = %v, want Location", tbl.Columns[1].Type)
+	}
+}
+
+func TestReadHTMLImpliedClosesAndCase(t *testing.T) {
+	// No </td>, no </tr>, mixed-case tags, thead/tbody wrappers.
+	tbl := readHTML(t, `<TABLE><thead><TR><TD>a<TD>b</thead><tbody><tr><td>1<td>2<tr><td>3<td>4</tbody></TABLE>`)
+	if tbl.NumRows() != 2 || tbl.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d, want 2x2", tbl.NumRows(), tbl.NumCols())
+	}
+	if got := tbl.Cell(2, 2); got != "4" {
+		t.Errorf("Cell(2,2) = %q", got)
+	}
+}
+
+func TestReadHTMLEntitiesAndWhitespace(t *testing.T) {
+	tbl := readHTML(t, "<table><tr><td>h</td></tr><tr><td>Caf&eacute;&nbsp;&amp;\n\t Bar</td></tr></table>")
+	if got := tbl.Cell(1, 1); got != "Café & Bar" {
+		t.Errorf("cell = %q, want %q", got, "Café & Bar")
+	}
+}
+
+func TestReadHTMLColspan(t *testing.T) {
+	// Colspan puts the value in the leading column and empties in the rest.
+	tbl := readHTML(t, `<table>
+		<tr><td>a</td><td>b</td><td>c</td></tr>
+		<tr><td colspan="2">wide</td><td>x</td></tr>
+	</table>`)
+	if tbl.NumCols() != 3 {
+		t.Fatalf("cols = %d, want 3", tbl.NumCols())
+	}
+	if tbl.Cell(1, 1) != "wide" || tbl.Cell(1, 2) != "" || tbl.Cell(1, 3) != "x" {
+		t.Errorf("row = %v", tbl.Rows[0])
+	}
+}
+
+func TestReadHTMLRowspan(t *testing.T) {
+	// Rowspan replicates the value into each spanned row.
+	tbl := readHTML(t, `<table>
+		<tr><td>city</td><td>name</td></tr>
+		<tr><td rowspan=3>Springfield</td><td>a</td></tr>
+		<tr><td>b</td></tr>
+		<tr><td>c</td></tr>
+		<tr><td>Shelbyville</td><td>d</td></tr>
+	</table>`)
+	if tbl.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4", tbl.NumRows())
+	}
+	for i := 1; i <= 3; i++ {
+		if got := tbl.Cell(i, 1); got != "Springfield" {
+			t.Errorf("Cell(%d,1) = %q, want Springfield", i, got)
+		}
+	}
+	if tbl.Cell(4, 1) != "Shelbyville" || tbl.Cell(3, 2) != "c" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestReadHTMLNestedTableFlattens(t *testing.T) {
+	tbl := readHTML(t, `<table>
+		<tr><td>h1</td><td>h2</td></tr>
+		<tr><td><table><tr><td>inner1</td><td>inner2</td></tr></table></td><td>plain</td></tr>
+	</table>`)
+	if tbl.NumRows() != 1 || tbl.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d, want 1x2", tbl.NumRows(), tbl.NumCols())
+	}
+	if got := tbl.Cell(1, 1); got != "inner1 inner2" {
+		t.Errorf("nested cell = %q, want %q", got, "inner1 inner2")
+	}
+}
+
+func TestReadHTMLFirstTableWins(t *testing.T) {
+	tbl := readHTML(t, `<table><tr><td>h</td></tr><tr><td>first</td></tr></table>
+		<table><tr><td>h</td></tr><tr><td>second</td></tr></table>`)
+	if got := tbl.Cell(1, 1); got != "first" {
+		t.Errorf("cell = %q, want first", got)
+	}
+}
+
+func TestReadHTMLSkipsScriptStyleComments(t *testing.T) {
+	tbl := readHTML(t, `<table>
+		<!-- <tr><td>ghost</td></tr> -->
+		<tr><td>h</td></tr>
+		<tr><td><script>var x = "<td>no</td>";</script>real<style>td { color: red }</style></td></tr>
+	</table>`)
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", tbl.NumRows())
+	}
+	if got := tbl.Cell(1, 1); got != "real" {
+		t.Errorf("cell = %q, want real", got)
+	}
+}
+
+func TestReadHTMLRaggedPadded(t *testing.T) {
+	tbl := readHTML(t, `<table>
+		<tr><td>a</td></tr>
+		<tr><td>1</td><td>2</td><td>3</td></tr>
+	</table>`)
+	if tbl.NumCols() != 3 {
+		t.Fatalf("cols = %d, want 3", tbl.NumCols())
+	}
+	if tbl.Cell(1, 3) != "3" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestReadHTMLBreakTagsSpace(t *testing.T) {
+	tbl := readHTML(t, `<table><tr><td>h</td></tr><tr><td>1517<br>Shattuck</td></tr></table>`)
+	if got := tbl.Cell(1, 1); got != "1517 Shattuck" {
+		t.Errorf("cell = %q, want %q", got, "1517 Shattuck")
+	}
+}
+
+func TestReadHTMLUnterminated(t *testing.T) {
+	// Truncated document: the open row and cell still flush.
+	tbl := readHTML(t, `<table><tr><td>h</td></tr><tr><td>tail`)
+	if tbl.NumRows() != 1 || tbl.Cell(1, 1) != "tail" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestReadHTMLErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"<p>no table here</p>",
+		"<table></table>",
+		"<table><tr></tr></table>",
+	} {
+		if _, err := ReadHTML(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("ReadHTML(%q) accepted", src)
+		}
+	}
+}
+
+func TestSpanAttr(t *testing.T) {
+	cases := []struct {
+		attrs string
+		name  string
+		want  int
+	}{
+		{` colspan="2"`, "colspan", 2},
+		{` colspan=3`, "colspan", 3},
+		{` COLSPAN='4'`, "colspan", 4},
+		{` rowspan = 5 class=x`, "rowspan", 5},
+		{` class=x`, "colspan", 1},
+		{` colspan="abc"`, "colspan", 1},
+		{` colspan="0"`, "colspan", 1},
+		{` colspan="-3"`, "colspan", 1},
+		{` colspan="999999"`, "colspan", spanCap},
+		{` data-colspan="7"`, "colspan", 1}, // not a standalone attribute
+		{` colspan`, "colspan", 1},
+	}
+	for _, c := range cases {
+		if got := spanAttr(c.attrs, c.name); got != c.want {
+			t.Errorf("spanAttr(%q, %q) = %d, want %d", c.attrs, c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/textproc"
+)
+
+// Normalize repairs the messy-input artifacts that survive the tolerant
+// readers (ReadCSV, ReadHTML) and returns a clean logical table:
+//
+//   - cell and header text is composed to NFC and has its whitespace
+//     collapsed, so NFD ("e" + combining acute) and NFC ("é") spellings of
+//     the same value annotate identically,
+//   - rows whose every cell is empty are dropped (blank separator rows),
+//   - columns with an empty header and no data are dropped (artifacts of
+//     trailing delimiters and colspan padding),
+//   - remaining empty headers are filled with "column_N" (1-based position
+//     in the normalized table),
+//   - duplicate headers are deduplicated case-insensitively with a " (k)"
+//     suffix,
+//   - column types are re-inferred from the cleaned data.
+//
+// The input is not mutated, and the transform is idempotent: normalizing a
+// normalized table returns an equal table. A table that loses every column
+// is an error — there is nothing left to annotate.
+func Normalize(t *Table) (*Table, error) {
+	width := len(t.Columns)
+	headers := make([]string, width)
+	for j, c := range t.Columns {
+		headers[j] = cleanCell(c.Header)
+	}
+	var rows [][]string
+	for _, row := range t.Rows {
+		cells := make([]string, width)
+		empty := true
+		for j := 0; j < width && j < len(row); j++ {
+			cells[j] = cleanCell(row[j])
+			if cells[j] != "" {
+				empty = false
+			}
+		}
+		if !empty {
+			rows = append(rows, cells)
+		}
+	}
+
+	// A column is kept if it has a header or any data.
+	keep := make([]int, 0, width)
+	for j := 0; j < width; j++ {
+		if headers[j] != "" {
+			keep = append(keep, j)
+			continue
+		}
+		for _, row := range rows {
+			if row[j] != "" {
+				keep = append(keep, j)
+				break
+			}
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("table %q: no columns survive normalization", t.Name)
+	}
+
+	out := &Table{Name: t.Name}
+	seen := make(map[string]bool, len(keep))
+	for nj, j := range keep {
+		h := headers[j]
+		if h == "" {
+			h = fmt.Sprintf("column_%d", nj+1)
+		}
+		if key := strings.ToLower(h); seen[key] {
+			base := h
+			for k := 2; ; k++ {
+				h = fmt.Sprintf("%s (%d)", base, k)
+				if !seen[strings.ToLower(h)] {
+					break
+				}
+			}
+		}
+		seen[strings.ToLower(h)] = true
+		out.Columns = append(out.Columns, Column{Header: h})
+	}
+	for _, row := range rows {
+		cells := make([]string, len(keep))
+		for nj, j := range keep {
+			cells[nj] = row[j]
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	for j := range out.Columns {
+		out.Columns[j].Type = InferColumnType(out.ColumnValues(j + 1))
+	}
+	return out, nil
+}
+
+// cleanCell is the per-cell text normalization: NFC composition plus
+// whitespace collapse (strings.Fields also absorbs NBSP and tabs).
+func cleanCell(s string) string {
+	return strings.Join(strings.Fields(textproc.ComposeNFC(s)), " ")
+}

@@ -1,0 +1,194 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeNFCAndWhitespace(t *testing.T) {
+	in := New("t", Column{Header: "Name"}, Column{Header: "City"})
+	// NFD: "Musée" spelled with a combining acute accent.
+	if err := in.AppendRow("Musée  du\tLouvre", " Paris "); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Cell(1, 1); got != "Musée du Louvre" {
+		t.Errorf("cell = %q, want %q", got, "Musée du Louvre")
+	}
+	if got := out.Cell(1, 2); got != "Paris" {
+		t.Errorf("cell = %q, want %q", got, "Paris")
+	}
+	// Input not mutated.
+	if in.Cell(1, 1) != "Musée  du\tLouvre" {
+		t.Error("Normalize mutated its input")
+	}
+}
+
+func TestNormalizeDropsEmptyRowsAndColumns(t *testing.T) {
+	in := New("t", Column{Header: "a"}, Column{Header: ""}, Column{Header: "b"})
+	for _, row := range [][]string{
+		{"1", "", "2"},
+		{"", "", ""}, // blank separator row
+		{"3", "", "4"},
+	} {
+		if err := in.AppendRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 || out.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d, want 2x2", out.NumRows(), out.NumCols())
+	}
+	if out.Cell(2, 2) != "4" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestNormalizeKeepsEmptyHeaderWithData(t *testing.T) {
+	in := New("t", Column{Header: "a"}, Column{Header: ""})
+	if err := in.AppendRow("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCols() != 2 {
+		t.Fatalf("cols = %d, want 2", out.NumCols())
+	}
+	if got := out.Columns[1].Header; got != "column_2" {
+		t.Errorf("filled header = %q, want column_2", got)
+	}
+}
+
+func TestNormalizeDedupesHeaders(t *testing.T) {
+	in := New("t", Column{Header: "Name"}, Column{Header: "name"}, Column{Header: "NAME"})
+	if err := in.AppendRow("a", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{out.Columns[0].Header, out.Columns[1].Header, out.Columns[2].Header}
+	want := []string{"Name", "name (2)", "NAME (3)"}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Errorf("header[%d] = %q, want %q", j, got[j], want[j])
+		}
+	}
+}
+
+func TestNormalizeReinfersTypes(t *testing.T) {
+	in := New("t", Column{Header: "n", Type: Text})
+	for _, v := range []string{"1", "2", "3"} {
+		if err := in.AppendRow(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Columns[0].Type != Number {
+		t.Errorf("type = %v, want Number", out.Columns[0].Type)
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	in := New("t", Column{Header: "Name"}, Column{Header: "name"}, Column{Header: ""})
+	for _, row := range [][]string{
+		{"Café", "x", "1"},
+		{"", "", ""},
+	} {
+		if err := in.AppendRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	once, err := Normalize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Normalize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(once.Columns) != len(twice.Columns) || len(once.Rows) != len(twice.Rows) {
+		t.Fatalf("dims changed on second pass")
+	}
+	for j := range once.Columns {
+		if once.Columns[j] != twice.Columns[j] {
+			t.Errorf("column %d changed: %v vs %v", j, once.Columns[j], twice.Columns[j])
+		}
+	}
+	for i := range once.Rows {
+		for j := range once.Rows[i] {
+			if once.Rows[i][j] != twice.Rows[i][j] {
+				t.Errorf("cell (%d,%d) changed", i, j)
+			}
+		}
+	}
+}
+
+func TestNormalizeAllEmptyErrors(t *testing.T) {
+	in := New("t", Column{Header: ""}, Column{Header: ""})
+	if err := in.AppendRow("", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(in); err == nil {
+		t.Error("fully empty table normalized without error")
+	}
+}
+
+func TestNormalizeMessyHTMLEqualsCleanCSV(t *testing.T) {
+	// The tentpole invariant in miniature: a messy HTML rendering of a
+	// table normalizes to the same logical table as its clean CSV twin.
+	clean := "Name,Address\nCafé Central,12 Oak Street\nMusée d'Orsay,5 Rue de Lille\n"
+	messy := `<table>
+		<TR><TH>Name</TH><TH>Address</TH><TH></TH></TR>
+		<tr><td>Cafe&#769; Central</td><td>12  Oak&nbsp;Street</td><td></td></tr>
+		<tr><td></td><td></td><td></td></tr>
+		<tr><td>Muse&eacute;e d&#39;Orsay</td><td>5 Rue de Lille</td></tr>
+	</table>`
+	// The NFD combining accent above is deliberate; "Muse&eacute;e" is not
+	// — build the messy cell from the entity for é directly.
+	messy = strings.Replace(messy, "Muse&eacute;e", "Mus&eacute;e", 1)
+
+	ct, err := ReadCSV(strings.NewReader(clean), "twins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := Normalize(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := ReadHTML(strings.NewReader(messy), "twins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := Normalize(mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cn.Columns) != len(mn.Columns) || len(cn.Rows) != len(mn.Rows) {
+		t.Fatalf("dims differ: csv %dx%d html %dx%d", cn.NumRows(), cn.NumCols(), mn.NumRows(), mn.NumCols())
+	}
+	for j := range cn.Columns {
+		if cn.Columns[j] != mn.Columns[j] {
+			t.Errorf("column %d: csv %v html %v", j, cn.Columns[j], mn.Columns[j])
+		}
+	}
+	for i := range cn.Rows {
+		for j := range cn.Rows[i] {
+			if cn.Rows[i][j] != mn.Rows[i][j] {
+				t.Errorf("cell (%d,%d): csv %q html %q", i, j, cn.Rows[i][j], mn.Rows[i][j])
+			}
+		}
+	}
+}

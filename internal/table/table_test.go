@@ -111,9 +111,26 @@ func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
 		t.Error("empty CSV accepted")
 	}
-	// Ragged CSV rejected with a helpful error.
-	if _, err := ReadCSV(strings.NewReader("a,b\n1\n"), "x"); err == nil {
-		t.Error("ragged CSV accepted")
+}
+
+func TestReadCSVRagged(t *testing.T) {
+	// Short rows are padded to the widest record; columns beyond the
+	// header's width get empty headers for Normalize to repair.
+	tbl, err := ReadCSV(strings.NewReader("a,b\n1\n2,3,4\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumCols() != 3 || tbl.NumRows() != 2 {
+		t.Fatalf("dims = %dx%d, want 2x3", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Columns[2].Header != "" {
+		t.Errorf("extra column header = %q, want empty", tbl.Columns[2].Header)
+	}
+	if got := tbl.Cell(1, 2); got != "" {
+		t.Errorf("padded cell = %q, want empty", got)
+	}
+	if got := tbl.Cell(2, 3); got != "4" {
+		t.Errorf("Cell(2,3) = %q, want 4", got)
 	}
 }
 

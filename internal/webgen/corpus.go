@@ -25,6 +25,11 @@ type Config struct {
 	PagesPerConfuser int
 	// NoiseDocs is the number of unrelated background pages (default 400).
 	NoiseDocs int
+	// ConfuserBoost adds extra pages per confuser sense on top of
+	// PagesPerConfuser. The scenario matrix's adversarial worlds use it to
+	// let alternate senses drown entity pages in the top-k; 0 (the
+	// default) leaves the corpus byte-identical to the unboosted one.
+	ConfuserBoost int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,7 +95,7 @@ func BuildCorpus(w *world.World, cfg Config) []search.Document {
 		if vocab == nil {
 			vocab = reviewVocab
 		}
-		for p := 0; p < cfg.PagesPerConfuser; p++ {
+		for p := 0; p < cfg.PagesPerConfuser+cfg.ConfuserBoost; p++ {
 			add(c.Name+" — "+c.Kind,
 				themedBody(c.Name, vocab, nil, rng, 60))
 		}

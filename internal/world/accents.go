@@ -1,0 +1,26 @@
+package world
+
+import "strings"
+
+// accentMap assigns each plain vowel a fixed accented form. The mapping is a
+// function (not a random draw) so the same name always accents the same way:
+// AccentName is deterministic and idempotent, and the corpus generator, the
+// dataset builder and the gold truth all agree on the accented spelling.
+var accentMap = map[rune]rune{
+	'a': 'à', 'e': 'é', 'i': 'î', 'o': 'ö', 'u': 'ü',
+	'A': 'À', 'E': 'É', 'I': 'Î', 'O': 'Ö', 'U': 'Ü',
+}
+
+// AccentName returns name with every plain vowel replaced by a fixed
+// accented counterpart ("Melisse" → "Mélîssé"), the DiacriticRate knob's way
+// of manufacturing diacritic-rich entity and place names. The output is NFC;
+// the messy-ingestion encoders decompose it to NFD to stress the
+// normalization path.
+func AccentName(name string) string {
+	return strings.Map(func(r rune) rune {
+		if a, ok := accentMap[r]; ok {
+			return a
+		}
+		return r
+	}, name)
+}

@@ -1,0 +1,116 @@
+package world
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAccentName(t *testing.T) {
+	cases := map[string]string{
+		"Melisse":    "Mélîssé",
+		"The Crown":  "Thé Cröwn",
+		"":           "",
+		"Mélîssé":    "Mélîssé", // idempotent
+		"XYZ 42":     "XYZ 42",
+		"University": "Ünîvérsîty",
+	}
+	for in, want := range cases {
+		if got := AccentName(in); got != want {
+			t.Errorf("AccentName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestKnobsOffIdentical locks the critical invariant behind every existing
+// golden: a Config with the adversarial knobs zeroed generates a universe
+// identical to the pre-knob generator — same entities, names, rng stream,
+// gazetteer (GazScale 0 and 1 are both the standard gazetteer).
+func TestKnobsOffIdentical(t *testing.T) {
+	base := Generate(Config{Seed: 7, KBPerType: 12, WikiPerType: 3})
+	same := Generate(Config{Seed: 7, KBPerType: 12, WikiPerType: 3, GazScale: 1})
+	if len(base.Entities) != len(same.Entities) {
+		t.Fatalf("entity counts differ: %d vs %d", len(base.Entities), len(same.Entities))
+	}
+	for i := range base.Entities {
+		a, b := base.Entities[i], same.Entities[i]
+		if a.Name != b.Name || a.Type != b.Type || a.City != b.City || a.Street != b.Street || a.Phone != b.Phone {
+			t.Fatalf("entity %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(base.Confusers) != len(same.Confusers) {
+		t.Fatalf("confuser counts differ")
+	}
+}
+
+func TestPOIHomonymRate(t *testing.T) {
+	w := Generate(Config{Seed: 7, KBPerType: 30, WikiPerType: 2, POIHomonymRate: 1.0})
+	pool := map[string]bool{}
+	for _, n := range homonymNames {
+		pool[strings.ToLower(n)] = true
+	}
+	poi, pooled := 0, 0
+	for _, e := range w.Entities {
+		if Category(e.Type) != "poi" {
+			continue
+		}
+		poi++
+		// Retry exhaustion appends a city qualifier, so accept the pooled
+		// name as an exact match or a prefix.
+		name := strings.ToLower(e.Name)
+		for p := range pool {
+			if name == p || strings.HasPrefix(name, p+" ") {
+				pooled++
+				break
+			}
+		}
+	}
+	if poi == 0 {
+		t.Fatal("no POI entities generated")
+	}
+	if pooled < poi*9/10 {
+		t.Errorf("only %d/%d POI names drawn from the homonym pool at rate 1.0", pooled, poi)
+	}
+	// Cross-type homonyms must actually exist — that is the knob's point.
+	collisions := 0
+	for _, n := range homonymNames {
+		types := map[Type]bool{}
+		for _, e := range w.ByName(n) {
+			types[e.Type] = true
+		}
+		if len(types) > 1 {
+			collisions++
+		}
+	}
+	if collisions == 0 {
+		t.Error("homonym pool produced no cross-type name collisions")
+	}
+}
+
+func TestDiacriticRate(t *testing.T) {
+	w := Generate(Config{Seed: 7, KBPerType: 30, WikiPerType: 2, DiacriticRate: 1.0})
+	poi, accented := 0, 0
+	for _, e := range w.Entities {
+		if Category(e.Type) != "poi" {
+			continue
+		}
+		poi++
+		if e.Name == AccentName(e.Name) && strings.ContainsAny(e.Name, "àéîöü") {
+			accented++
+		}
+	}
+	if poi == 0 {
+		t.Fatal("no POI entities generated")
+	}
+	if accented < poi/2 {
+		t.Errorf("only %d/%d POI names accented at rate 1.0", accented, poi)
+	}
+}
+
+func TestGazScaleGrowsGazetteer(t *testing.T) {
+	small := Generate(Config{Seed: 7, KBPerType: 5, WikiPerType: 1})
+	big := Generate(Config{Seed: 7, KBPerType: 5, WikiPerType: 1, GazScale: 3})
+	if len(big.Gaz.Cities()) <= len(small.Gaz.Cities()) {
+		t.Errorf("GazScale 3 cities = %d, not larger than base %d",
+			len(big.Gaz.Cities()), len(small.Gaz.Cities()))
+	}
+}

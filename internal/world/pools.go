@@ -88,6 +88,17 @@ var mineWords = []string{
 	"Diamond", "Emerald",
 }
 
+// homonymNames is the pooled list the POIHomonymRate knob draws from: a
+// dozen short names shared across every POI type, so a homonym-dense world
+// is full of tables where "Melisse" may be a restaurant, a hotel or a
+// museum and only context can tell. Kept deliberately tiny — density is the
+// point.
+var homonymNames = []string{
+	"Melisse", "The Crown", "Beacon", "Harbor House", "The Anchor",
+	"Saffron", "Lantern", "Meridian", "The Old Mill", "Juniper",
+	"Compass Rose", "Verbena",
+}
+
 // confuserKinds are the non-Γ senses an ambiguous name may also denote; the
 // paper's running example is "Melisse", both a restaurant and a French jazz
 // label. Web pages for these senses use their own vocabulary, so snippets

@@ -91,6 +91,27 @@ type Config struct {
 	WikiPerType int
 	// WikiKBCoverage is the KB coverage of Wiki entities. Default 0.85.
 	WikiKBCoverage float64
+
+	// Adversarial knobs for the scenario matrix. All default to off, and
+	// when off they consume no rng draws, so the generated universe —
+	// and every golden derived from it — is byte-identical to the
+	// pre-knob generator.
+
+	// GazScale scales the synthetic gazetteer (see
+	// gazetteer.SyntheticScale): larger scales draw street and city names
+	// from shared pools, so homonymous locations become common and the
+	// disambiguation graph has to work harder. 0 or 1 = the standard
+	// gazetteer.
+	GazScale int
+	// POIHomonymRate is the probability that a POI entity draws its name
+	// from a small pooled list instead of its type grammar, manufacturing
+	// cross-type homonyms ("Melisse" the restaurant and "Melisse" the
+	// hotel). 0 = off.
+	POIHomonymRate float64
+	// DiacriticRate is the probability that a POI entity's name is
+	// accented (AccentName), exercising the unicode normalization path
+	// end to end. 0 = off.
+	DiacriticRate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -131,7 +152,11 @@ type World struct {
 func Generate(cfg Config) *World {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	gaz := gazetteer.Synthetic(cfg.Seed ^ 0x6761_7a65)
+	gazScale := cfg.GazScale
+	if gazScale < 1 {
+		gazScale = 1
+	}
+	gaz := gazetteer.SyntheticScale(cfg.Seed^0x6761_7a65, gazScale)
 	w := &World{
 		Config: cfg,
 		Gaz:    gaz,
@@ -173,12 +198,32 @@ func Generate(cfg Config) *World {
 				e.StreetNumber = 1 + rng.Intn(999)
 			}
 		}
+		// Adversarial knobs decide once per entity (before the retry
+		// loop, so retries don't consume extra knob draws).
+		isPOI := Category(t) == "poi"
+		homonym := cfg.POIHomonymRate > 0 && isPOI && rng.Float64() < cfg.POIHomonymRate
+		accent := cfg.DiacriticRate > 0 && isPOI && rng.Float64() < cfg.DiacriticRate
 		// Unique name within the universe (retry a few times, then
 		// suffix with a locality qualifier).
 		for attempt := 0; ; attempt++ {
 			name := ng.Name(t, cityName)
+			if homonym {
+				// Pooled names collide across types on purpose; the
+				// uniqueness key below still forbids same-type dupes.
+				name = homonymNames[rng.Intn(len(homonymNames))]
+			}
 			if attempt > 8 {
 				name = name + " " + cityName
+			}
+			if attempt > 16 {
+				// Pooled homonym names can exhaust every qualified
+				// variant; a numeric suffix guarantees termination
+				// (unreachable when the knobs are off — grammar names
+				// never run that dry).
+				name = fmt.Sprintf("%s %d", name, attempt-16)
+			}
+			if accent {
+				name = AccentName(name)
 			}
 			key := strings.ToLower(name) + "|" + string(t)
 			if !used[key] {
