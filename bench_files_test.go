@@ -1,8 +1,9 @@
 package repro
 
 // Guard rails for the standing benchmark trajectory files: BENCH_search.json
-// (cmd/benchsearch), BENCH_annotate.json (cmd/benchannotate) and
-// BENCH_geo.json (cmd/benchgeo) must always parse, keep at least their
+// (cmd/benchsearch), BENCH_annotate.json (cmd/benchannotate),
+// BENCH_geo.json (cmd/benchgeo) and BENCH_boot.json (cmd/benchboot) must
+// always parse, keep at least their
 // seeded history, and append chronologically — a rebase or hand-edit that
 // reorders or truncates the history should fail CI, not silently rewrite
 // the project's performance record.
@@ -67,4 +68,7 @@ func TestBenchTrajectoryFiles(t *testing.T) {
 	// The geo trajectory must keep both seeded runs: the all-pairs
 	// baseline and the sparse rewrite it is compared against.
 	checkTrajectory(t, "BENCH_geo.json", 2)
+	// The boot trajectory must keep the replay-on-load baseline and the
+	// direct-image load run recorded against it.
+	checkTrajectory(t, "BENCH_boot.json", 2)
 }

@@ -1,0 +1,153 @@
+// Command benchboot measures the cold-start trajectory the snapshot
+// subsystem exists for: how long a replica takes to become ready by building
+// the world from scratch versus loading a prebuilt TSNP bundle. Each
+// invocation appends one labelled run to BENCH_boot.json recording both
+// times, the bundle size and the speedup; the ROADMAP's fleet story needs
+// the load path to stay far ahead of the rebuild path as the world grows.
+//
+// Usage:
+//
+//	benchboot -label "PR8 snapshot boot" [-out BENCH_boot.json]
+//	          [-seed 42] [-repeat 3]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+)
+
+// run is one labelled benchmark invocation: best-of-repeat times for both
+// boot paths at the canonical small scale.
+type run struct {
+	Label         string  `json:"label"`
+	RecordedAt    string  `json:"recorded_at"` // RFC 3339; CI checks chronology
+	Seed          int64   `json:"seed"`
+	Docs          int     `json:"docs"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	BuildMs       float64 `json:"build_ms"`
+	LoadMs        float64 `json:"load_ms"`
+	Speedup       float64 `json:"speedup_build_over_load"`
+}
+
+type trajectory struct {
+	Description string `json:"description"`
+	Runs        []run  `json:"runs"`
+	// LatestSpeedup mirrors the newest run's speedup for quick reading.
+	LatestSpeedup float64 `json:"latest_speedup_build_over_load"`
+}
+
+func main() {
+	var (
+		label  = flag.String("label", "", "label for this run (required)")
+		out    = flag.String("out", "BENCH_boot.json", "trajectory file to append to")
+		seed   = flag.Int64("seed", 42, "system seed")
+		repeat = flag.Int("repeat", 3, "repetitions per path (best is kept)")
+	)
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchboot: -label is required")
+		os.Exit(2)
+	}
+	if err := benchmark(*label, *out, *seed, *repeat, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchboot:", err)
+		os.Exit(1)
+	}
+}
+
+func benchmark(label, out string, seed int64, repeat int, stdout io.Writer) error {
+	// Parse any existing trajectory before paying for a build so a bad
+	// -out path fails fast instead of after seconds of benchmarking.
+	traj := trajectory{
+		Description: "cold-start cost at the canonical small scale (seed 42): full world build vs TSNP snapshot load, best of repeats; runs append chronologically",
+	}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			return fmt.Errorf("%s exists but is not a trajectory file: %w", out, err)
+		}
+	}
+
+	ctx := context.Background()
+	opts := []repro.Option{repro.WithSeed(seed)}
+
+	// Build path: full world construction, best of repeat.
+	var svc *repro.Service
+	best := time.Duration(1<<62 - 1)
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		s, err := repro.New(ctx, opts...)
+		if err != nil {
+			return err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		svc = s
+	}
+	buildDur := best
+
+	dir, err := os.MkdirTemp("", "benchboot")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "world.tsnp")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	size, err := svc.WriteSnapshot(f, "cmd/benchboot")
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+
+	// Load path: boot from the bundle, best of repeat.
+	best = time.Duration(1<<62 - 1)
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		if _, err := repro.New(ctx, repro.WithSnapshot(path)); err != nil {
+			return err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	loadDur := best
+
+	r := run{
+		Label:         label,
+		RecordedAt:    time.Now().UTC().Format(time.RFC3339),
+		Seed:          seed,
+		Docs:          svc.Engine().IndexSize(),
+		SnapshotBytes: size,
+		BuildMs:       float64(buildDur) / float64(time.Millisecond),
+		LoadMs:        float64(loadDur) / float64(time.Millisecond),
+	}
+	if r.LoadMs > 0 {
+		r.Speedup = r.BuildMs / r.LoadMs
+	}
+
+	traj.Runs = append(traj.Runs, r)
+	traj.LatestSpeedup = r.Speedup
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: build %.0fms, snapshot load %.0fms (%.1fx faster, %d-byte bundle, %d docs)\n",
+		label, r.BuildMs, r.LoadMs, r.Speedup, r.SnapshotBytes, r.Docs)
+	return nil
+}

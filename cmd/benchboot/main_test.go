@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchmarkAppendsTrajectory runs the real harness once (one full world
+// build plus one snapshot load at repeat=1) and checks the trajectory file
+// it writes: parseable, labelled, and recording a load path faster than the
+// build path. This is the expensive test of the package (~seconds).
+func TestBenchmarkAppendsTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full world build skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "boot.json")
+	var buf bytes.Buffer
+	if err := benchmark("test-run", out, 42, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test-run: build ") {
+		t.Errorf("stdout = %q", buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatalf("trajectory does not parse: %v", err)
+	}
+	if len(traj.Runs) != 1 {
+		t.Fatalf("%d runs recorded, want 1", len(traj.Runs))
+	}
+	r := traj.Runs[0]
+	if r.Label != "test-run" || r.Seed != 42 || r.Docs == 0 || r.SnapshotBytes == 0 {
+		t.Errorf("run = %+v", r)
+	}
+	if r.BuildMs <= 0 || r.LoadMs <= 0 {
+		t.Errorf("non-positive timings: %+v", r)
+	}
+	// The snapshot exists to beat the rebuild; even a single unwarmed
+	// repetition must load faster than it builds.
+	if r.Speedup <= 1 {
+		t.Errorf("speedup %.2f, want > 1", r.Speedup)
+	}
+	if traj.LatestSpeedup != r.Speedup {
+		t.Errorf("latest_speedup %v != run speedup %v", traj.LatestSpeedup, r.Speedup)
+	}
+
+	// A second run must append, not truncate.
+	if err := benchmark("test-run-2", out, 42, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 2 || traj.Runs[1].Label != "test-run-2" {
+		t.Fatalf("after second run: %+v", traj.Runs)
+	}
+}
+
+// TestBenchmarkRejectsNonTrajectoryFile: a corrupt -out file must be
+// refused before any benchmarking work happens, so this test is cheap.
+func TestBenchmarkRejectsNonTrajectoryFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "boot.json")
+	if err := os.WriteFile(out, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err := benchmark("clobber", out, 42, 1, &buf)
+	if err == nil || !strings.Contains(err.Error(), "not a trajectory file") {
+		t.Errorf("err = %v, want trajectory-file refusal", err)
+	}
+}

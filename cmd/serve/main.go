@@ -4,17 +4,28 @@
 //	POST /v1/annotate        annotate one table
 //	POST /v1/annotate:batch  annotate several tables over the worker pool
 //	POST /v1/geocode         geocode + disambiguate one table's Location columns
-//	GET  /healthz            liveness
-//	GET  /statz              serving, cache and geo statistics
+//	GET  /healthz            readiness (503 "reloading" during a hot reload)
+//	GET  /statz              serving, snapshot, cache and geo statistics
 //
 // Usage:
 //
 //	serve [-addr :8080] [-seed 42] [-scale small|full] [-classifier svm|bayes]
 //	      [-parallel 8] [-share-cache] [-cache-max-entries 0] [-cache-ttl 0]
-//	      [-max-inflight 64] [-max-cells 100000]
+//	      [-max-inflight 64] [-max-cells 100000] [-snapshot-file world.tsnp]
 //
-// The server builds the full system (corpus, index, classifiers) before it
-// starts listening, so /healthz answering 200 means the service is ready.
+// By default the server builds the full system (corpus, index, classifiers)
+// before it starts listening; with -snapshot-file it boots from a prebuilt
+// TSNP bundle (written by cmd/snapshot) instead, turning the cold start into
+// a sequential IO-bound load. Either way, /healthz answering 200 means the
+// service is ready.
+//
+// With -snapshot-file, SIGHUP hot-reloads the bundle: the new file is loaded
+// in the background while the old world keeps serving, then swapped in
+// atomically between requests — zero dropped requests, with the shared query
+// cache invalidated so no stale verdict survives the swap. /healthz reports
+// 503 "reloading" for the load window (so balancers drain politely) and
+// /statz counts completed swaps in snapshot.reload_epoch.
+//
 // SIGINT/SIGTERM drain in-flight requests and shut down gracefully.
 // cmd/loadgen generates load against a running server.
 package main
@@ -36,39 +47,59 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		seed        = flag.Int64("seed", 42, "system seed")
-		scale       = flag.String("scale", repro.ScaleSmall, "system scale: small | full")
-		classifier  = flag.String("classifier", repro.ClassifierSVM, "snippet classifier: svm | bayes")
-		parallel    = flag.Int("parallel", 8, "annotation parallelism (cell queries and batch tables)")
-		shards      = flag.Int("shards", 0, "search index shards (0 = one per CPU, capped at 8; results identical at any count)")
-		shareCache  = flag.Bool("share-cache", true, "share query verdicts across requests (cross-table cache)")
-		cacheMax    = flag.Int("cache-max-entries", 0, "cap the shared cache's entries, evicting oldest first (0 = unbounded)")
-		cacheTTL    = flag.Duration("cache-ttl", 0, "expire shared-cache verdicts after this long (0 = never)")
-		maxInflight = flag.Int("max-inflight", 64, "admission control: max concurrently-served annotation requests")
-		maxCells    = flag.Int("max-cells", 100000, "reject tables larger than this many cells")
-		maxBatch    = flag.Int("max-batch", 32, "max requests per /v1/annotate:batch call")
+		addr         = flag.String("addr", ":8080", "listen address")
+		seed         = flag.Int64("seed", 42, "system seed")
+		scale        = flag.String("scale", repro.ScaleSmall, "system scale: small | full")
+		classifier   = flag.String("classifier", repro.ClassifierSVM, "snippet classifier: svm | bayes")
+		parallel     = flag.Int("parallel", 8, "annotation parallelism (cell queries and batch tables)")
+		shards       = flag.Int("shards", 0, "search index shards (0 = one per CPU, capped at 8; results identical at any count)")
+		shareCache   = flag.Bool("share-cache", true, "share query verdicts across requests (cross-table cache)")
+		cacheMax     = flag.Int("cache-max-entries", 0, "cap the shared cache's entries, evicting oldest first (0 = unbounded)")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "expire shared-cache verdicts after this long (0 = never)")
+		maxInflight  = flag.Int("max-inflight", 64, "admission control: max concurrently-served annotation requests")
+		maxCells     = flag.Int("max-cells", 100000, "reject tables larger than this many cells")
+		maxBatch     = flag.Int("max-batch", 32, "max requests per /v1/annotate:batch call")
+		snapshotFile = flag.String("snapshot-file", "", "boot from this TSNP bundle instead of building; SIGHUP reloads it")
 	)
 	flag.Parse()
 
-	opts := []repro.Option{
-		repro.WithSeed(*seed),
-		repro.WithScale(*scale),
-		repro.WithClassifier(*classifier),
-		repro.WithParallelism(*parallel),
-		repro.WithSearchShards(*shards),
+	// Identity flags left at their defaults are not passed alongside a
+	// snapshot, so the bundle manifest's values win; explicitly setting
+	// them still pins the value (a mismatch refuses at boot).
+	var opts []repro.Option
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *snapshotFile == "" || set["seed"] {
+		opts = append(opts, repro.WithSeed(*seed))
 	}
+	if *snapshotFile == "" || set["scale"] {
+		opts = append(opts, repro.WithScale(*scale))
+	}
+	if *snapshotFile == "" || set["classifier"] {
+		opts = append(opts, repro.WithClassifier(*classifier))
+	}
+	if *snapshotFile == "" || set["shards"] {
+		opts = append(opts, repro.WithSearchShards(*shards))
+	}
+	opts = append(opts, repro.WithParallelism(*parallel))
 	if *shareCache {
 		opts = append(opts, repro.WithSharedCache())
 		if *cacheMax != 0 || *cacheTTL != 0 {
 			opts = append(opts, repro.WithCacheLimits(*cacheMax, *cacheTTL))
 		}
 	}
+	if *snapshotFile != "" {
+		opts = append(opts, repro.WithSnapshot(*snapshotFile))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "serve: building system (scale=%s, seed=%d, classifier=%s)...\n", *scale, *seed, *classifier)
+	if *snapshotFile != "" {
+		fmt.Fprintf(os.Stderr, "serve: loading snapshot %s...\n", *snapshotFile)
+	} else {
+		fmt.Fprintf(os.Stderr, "serve: building system (scale=%s, seed=%d, classifier=%s)...\n", *scale, *seed, *classifier)
+	}
 	start := time.Now()
 	svc, err := repro.New(ctx, opts...)
 	if err != nil {
@@ -89,6 +120,30 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// SIGHUP hot reload: re-load the bundle in the background and swap it
+	// in atomically; the old world serves every request that arrives in
+	// the meantime. Without -snapshot-file a SIGHUP is logged and ignored.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if *snapshotFile == "" {
+				fmt.Fprintln(os.Stderr, "serve: SIGHUP ignored (no -snapshot-file to reload)")
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "serve: SIGHUP: reloading %s...\n", *snapshotFile)
+			reloadStart := time.Now()
+			err := srv.Reload(func() (*repro.Service, error) {
+				return repro.New(context.Background(), opts...)
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve: reload failed (old world keeps serving):", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "serve: reload complete in %v\n", time.Since(reloadStart).Round(time.Millisecond))
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()

@@ -26,6 +26,22 @@ func (e *OptionError) Error() string {
 	return msg
 }
 
+// SnapshotMismatchError reports a conflict between an explicitly configured
+// option of New and the manifest of the snapshot WithSnapshot points at. New
+// refuses to boot rather than silently serving results the flags did not ask
+// for; drop the conflicting option (the service then inherits the manifest's
+// value) or rebuild the snapshot.
+type SnapshotMismatchError struct {
+	// Option is the conflicting option, e.g. "WithSeed".
+	Option string
+	// Want is the explicitly configured value, Have the manifest's.
+	Want, Have string
+}
+
+func (e *SnapshotMismatchError) Error() string {
+	return fmt.Sprintf("repro: snapshot manifest conflicts with %s: configured %s, bundle built with %s", e.Option, e.Want, e.Have)
+}
+
 // RequestError reports an invalid AnnotateRequest. The serving layer maps it
 // to an HTTP 400 with a typed JSON error body.
 type RequestError struct {

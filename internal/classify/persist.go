@@ -1,0 +1,380 @@
+package classify
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Classifier persistence: a compact versioned binary snapshot of a trained
+// model, so a service booted from a prebuilt artifact skips the training
+// corpus entirely (the two heavy artifacts — search index, gazetteer —
+// already persist; this closes the last rebuild-at-boot gap). Format
+// (little-endian):
+//
+//	magic "TCLF" | version u32 | kind (len-prefixed string: "svm" | "bayes")
+//	svm payload:   labelCount u32, then per label (sorted): label str,
+//	    bias f64, termCount u32, then per term (sorted): term str, weight f64
+//	bayes payload: alpha f64, total f64, classCount u32, then per class
+//	    (sorted): class str, count f64, classTotal f64, termCount u32,
+//	    then per term (sorted): term str, count f64
+//
+// Every map is written in sorted key order, so snapshots of the same model
+// are byte-reproducible. Floats round-trip exactly via their IEEE 754 bits.
+// The reader validates counts and string lengths so a truncated or corrupt
+// stream returns an error instead of panicking or allocating unboundedly,
+// mirroring internal/gazetteer/persist.go.
+
+const (
+	clfMagic   = "TCLF"
+	clfVersion = 1
+
+	// clfKindSVM / clfKindBayes tag the payload that follows the header.
+	clfKindSVM   = "svm"
+	clfKindBayes = "bayes"
+
+	// Reader bounds: far above any real model, they only reject obviously
+	// corrupt headers before the reader allocates for them.
+	maxClfLabels   = 1 << 12
+	maxClfTerms    = 1 << 24
+	maxClfStrBytes = 1 << 16
+)
+
+// clfWriter wraps the little-endian encoding helpers.
+type clfWriter struct {
+	bw *bufio.Writer
+	n  int64
+}
+
+func (cw *clfWriter) Write(p []byte) (int, error) {
+	n, err := cw.bw.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func (cw *clfWriter) u32(v uint32) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+func (cw *clfWriter) f64(v float64) error {
+	return binary.Write(cw, binary.LittleEndian, math.Float64bits(v))
+}
+
+func (cw *clfWriter) str(s string) error {
+	if err := cw.u32(uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := cw.Write([]byte(s))
+	return err
+}
+
+// header writes magic, version and the model kind.
+func (cw *clfWriter) header(kind string) error {
+	if _, err := cw.Write([]byte(clfMagic)); err != nil {
+		return err
+	}
+	if err := cw.u32(clfVersion); err != nil {
+		return err
+	}
+	return cw.str(kind)
+}
+
+// floatMap writes m as termCount followed by sorted (term, value) pairs.
+func (cw *clfWriter) floatMap(m map[string]float64) error {
+	terms := make([]string, 0, len(m))
+	for t := range m {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	if err := cw.u32(uint32(len(terms))); err != nil {
+		return err
+	}
+	for _, t := range terms {
+		if err := cw.str(t); err != nil {
+			return err
+		}
+		if err := cw.f64(m[t]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTo serialises the trained SVM as a version-1 TCLF stream. It returns
+// the byte count written (flushed bytes, per the io.WriterTo contract).
+func (m *LinearSVM) WriteTo(w io.Writer) (int64, error) {
+	cw := &clfWriter{bw: bufio.NewWriter(w)}
+	err := func() error {
+		if err := cw.header(clfKindSVM); err != nil {
+			return err
+		}
+		if err := cw.u32(uint32(len(m.labels))); err != nil {
+			return err
+		}
+		// m.labels is already sorted (Dataset.Labels); keep its order so
+		// the written stream matches prediction tie-break order exactly.
+		for _, label := range m.labels {
+			if err := cw.str(label); err != nil {
+				return err
+			}
+			if err := cw.f64(m.bias[label]); err != nil {
+				return err
+			}
+			if err := cw.floatMap(m.weights[label]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.bw.Flush()
+}
+
+// WriteTo serialises the trained Naive Bayes model as a version-1 TCLF
+// stream. It returns the byte count written.
+func (nb *NaiveBayes) WriteTo(w io.Writer) (int64, error) {
+	classes := make([]string, 0, len(nb.classCount))
+	for c := range nb.classCount {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	cw := &clfWriter{bw: bufio.NewWriter(w)}
+	err := func() error {
+		if err := cw.header(clfKindBayes); err != nil {
+			return err
+		}
+		if err := cw.f64(nb.Alpha); err != nil {
+			return err
+		}
+		if err := cw.f64(nb.total); err != nil {
+			return err
+		}
+		if err := cw.u32(uint32(len(classes))); err != nil {
+			return err
+		}
+		for _, class := range classes {
+			if err := cw.str(class); err != nil {
+				return err
+			}
+			if err := cw.f64(nb.classCount[class]); err != nil {
+				return err
+			}
+			if err := cw.f64(nb.classTotal[class]); err != nil {
+				return err
+			}
+			if err := cw.floatMap(nb.termCount[class]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err != nil {
+		return cw.n, err
+	}
+	return cw.n, cw.bw.Flush()
+}
+
+// WriteClassifier dispatches on the concrete model behind the Classifier
+// interface; it fails for models without a persistence format (the kernel
+// SVM and logistic baselines are experiment-only).
+func WriteClassifier(w io.Writer, c Classifier) (int64, error) {
+	switch m := c.(type) {
+	case *LinearSVM:
+		return m.WriteTo(w)
+	case *NaiveBayes:
+		return m.WriteTo(w)
+	}
+	return 0, fmt.Errorf("classify: %T has no persistence format", c)
+}
+
+// clfReader wraps the bounded decoding helpers.
+type clfReader struct {
+	br *bufio.Reader
+}
+
+func (cr *clfReader) u32() (uint32, error) {
+	var v uint32
+	err := binary.Read(cr.br, binary.LittleEndian, &v)
+	return v, err
+}
+
+func (cr *clfReader) f64() (float64, error) {
+	var bits uint64
+	if err := binary.Read(cr.br, binary.LittleEndian, &bits); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(bits), nil
+}
+
+func (cr *clfReader) str() (string, error) {
+	n, err := cr.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxClfStrBytes {
+		return "", fmt.Errorf("classify: corrupt model (string length %d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(cr.br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// floatMap reads a termCount-prefixed (term, value) map.
+func (cr *clfReader) floatMap() (map[string]float64, error) {
+	n, err := cr.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxClfTerms {
+		return nil, fmt.Errorf("classify: corrupt model (%d terms)", n)
+	}
+	m := make(map[string]float64, n)
+	for i := uint32(0); i < n; i++ {
+		term, err := cr.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := cr.f64()
+		if err != nil {
+			return nil, err
+		}
+		m[term] = v
+	}
+	return m, nil
+}
+
+// ReadClassifier loads a model previously written with WriteClassifier (or
+// the WriteTo of either model). The result predicts identically to the model
+// that was written. A truncated or corrupt stream returns an error, never a
+// panic.
+func ReadClassifier(r io.Reader) (Classifier, error) {
+	cr := &clfReader{br: bufio.NewReader(r)}
+	magic := make([]byte, len(clfMagic))
+	if _, err := io.ReadFull(cr.br, magic); err != nil {
+		return nil, fmt.Errorf("classify: reading magic: %w", err)
+	}
+	if string(magic) != clfMagic {
+		return nil, fmt.Errorf("classify: bad magic %q", magic)
+	}
+	version, err := cr.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != clfVersion {
+		return nil, fmt.Errorf("classify: unsupported model version %d", version)
+	}
+	kind, err := cr.str()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case clfKindSVM:
+		return readSVM(cr)
+	case clfKindBayes:
+		return readBayes(cr)
+	}
+	return nil, fmt.Errorf("classify: unknown model kind %q", kind)
+}
+
+func readSVM(cr *clfReader) (*LinearSVM, error) {
+	n, err := cr.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxClfLabels {
+		return nil, fmt.Errorf("classify: corrupt model (%d labels)", n)
+	}
+	m := &LinearSVM{
+		weights: make(map[string]map[string]float64, n),
+		bias:    make(map[string]float64, n),
+		labels:  make([]string, 0, n),
+	}
+	for i := uint32(0); i < n; i++ {
+		label, err := cr.str()
+		if err != nil {
+			return nil, fmt.Errorf("classify: label %d: %w", i, err)
+		}
+		if _, dup := m.bias[label]; dup {
+			return nil, fmt.Errorf("classify: corrupt model (duplicate label %q)", label)
+		}
+		bias, err := cr.f64()
+		if err != nil {
+			return nil, fmt.Errorf("classify: label %q: %w", label, err)
+		}
+		w, err := cr.floatMap()
+		if err != nil {
+			return nil, fmt.Errorf("classify: label %q: %w", label, err)
+		}
+		m.labels = append(m.labels, label)
+		m.bias[label] = bias
+		m.weights[label] = w
+	}
+	// Prediction tie-breaks assume sorted label order; a stream that lost
+	// it is corrupt.
+	if !sort.StringsAreSorted(m.labels) {
+		return nil, fmt.Errorf("classify: corrupt model (labels out of order)")
+	}
+	return m, nil
+}
+
+func readBayes(cr *clfReader) (*NaiveBayes, error) {
+	alpha, err := cr.f64()
+	if err != nil {
+		return nil, err
+	}
+	total, err := cr.f64()
+	if err != nil {
+		return nil, err
+	}
+	n, err := cr.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxClfLabels {
+		return nil, fmt.Errorf("classify: corrupt model (%d classes)", n)
+	}
+	nb := &NaiveBayes{
+		Alpha:      alpha,
+		total:      total,
+		classCount: make(map[string]float64, n),
+		termCount:  make(map[string]map[string]float64, n),
+		classTotal: make(map[string]float64, n),
+		vocab:      map[string]struct{}{},
+	}
+	for i := uint32(0); i < n; i++ {
+		class, err := cr.str()
+		if err != nil {
+			return nil, fmt.Errorf("classify: class %d: %w", i, err)
+		}
+		if _, dup := nb.classCount[class]; dup {
+			return nil, fmt.Errorf("classify: corrupt model (duplicate class %q)", class)
+		}
+		count, err := cr.f64()
+		if err != nil {
+			return nil, fmt.Errorf("classify: class %q: %w", class, err)
+		}
+		classTotal, err := cr.f64()
+		if err != nil {
+			return nil, fmt.Errorf("classify: class %q: %w", class, err)
+		}
+		tc, err := cr.floatMap()
+		if err != nil {
+			return nil, fmt.Errorf("classify: class %q: %w", class, err)
+		}
+		nb.classCount[class] = count
+		nb.classTotal[class] = classTotal
+		nb.termCount[class] = tc
+		// The training loop only ever adds a term to the vocabulary when
+		// it lands in some class's term counts, so the union reconstructs
+		// the vocabulary exactly.
+		for term := range tc {
+			nb.vocab[term] = struct{}{}
+		}
+	}
+	return nb, nil
+}

@@ -1,0 +1,256 @@
+package classify
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/textproc"
+)
+
+// persistDataset builds a small deterministic labelled corpus exercising
+// shared and label-specific vocabulary.
+func persistDataset() Dataset {
+	var d Dataset
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"museum", "art", "exhibit", "menu", "chef", "dinner",
+		"school", "campus", "students", "hotel", "rooms", "lobby", "the", "in", "city"}
+	labels := []string{"museum", "restaurant", "school", "hotel"}
+	for i := 0; i < 120; i++ {
+		label := labels[i%len(labels)]
+		var sb strings.Builder
+		sb.WriteString(label)
+		for j := 0; j < 6; j++ {
+			sb.WriteByte(' ')
+			sb.WriteString(words[rng.Intn(len(words))])
+		}
+		d.Add(sb.String(), label)
+	}
+	return d
+}
+
+// testFeatures extracts feature vectors the round-trip tests predict on,
+// including vocabulary the models never saw.
+func persistFeatures() []textproc.Features {
+	texts := []string{
+		"the museum exhibit in the city",
+		"dinner menu by the chef",
+		"campus with students and a lobby",
+		"unseen vocabulary entirely zebra quark",
+		"",
+		"hotel rooms art school",
+	}
+	out := make([]textproc.Features, len(texts))
+	for i, s := range texts {
+		out[i] = textproc.Extract(s)
+	}
+	return out
+}
+
+// TestClassifierRoundTrip writes each model kind, reads it back and requires
+// (a) the exact internal state (floats round-trip via their bits) and (b)
+// identical predictions and scores on held-out feature vectors.
+func TestClassifierRoundTrip(t *testing.T) {
+	d := persistDataset()
+	models := map[string]Classifier{
+		"svm":   LinearSVMTrainer{Epochs: 4, Seed: 11}.Train(d),
+		"bayes": BayesTrainer{}.Train(d),
+	}
+	for name, model := range models {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			n, err := WriteClassifier(&buf, model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(buf.Len()) {
+				t.Errorf("WriteClassifier reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got, err := ReadClassifier(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch want := model.(type) {
+			case *LinearSVM:
+				g, ok := got.(*LinearSVM)
+				if !ok {
+					t.Fatalf("reloaded kind = %T, want *LinearSVM", got)
+				}
+				if !reflect.DeepEqual(g.labels, want.labels) ||
+					!reflect.DeepEqual(g.bias, want.bias) ||
+					!reflect.DeepEqual(g.weights, want.weights) {
+					t.Error("reloaded SVM state differs from the written model")
+				}
+			case *NaiveBayes:
+				g, ok := got.(*NaiveBayes)
+				if !ok {
+					t.Fatalf("reloaded kind = %T, want *NaiveBayes", got)
+				}
+				if !reflect.DeepEqual(g, want) {
+					t.Error("reloaded Bayes state differs from the written model")
+				}
+			}
+			for i, f := range persistFeatures() {
+				if g, w := got.Predict(f), model.Predict(f); g != w {
+					t.Errorf("feature %d: reloaded predicts %q, original %q", i, g, w)
+				}
+			}
+			// A second write of the reloaded model must reproduce the
+			// stream byte-for-byte (deterministic sorted encoding).
+			var again bytes.Buffer
+			if _, err := WriteClassifier(&again, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+				t.Error("re-serialised model is not byte-identical")
+			}
+		})
+	}
+}
+
+// TestWriteClassifierUnsupported: models without a persistence format fail
+// loudly instead of writing a stream no reader understands.
+// failAfter is an io.Writer that accepts n bytes then fails, driving every
+// write-error return in the TCLF writers.
+type failAfter struct {
+	n int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		k := w.n
+		w.n = 0
+		return k, errors.New("failAfter: write refused")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriteClassifierPropagatesErrors sweeps the write-failure point across
+// both model streams: every short write must surface an error.
+func TestWriteClassifierPropagatesErrors(t *testing.T) {
+	d := persistDataset()
+	for name, model := range map[string]Classifier{
+		"svm":   LinearSVMTrainer{Epochs: 2, Seed: 11}.Train(d),
+		"bayes": BayesTrainer{}.Train(d),
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteClassifier(&buf, model); err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < buf.Len(); cut += 5 {
+			if _, err := WriteClassifier(&failAfter{n: cut}, model); err == nil {
+				t.Fatalf("%s: write failure at byte %d reported success", name, cut)
+			}
+		}
+	}
+}
+
+// TestReadClassifierTruncationSweep: every proper prefix of a TCLF stream
+// must be rejected — no prefix may load and none may panic.
+func TestReadClassifierTruncationSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteClassifier(&buf, BayesTrainer{}.Train(persistDataset())); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadClassifier(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", cut, len(data))
+		}
+	}
+}
+
+func TestWriteClassifierUnsupported(t *testing.T) {
+	d := persistDataset()
+	lr := LogisticTrainer{Epochs: 1}.Train(d)
+	if _, err := WriteClassifier(&bytes.Buffer{}, lr); err == nil {
+		t.Error("WriteClassifier accepted a model without a format")
+	}
+}
+
+// TestReadClassifierCorrupt: truncations and header corruptions of both model
+// kinds return errors, never panic.
+func TestReadClassifierCorrupt(t *testing.T) {
+	d := persistDataset()
+	for name, model := range map[string]Classifier{
+		"svm":   LinearSVMTrainer{Epochs: 2, Seed: 3}.Train(d),
+		"bayes": BayesTrainer{}.Train(d),
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := WriteClassifier(&buf, model); err != nil {
+				t.Fatal(err)
+			}
+			valid := buf.Bytes()
+
+			// Every prefix of the header region plus a spread of payload
+			// truncations must error.
+			for cut := 0; cut < len(valid); cut += 1 + cut/16 {
+				if _, err := ReadClassifier(bytes.NewReader(valid[:cut])); err == nil {
+					t.Errorf("truncation at %d/%d bytes read successfully", cut, len(valid))
+				}
+			}
+
+			mutations := []struct {
+				name   string
+				mutate func(b []byte)
+			}{
+				{"bad magic", func(b []byte) { b[0] = 'X' }},
+				{"bad version", func(b []byte) { b[4] = 0xEE }},
+				{"bad kind length", func(b []byte) { b[8] = 0xFF; b[9] = 0xFF; b[10] = 0xFF }},
+				{"huge count", func(b []byte) {
+					// The label/class count claims 2^31 entries; the
+					// reader must bound it. It sits right after the kind
+					// string for the SVM, and after the two f64s
+					// (alpha, total) for Bayes.
+					off := 12 + int(b[8])
+					if name == "bayes" {
+						off += 16
+					}
+					b[off], b[off+1], b[off+2], b[off+3] = 0xFF, 0xFF, 0xFF, 0x7F
+				}},
+			}
+			for _, m := range mutations {
+				t.Run(m.name, func(t *testing.T) {
+					mutated := append([]byte(nil), valid...)
+					m.mutate(mutated)
+					if _, err := ReadClassifier(bytes.NewReader(mutated)); err == nil {
+						t.Error("corrupt stream read successfully")
+					}
+				})
+			}
+		})
+	}
+}
+
+// FuzzReadClassifier: arbitrary bytes must never panic the reader, and any
+// stream it accepts must predict without panicking.
+func FuzzReadClassifier(f *testing.F) {
+	d := persistDataset()
+	for _, model := range []Classifier{
+		LinearSVMTrainer{Epochs: 1, Seed: 5}.Train(d),
+		BayesTrainer{}.Train(d),
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteClassifier(&buf, model); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Add([]byte("TCLF"))
+	f.Add([]byte{})
+	features := textproc.Extract("museum dinner campus")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadClassifier(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted models must be usable.
+		_ = c.Predict(features)
+	})
+}

@@ -89,8 +89,22 @@ const bigTermDF = 1024
 
 // compileColumns flattens the postings map into the frozen columnar form.
 // It must run after the idf table and normK are installed — contributions
-// read both — i.e. at the end of Freeze/freezeShared.
+// read both — i.e. at the end of Freeze/freezeShared. It is split into
+// buildCSR + sortOrd + scatterDense so the persistence fast path can reuse
+// the exact contribution arithmetic while installing a stored ordAll
+// permutation instead of re-sorting (see persist.go).
 func (ix *Index) compileColumns() *columns {
+	c := ix.buildCSR()
+	c.sortOrd()
+	ix.scatterDense(c)
+	return c
+}
+
+// buildCSR compiles the dictionary, the English/non-English CSR sections and
+// the positional aliases — everything except ordAll and the big-term dense
+// arrays. Contributions are computed here, and only here, so every caller
+// produces bit-identical columns.
+func (ix *Index) buildCSR() *columns {
 	terms := sortedTerms(ix.postings)
 	c := &columns{
 		termID: make(map[string]int32, len(terms)),
@@ -132,14 +146,18 @@ func (ix *Index) compileColumns() *columns {
 		c.engOff = append(c.engOff, int32(len(c.engDoc)))
 		c.othOff = append(c.othOff, int32(len(c.othDoc)))
 	}
-	c.ordAll = make([]int32, len(c.engDoc))
-	c.contribDense = make([][]float64, len(terms))
-	c.firstPos = make([][]int32, len(terms))
 	c.posLists = make([][]posPosting, len(terms))
 	for tid, term := range terms {
 		c.posLists[tid] = ix.positions[term]
 	}
-	for tid := range terms {
+	return c
+}
+
+// sortOrd derives the ordAll permutation from the English sections: per term,
+// its local posting indices sorted by (contribution desc, doc asc).
+func (c *columns) sortOrd() {
+	c.ordAll = make([]int32, len(c.engDoc))
+	for tid := range c.terms {
 		lo, hi := c.engOff[tid], c.engOff[tid+1]
 		docs := c.engDoc[lo:hi]
 		contribs := c.engContrib[lo:hi]
@@ -156,20 +174,32 @@ func (ix *Index) compileColumns() *columns {
 			}
 			return int(docs[a]) - int(docs[b])
 		})
-		if hi-lo >= bigTermDF {
-			dense := make([]float64, len(ix.docs))
-			for i, d := range docs {
-				dense[d] = contribs[i]
-			}
-			c.contribDense[tid] = dense
-			fp := make([]int32, len(ix.docs))
-			for _, pp := range ix.positions[terms[tid]] {
-				fp[pp.doc] = pp.pos[0] + 1
-			}
-			c.firstPos[tid] = fp
-		}
 	}
-	return c
+}
+
+// scatterDense materializes the big-term dense contribution and first-position
+// arrays. Pure scatter from already-built columns, no ordering dependency.
+func (ix *Index) scatterDense(c *columns) {
+	c.contribDense = make([][]float64, len(c.terms))
+	c.firstPos = make([][]int32, len(c.terms))
+	for tid := range c.terms {
+		lo, hi := c.engOff[tid], c.engOff[tid+1]
+		if int(hi-lo) < bigTermDF {
+			continue
+		}
+		docs := c.engDoc[lo:hi]
+		contribs := c.engContrib[lo:hi]
+		dense := make([]float64, len(ix.docs))
+		for i, d := range docs {
+			dense[d] = contribs[i]
+		}
+		c.contribDense[tid] = dense
+		fp := make([]int32, len(ix.docs))
+		for _, pp := range ix.positions[c.terms[tid]] {
+			fp[pp.doc] = pp.pos[0] + 1
+		}
+		c.firstPos[tid] = fp
+	}
 }
 
 // scoreTerm adds term id tid's precomputed posting contributions into the

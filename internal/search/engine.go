@@ -85,6 +85,14 @@ func NewShardedEngine(six *ShardedIndex) *Engine {
 	return &Engine{index: six}
 }
 
+// ShardedIndex returns the sharded index behind the engine, or nil when the
+// engine wraps a monolithic Index. Snapshot building persists the serving
+// index through it.
+func (e *Engine) ShardedIndex() *ShardedIndex {
+	six, _ := e.index.(*ShardedIndex)
+	return six
+}
+
 // Search returns the top-k results for query, accruing simulated latency.
 func (e *Engine) Search(query string, k int) []Result {
 	e.account(1, false)

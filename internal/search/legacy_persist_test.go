@@ -1,0 +1,141 @@
+package search
+
+// The version-4 direct-image writer replaced the v2/v3 replay-on-load
+// formats, and nothing in the tree writes those streams anymore. Old files
+// must stay loadable, so these tests synthesise v2 and v3 byte streams from
+// a live index (documents in global order, then each shard's postings and
+// positions integrity sections) and check the legacy reader rebuilds an
+// equivalent index, verifies the stored sections, and rejects tampering.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// writeLegacyStream encodes s in the v2 (single shard, no shard-count field)
+// or v3 (sharded) layout. The integrity sections are emitted from the live
+// maps, so a correct reader must accept them verbatim.
+func writeLegacyStream(t *testing.T, version uint32, s *ShardedIndex) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	str := func(x string) { u32(uint32(len(x))); buf.WriteString(x) }
+
+	buf.WriteString(indexMagic)
+	u32(version)
+	n := len(s.shards)
+	if version != 2 {
+		u32(uint32(n))
+	} else if n != 1 {
+		t.Fatalf("v2 streams are single-shard, index has %d shards", n)
+	}
+	u32(uint32(s.Len()))
+	for g := 0; g < s.Len(); g++ {
+		d := s.shards[g%n].docs[g/n]
+		str(d.URL)
+		str(d.Title)
+		str(d.Body)
+		str(d.Lang)
+	}
+	for _, sh := range s.shards {
+		u32(uint32(len(sh.postings)))
+		for _, term := range sortedTerms(sh.postings) {
+			str(term)
+			pl := sh.postings[term]
+			u32(uint32(len(pl)))
+			for _, p := range pl {
+				u32(uint32(p.doc))
+				u32(uint32(p.tf))
+			}
+		}
+		u32(uint32(len(sh.positions)))
+		for _, term := range sortedTerms(sh.positions) {
+			str(term)
+			pls := sh.positions[term]
+			u32(uint32(len(pls)))
+			for _, pl := range pls {
+				u32(uint32(pl.doc))
+				u32(uint32(len(pl.pos)))
+				for _, p := range pl.pos {
+					u32(uint32(p))
+				}
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+func legacyCorpus(shards int) *ShardedIndex {
+	s := NewShardedIndex(shards)
+	src := smallIndex()
+	for _, d := range src.docs {
+		s.Add(Document{URL: d.URL, Title: d.Title, Body: d.Body, Lang: d.Lang})
+	}
+	return s
+}
+
+func TestReadLegacyVersions(t *testing.T) {
+	for _, tc := range []struct {
+		version uint32
+		shards  int
+	}{
+		{2, 1},
+		{3, 1},
+		{3, 3},
+	} {
+		src := legacyCorpus(tc.shards)
+		data := writeLegacyStream(t, tc.version, src)
+		loaded, err := ReadShardedIndex(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("v%d/%d shards: %v", tc.version, tc.shards, err)
+		}
+		if loaded.NumShards() != tc.shards || loaded.Len() != src.Len() {
+			t.Fatalf("v%d: loaded %d shards/%d docs, want %d/%d",
+				tc.version, loaded.NumShards(), loaded.Len(), tc.shards, src.Len())
+		}
+		for _, q := range []string{"louvre museum", "melisse", "rainfall wind"} {
+			got, want := loaded.Search(q, 5), src.Search(q, 5)
+			if len(got) != len(want) {
+				t.Fatalf("v%d %q: %d results, want %d", tc.version, q, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].URL != want[i].URL || got[i].Score != want[i].Score {
+					t.Errorf("v%d %q result %d: %+v, want %+v", tc.version, q, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReadLegacyDetectsTamperedSections flips stored integrity bytes and
+// checks the replay verifier reports a mismatch instead of loading silently.
+func TestReadLegacyDetectsTamperedSections(t *testing.T) {
+	src := legacyCorpus(1)
+	good := writeLegacyStream(t, 3, src)
+
+	// Find the postings entry for the first stored term and corrupt its tf.
+	term := sortedTerms(src.shards[0].postings)[0]
+	marker := make([]byte, 4, 4+len(term))
+	binary.LittleEndian.PutUint32(marker, uint32(len(term)))
+	marker = append(marker, term...)
+	at := bytes.Index(good, marker)
+	if at < 0 {
+		t.Fatalf("postings entry for %q not found in stream", term)
+	}
+	bad := bytes.Clone(good)
+	bad[at+len(marker)+8]++ // first posting's tf
+	if _, err := ReadShardedIndex(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "differs") {
+		t.Errorf("tampered postings: err = %v, want posting mismatch", err)
+	}
+
+	// Truncating inside the integrity sections must also fail cleanly.
+	if _, err := ReadShardedIndex(bytes.NewReader(good[:at+len(marker)+2])); err == nil {
+		t.Error("truncated legacy stream loaded without error")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strings"
 )
 
 // Index persistence: a compact binary snapshot so a corpus indexed once can
@@ -13,26 +15,44 @@ import (
 // slowest part of system construction). Format (little-endian):
 //
 //	magic "TIDX" | version u32 | shardCount u32
-//	docCount u32, then per doc: url, title, body, lang (len-prefixed
-//	    strings), in global Add order
-//	then per shard, in shard order:
-//	    termCount u32, then per term: term string, postings u32,
-//	        then per posting: doc u32, tf u32
-//	    posTermCount u32, then per term: term string, docs u32,
-//	        then per doc: doc u32, positions u32, then each position u32
+//	docCount u32, then per doc in global Add order:
+//	    url, title, body, lang (len-prefixed strings)
+//	    flags u8 (bit 0: the body is its own single-space join)
+//	    wordCount u32, then ceil(wordCount/8) bitmap bytes — bit i set
+//	        means raw word i is a content word (normalizes to one stem)
+//	then per shard, in shard order (doc ids shard-local):
+//	    termCount u32, then per term in sorted order: term string, n u32,
+//	        then a block of n × (doc u32, tf u32)
+//	    posTermCount u32, then per term in sorted order: term string,
+//	        docCount u32, a block of docCount × (doc u32, posCount u32),
+//	        then a block of the term's positions (u32), doc-major
+//	    ordLen u32, then a block of ordLen × u32: the freeze-derived ordAll
+//	        permutation (per-term English posting indices sorted by
+//	        contribution desc, doc asc), concatenated in term order
 //
-// Version 2 added the positional section. Version 3 added the shardCount
-// header field so a sharded layout round-trips: documents are stored once in
-// global order (shard assignment is the deterministic round-robin of
-// ShardedIndex.Add), and the postings/positions integrity sections repeat
-// per shard with shard-local doc ids. A monolithic Index is the shardCount=1
-// case; version-2 files (no shard field) still load. Document lengths, body
-// tokens, stems and postings are reconstructed on load from the stored
-// bodies, keeping the file small at the cost of a cheap re-scan.
+// Version 4 is a direct image of the index: the reader reconstructs the
+// postings and positional maps straight from the stored lists and rebuilds
+// the remaining derived state (word offsets, content-position mapping, BM25
+// constants, the columnar scoring form) from the stored bodies, bitmaps and
+// ordAll — no tokenisation, no stemming and no freeze-time sorting, which is
+// what makes loading a snapshot several times faster than rebuilding the
+// corpus. Every count and id is bounds-checked during decoding, so a corrupt
+// or adversarial stream yields an error, never a panic or a huge allocation.
+//
+// History: version 2 added the positional section, version 3 the shardCount
+// header field, both storing postings/positions only as integrity sections
+// verified against a full re-tokenisation of the stored bodies. Version
+// 2 and 3 files still load through that re-add path; version 4 is what
+// writers produce.
 
 const (
 	indexMagic   = "TIDX"
-	indexVersion = 3
+	indexVersion = 4
+
+	// maxStr caps any length-prefixed string in the stream.
+	maxStr = 1 << 26
+	// maxTermHint caps the pre-sized term-map hint taken from the stream.
+	maxTermHint = 1 << 22
 )
 
 // sortedTerms returns m's keys sorted, so snapshots are byte-reproducible.
@@ -58,14 +78,22 @@ func (pw *persistWriter) Write(p []byte) (int, error) {
 }
 
 func (pw *persistWriter) u32(v uint32) error {
-	return binary.Write(pw, binary.LittleEndian, v)
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := pw.Write(b[:])
+	return err
+}
+
+func (pw *persistWriter) u8(v byte) error {
+	_, err := pw.Write([]byte{v})
+	return err
 }
 
 func (pw *persistWriter) str(s string) error {
 	if err := pw.u32(uint32(len(s))); err != nil {
 		return err
 	}
-	_, err := pw.Write([]byte(s))
+	_, err := io.WriteString(pw, s)
 	return err
 }
 
@@ -80,22 +108,42 @@ func (pw *persistWriter) header(shards int) error {
 	return pw.u32(uint32(shards))
 }
 
-// docs writes the document section in the given order.
-func (pw *persistWriter) doc(d Document) error {
+// doc writes one document record: the stored fields plus the derived-state
+// hints (canonical-join flag, content-word bitmap) the fast reader needs to
+// reconstruct snippets without re-tokenising. ld is the doc's shard-local id.
+func (pw *persistWriter) doc(ix *Index, ld int) error {
+	d := ix.docs[ld]
 	for _, s := range []string{d.URL, d.Title, d.Body, d.Lang} {
 		if err := pw.str(s); err != nil {
 			return err
 		}
 	}
-	return nil
+	var flags byte
+	if ix.bodyJoined[ld] == d.Body {
+		flags |= 1
+	}
+	if err := pw.u8(flags); err != nil {
+		return err
+	}
+	words := ix.bodyToks[ld]
+	if err := pw.u32(uint32(len(words))); err != nil {
+		return err
+	}
+	bitmap := make([]byte, (len(words)+7)/8)
+	for _, raw := range ix.contentToRaw[ld] {
+		bitmap[raw/8] |= 1 << (raw % 8)
+	}
+	_, err := pw.Write(bitmap)
+	return err
 }
 
-// sections writes one shard's postings and positions integrity sections.
+// sections writes one shard's postings, positions and ordAll sections.
+// The index must be frozen (ordAll is freeze-derived state).
 func (pw *persistWriter) sections(ix *Index) error {
 	if err := pw.u32(uint32(len(ix.postings))); err != nil {
 		return err
 	}
-	for _, term := range sortedTerms(ix.postings) {
+	for _, term := range ix.col.terms {
 		plist := ix.postings[term]
 		if err := pw.str(term); err != nil {
 			return err
@@ -130,6 +178,8 @@ func (pw *persistWriter) sections(ix *Index) error {
 			if err := pw.u32(uint32(len(p.pos))); err != nil {
 				return err
 			}
+		}
+		for _, p := range plist {
 			for _, pos := range p.pos {
 				if err := pw.u32(uint32(pos)); err != nil {
 					return err
@@ -137,12 +187,22 @@ func (pw *persistWriter) sections(ix *Index) error {
 			}
 		}
 	}
+	if err := pw.u32(uint32(len(ix.col.ordAll))); err != nil {
+		return err
+	}
+	for _, e := range ix.col.ordAll {
+		if err := pw.u32(uint32(e)); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-// WriteTo serialises the index as the shardCount=1 case of the v3 format.
-// It returns the byte count written.
+// WriteTo serialises the index as the shardCount=1 case of the v4 format,
+// freezing it first (the ordAll section is freeze-derived). It returns the
+// byte count written.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ix.ensureFrozen()
 	pw := &persistWriter{bw: bufio.NewWriter(w)}
 	err := func() error {
 		if err := pw.header(1); err != nil {
@@ -151,8 +211,8 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		if err := pw.u32(uint32(len(ix.docs))); err != nil {
 			return err
 		}
-		for _, d := range ix.docs {
-			if err := pw.doc(d); err != nil {
+		for ld := range ix.docs {
+			if err := pw.doc(ix, ld); err != nil {
 				return err
 			}
 		}
@@ -165,8 +225,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 }
 
 // WriteTo serialises the sharded index: documents once in global order, then
-// each shard's integrity sections. It returns the byte count written.
+// each shard's sections, freezing first. It returns the byte count written.
 func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
+	s.Freeze()
 	pw := &persistWriter{bw: bufio.NewWriter(w)}
 	n := len(s.shards)
 	err := func() error {
@@ -177,7 +238,7 @@ func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 			return err
 		}
 		for g := 0; g < s.nDocs; g++ {
-			if err := pw.doc(s.shards[g%n].docs[g/n]); err != nil {
+			if err := pw.doc(s.shards[g%n], g/n); err != nil {
 				return err
 			}
 		}
@@ -194,96 +255,514 @@ func (s *ShardedIndex) WriteTo(w io.Writer) (int64, error) {
 	return pw.n, pw.bw.Flush()
 }
 
-// persistReader wraps the decoding helpers shared by both readers.
-type persistReader struct {
-	br *bufio.Reader
+// byteReader decodes the in-memory stream with explicit bounds checks: every
+// helper returns an error instead of slicing past the data, so corrupt
+// counts surface as format errors rather than panics.
+type byteReader struct {
+	data []byte
+	off  int
 }
 
-func (pr *persistReader) u32(v *uint32) error {
-	return binary.Read(pr.br, binary.LittleEndian, v)
+func (br *byteReader) remaining() int { return len(br.data) - br.off }
+
+func (br *byteReader) block(n int) ([]byte, error) {
+	if n < 0 || n > br.remaining() {
+		return nil, fmt.Errorf("search: corrupt index (truncated at byte %d)", br.off)
+	}
+	b := br.data[br.off : br.off+n]
+	br.off += n
+	return b, nil
 }
 
-func (pr *persistReader) str() (string, error) {
-	var n uint32
-	if err := pr.u32(&n); err != nil {
-		return "", err
-	}
-	if n > 1<<26 {
-		return "", fmt.Errorf("search: corrupt index (string length %d)", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(pr.br, buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
-}
-
-// header reads and validates magic + version and returns the shard count
-// (1 for version-2 files, which predate the field).
-func (pr *persistReader) header() (int, error) {
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(pr.br, magic); err != nil {
-		return 0, fmt.Errorf("search: reading magic: %w", err)
-	}
-	if string(magic) != indexMagic {
-		return 0, fmt.Errorf("search: bad magic %q", magic)
-	}
-	var version uint32
-	if err := pr.u32(&version); err != nil {
+func (br *byteReader) u32() (uint32, error) {
+	b, err := br.block(4)
+	if err != nil {
 		return 0, err
 	}
-	switch version {
-	case 2:
-		return 1, nil
-	case indexVersion:
-		var shards uint32
-		if err := pr.u32(&shards); err != nil {
-			return 0, err
-		}
-		if shards == 0 || shards > 1<<16 {
-			return 0, fmt.Errorf("search: corrupt index (shard count %d)", shards)
-		}
-		return int(shards), nil
-	}
-	return 0, fmt.Errorf("search: unsupported index version %d", version)
+	return binary.LittleEndian.Uint32(b), nil
 }
 
-// docs re-adds the stored documents through add, rebuilding all derived
-// state (postings, positions, lengths, body tokens) so the loaded index
-// behaves identically to a freshly built one.
-func (pr *persistReader) docs(add func(Document)) error {
-	var docCount uint32
-	if err := pr.u32(&docCount); err != nil {
+func (br *byteReader) u8() (byte, error) {
+	b, err := br.block(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (br *byteReader) str() (string, error) {
+	n, err := br.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStr {
+		return "", fmt.Errorf("search: corrupt index (string length %d)", n)
+	}
+	b, err := br.block(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// splitCanonical splits a body that is its own single-space join into its
+// words (substrings of body, like strings.Fields). ok is false when the body
+// violates the canonical property (leading/trailing/double spaces).
+func splitCanonical(body string) (words []string, ok bool) {
+	if body == "" {
+		return nil, true
+	}
+	words = make([]string, 0, strings.Count(body, " ")+1)
+	start := 0
+	for i := 0; i < len(body); i++ {
+		if body[i] != ' ' {
+			continue
+		}
+		if i == start {
+			return nil, false
+		}
+		words = append(words, body[start:i])
+		start = i + 1
+	}
+	if start == len(body) {
+		return nil, false
+	}
+	return append(words, body[start:]), true
+}
+
+// readDocV4 decodes one document record into shard ix, deriving the
+// snippet-serving state (word offsets, joined body, content-to-raw mapping)
+// from the stored body and bitmap. wordStem stays nil: it is only written
+// during live tokenisation and never read afterwards.
+func (br *byteReader) readDocV4(ix *Index) error {
+	var fields [4]string
+	for f := range fields {
+		s, err := br.str()
+		if err != nil {
+			return err
+		}
+		fields[f] = s
+	}
+	flags, err := br.u8()
+	if err != nil {
 		return err
+	}
+	nWords, err := br.u32()
+	if err != nil {
+		return err
+	}
+	body := fields[2]
+	if int64(nWords) > (int64(len(body))+1+1)/2 {
+		return fmt.Errorf("search: corrupt index (doc claims %d words in a %d-byte body)", nWords, len(body))
+	}
+	bitmap, err := br.block((int(nWords) + 7) / 8)
+	if err != nil {
+		return err
+	}
+	var words []string
+	if flags&1 != 0 {
+		var ok bool
+		if words, ok = splitCanonical(body); !ok {
+			return fmt.Errorf("search: corrupt index (body is not its own single-space join)")
+		}
+	} else {
+		words = strings.Fields(body)
+	}
+	if len(words) != int(nWords) {
+		return fmt.Errorf("search: corrupt index (doc stores %d words, body has %d)", nWords, len(words))
+	}
+	joined := body
+	if flags&1 == 0 {
+		joined = strings.Join(words, " ")
+	}
+	off := make([]int32, len(words))
+	b := int32(0)
+	for i, w := range words {
+		off[i] = b
+		b += int32(len(w)) + 1
+	}
+	var c2r []int32
+	for i := 0; i < int(nWords); i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			c2r = append(c2r, int32(i))
+		}
+	}
+	for i := int(nWords); i < 8*len(bitmap); i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			return fmt.Errorf("search: corrupt index (content bitmap has stray bits)")
+		}
+	}
+	lang := fields[3]
+	if lang == "" {
+		lang = "en"
+	}
+	ix.docs = append(ix.docs, Document{
+		ID: len(ix.docs), URL: fields[0], Title: fields[1], Body: body, Lang: lang,
+	})
+	ix.bodyToks = append(ix.bodyToks, words)
+	ix.wordStem = append(ix.wordStem, nil)
+	ix.english = append(ix.english, lang == "en")
+	ix.bodyJoined = append(ix.bodyJoined, joined)
+	ix.wordOff = append(ix.wordOff, off)
+	ix.contentToRaw = append(ix.contentToRaw, c2r)
+	ix.docLen = append(ix.docLen, 0)
+	return nil
+}
+
+// readShardV4 decodes one shard's postings, positions and ordAll sections
+// directly into ix's maps, accumulating document lengths from the stored
+// term frequencies (a doc's length is exactly the sum of its tf mass). The
+// returned ord permutation is installed during the freeze step.
+func (br *byteReader) readShardV4(ix *Index) (ord []int32, err error) {
+	nDocs := len(ix.docs)
+
+	termCount, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	if termCount > maxTermHint {
+		return nil, fmt.Errorf("search: corrupt index (term count %d)", termCount)
+	}
+	ix.postings = make(map[string][]posting, termCount)
+	prevTerm := ""
+	for t := uint32(0); t < termCount; t++ {
+		term, err := br.str()
+		if err != nil {
+			return nil, err
+		}
+		if t > 0 && term <= prevTerm {
+			return nil, fmt.Errorf("search: corrupt index (postings terms out of order at %q)", term)
+		}
+		prevTerm = term
+		n, err := br.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 || int(n) > nDocs {
+			return nil, fmt.Errorf("search: corrupt index (term %q has %d postings in a %d-doc shard)", term, n, nDocs)
+		}
+		blk, err := br.block(8 * int(n))
+		if err != nil {
+			return nil, err
+		}
+		plist := make([]posting, n)
+		prevDoc := -1
+		for j := range plist {
+			doc := int(binary.LittleEndian.Uint32(blk[8*j:]))
+			tf := int(binary.LittleEndian.Uint32(blk[8*j+4:]))
+			if doc <= prevDoc || doc >= nDocs || tf == 0 {
+				return nil, fmt.Errorf("search: corrupt index (posting %d of %q: doc %d, tf %d)", j, term, doc, tf)
+			}
+			plist[j] = posting{doc: doc, tf: tf}
+			ix.docLen[doc] += tf
+			prevDoc = doc
+		}
+		ix.postings[term] = plist
+	}
+	for _, dl := range ix.docLen {
+		ix.totalLen += dl
+	}
+
+	posTermCount, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	if posTermCount > maxTermHint {
+		return nil, fmt.Errorf("search: corrupt index (positional term count %d)", posTermCount)
+	}
+	ix.positions = make(map[string][]posPosting, posTermCount)
+	prevTerm = ""
+	for t := uint32(0); t < posTermCount; t++ {
+		term, err := br.str()
+		if err != nil {
+			return nil, err
+		}
+		if t > 0 && term <= prevTerm {
+			return nil, fmt.Errorf("search: corrupt index (positional terms out of order at %q)", term)
+		}
+		prevTerm = term
+		nd, err := br.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nd == 0 || int(nd) > nDocs {
+			return nil, fmt.Errorf("search: corrupt index (term %q has position lists for %d of %d docs)", term, nd, nDocs)
+		}
+		hdr, err := br.block(8 * int(nd))
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		prevDoc := -1
+		for j := 0; j < int(nd); j++ {
+			doc := int(binary.LittleEndian.Uint32(hdr[8*j:]))
+			np := int(binary.LittleEndian.Uint32(hdr[8*j+4:]))
+			if doc <= prevDoc || doc >= nDocs {
+				return nil, fmt.Errorf("search: corrupt index (position list %d of %q: doc %d)", j, term, doc)
+			}
+			if np == 0 || np > len(ix.contentToRaw[doc]) {
+				return nil, fmt.Errorf("search: corrupt index (doc %d claims %d positions of %d content words)", doc, np, len(ix.contentToRaw[doc]))
+			}
+			prevDoc = doc
+			total += np
+		}
+		blk, err := br.block(4 * total)
+		if err != nil {
+			return nil, err
+		}
+		arena := make([]int32, total)
+		plist := make([]posPosting, nd)
+		k := 0
+		for j := 0; j < int(nd); j++ {
+			doc := int(binary.LittleEndian.Uint32(hdr[8*j:]))
+			np := int(binary.LittleEndian.Uint32(hdr[8*j+4:]))
+			sub := arena[k : k+np : k+np]
+			prev := int32(-1)
+			limit := int32(len(ix.contentToRaw[doc]))
+			for p := 0; p < np; p++ {
+				v := int32(binary.LittleEndian.Uint32(blk[4*(k+p):]))
+				if v <= prev || v >= limit {
+					return nil, fmt.Errorf("search: corrupt index (position %d of %q in doc %d: %d)", p, term, doc, v)
+				}
+				sub[p] = v
+				prev = v
+			}
+			plist[j] = posPosting{doc: doc, pos: sub}
+			k += np
+		}
+		ix.positions[term] = plist
+	}
+
+	ordLen, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	blk, err := br.block(4 * int(ordLen))
+	if err != nil {
+		return nil, err
+	}
+	ord = make([]int32, ordLen)
+	for i := range ord {
+		ord[i] = int32(binary.LittleEndian.Uint32(blk[4*i:]))
+	}
+	return ord, nil
+}
+
+// freezeFromPersist installs the global ranking state and compiles the
+// columnar form with a stored ordAll permutation instead of re-sorting.
+// The permutation is validated per term section: entries in bounds and in
+// strictly descending (contribution, doc asc) order — which, with the length
+// check, also proves it is a permutation.
+func (ix *Index) freezeFromPersist(idf map[string]float64, avgLen float64, ord []int32) error {
+	ix.freezeMu.Lock()
+	defer ix.freezeMu.Unlock()
+	ix.idf = idf
+	ix.avgLen = avgLen
+	ix.freezeNormK()
+	c := ix.buildCSR()
+	if len(ord) != len(c.engDoc) {
+		return fmt.Errorf("search: corrupt index (ordAll has %d entries, English postings %d)", len(ord), len(c.engDoc))
+	}
+	for tid := range c.terms {
+		lo, hi := c.engOff[tid], c.engOff[tid+1]
+		sec := ord[lo:hi]
+		docs := c.engDoc[lo:hi]
+		contribs := c.engContrib[lo:hi]
+		for i, e := range sec {
+			if e < 0 || int(e) >= len(docs) {
+				return fmt.Errorf("search: corrupt index (ordAll entry %d of term %q out of range)", e, c.terms[tid])
+			}
+			if i > 0 {
+				a := sec[i-1]
+				if !(contribs[a] > contribs[e] || (contribs[a] == contribs[e] && docs[a] < docs[e])) {
+					return fmt.Errorf("search: corrupt index (ordAll of term %q not in contribution order)", c.terms[tid])
+				}
+			}
+		}
+	}
+	c.ordAll = ord
+	ix.scatterDense(c)
+	ix.col = c
+	ix.frozen.Store(true)
+	return nil
+}
+
+// readV4 reconstructs a sharded index directly from a v4 stream.
+func readV4(br *byteReader, shards int) (*ShardedIndex, error) {
+	s := NewShardedIndex(shards)
+	docCount, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	// A doc record is at least 21 bytes (four string lengths, flags, word
+	// count), bounding the claimed count by the stream itself.
+	if int64(docCount)*21 > int64(br.remaining()) {
+		return nil, fmt.Errorf("search: corrupt index (doc count %d)", docCount)
+	}
+	for g := 0; g < int(docCount); g++ {
+		if err := br.readDocV4(s.shards[g%shards]); err != nil {
+			return nil, fmt.Errorf("search: doc %d: %w", g, err)
+		}
+	}
+	s.nDocs = int(docCount)
+	ords := make([][]int32, shards)
+	for si, sh := range s.shards {
+		if ords[si], err = br.readShardV4(sh); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	if br.remaining() != 0 {
+		return nil, fmt.Errorf("search: corrupt index (%d trailing bytes)", br.remaining())
+	}
+
+	// Global freeze, mirroring ShardedIndex.Freeze: corpus-wide document
+	// frequencies and average length, installed into every shard — but with
+	// each shard's stored ordAll instead of a freeze-time sort.
+	df := make(map[string]int)
+	totalLen := 0
+	for _, sh := range s.shards {
+		for t, plist := range sh.postings {
+			df[t] += len(plist)
+		}
+		totalLen += sh.totalLen
+	}
+	n := float64(s.nDocs)
+	idf := make(map[string]float64, len(df))
+	for t, d := range df {
+		dff := float64(d)
+		idf[t] = math.Log((n-dff+0.5)/(dff+0.5) + 1)
+	}
+	avgLen := 0.0
+	if n > 0 {
+		avgLen = float64(totalLen) / n
+	}
+	for si, sh := range s.shards {
+		if err := sh.freezeFromPersist(idf, avgLen, ords[si]); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	s.frozen.Store(true)
+	return s, nil
+}
+
+// readAny decodes any supported stream version into a sharded index. The
+// whole stream is buffered in memory first (callers either hand over
+// already-buffered snapshot sections or open bounded files), which lets the
+// decoder work over flat blocks instead of per-integer reads.
+func readAny(r io.Reader) (*ShardedIndex, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading index: %w", err)
+	}
+	return readAnyBytes(data)
+}
+
+func readAnyBytes(data []byte) (*ShardedIndex, error) {
+	br := &byteReader{data: data}
+	magic, err := br.block(4)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading magic: %w", io.ErrUnexpectedEOF)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("search: bad magic %q", magic)
+	}
+	version, err := br.u32()
+	if err != nil {
+		return nil, err
+	}
+	shards := 1
+	if version != 2 {
+		v, err := br.u32()
+		if err != nil {
+			return nil, err
+		}
+		if v == 0 || v > 1<<16 {
+			return nil, fmt.Errorf("search: corrupt index (shard count %d)", v)
+		}
+		shards = int(v)
+	}
+	switch version {
+	case 2, 3:
+		return readLegacy(br, shards)
+	case indexVersion:
+		return readV4(br, shards)
+	}
+	return nil, fmt.Errorf("search: unsupported index version %d", version)
+}
+
+// ReadIndex loads a monolithic index previously written with Index.WriteTo.
+// Files written by ShardedIndex.WriteTo with more than one shard must be
+// loaded with ReadShardedIndex (the shard-local doc ids in their sections
+// only make sense against the sharded layout).
+func ReadIndex(r io.Reader) (*Index, error) {
+	s, err := readAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if s.NumShards() != 1 {
+		return nil, fmt.Errorf("search: index has %d shards; use ReadShardedIndex", s.NumShards())
+	}
+	return s.shards[0], nil
+}
+
+// ReadShardedIndex loads any index snapshot as a ShardedIndex with the
+// stored shard count (1 for monolithic and version-2 files). The loaded
+// index is returned frozen and ready to serve queries.
+func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
+	return readAny(r)
+}
+
+// ReadShardedIndexBytes is ReadShardedIndex over an already-buffered stream.
+// Callers that hold the encoded section in memory (the snapshot bundle
+// reader, after checksumming) use this to skip a second full-stream copy.
+func ReadShardedIndexBytes(data []byte) (*ShardedIndex, error) {
+	return readAnyBytes(data)
+}
+
+// readLegacy loads a version 2/3 stream: documents are re-added through the
+// live tokenisation path (rebuilding all derived state), then each shard's
+// stored postings and positions are verified against the rebuilt maps.
+func readLegacy(br *byteReader, shards int) (*ShardedIndex, error) {
+	s := NewShardedIndex(shards)
+	docCount, err := br.u32()
+	if err != nil {
+		return nil, err
 	}
 	for i := uint32(0); i < docCount; i++ {
 		var fields [4]string
 		for f := range fields {
-			s, err := pr.str()
+			s, err := br.str()
 			if err != nil {
-				return fmt.Errorf("search: doc %d: %w", i, err)
+				return nil, fmt.Errorf("search: doc %d: %w", i, err)
 			}
 			fields[f] = s
 		}
-		add(Document{URL: fields[0], Title: fields[1], Body: fields[2], Lang: fields[3]})
+		s.Add(Document{URL: fields[0], Title: fields[1], Body: fields[2], Lang: fields[3]})
 	}
-	return nil
+	for si, sh := range s.shards {
+		if err := verifyLegacySections(br, sh); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	s.Freeze()
+	return s, nil
 }
 
-// sections verifies one shard's stored postings and positions against the
-// rebuilt state (an integrity check that also keeps the format honest).
-func (pr *persistReader) sections(ix *Index) error {
-	var termCount uint32
-	if err := pr.u32(&termCount); err != nil {
+// verifyLegacySections checks one shard's stored v2/v3 postings and
+// positions against the re-tokenised state (the old formats' integrity
+// sections).
+func verifyLegacySections(br *byteReader, ix *Index) error {
+	termCount, err := br.u32()
+	if err != nil {
 		return err
 	}
 	for i := uint32(0); i < termCount; i++ {
-		term, err := pr.str()
+		term, err := br.str()
 		if err != nil {
 			return err
 		}
-		var n uint32
-		if err := pr.u32(&n); err != nil {
+		n, err := br.u32()
+		if err != nil {
 			return err
 		}
 		rebuilt := ix.postings[term]
@@ -291,11 +770,12 @@ func (pr *persistReader) sections(ix *Index) error {
 			return fmt.Errorf("search: postings mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
 		}
 		for j := uint32(0); j < n; j++ {
-			var doc, tf uint32
-			if err := pr.u32(&doc); err != nil {
+			doc, err := br.u32()
+			if err != nil {
 				return err
 			}
-			if err := pr.u32(&tf); err != nil {
+			tf, err := br.u32()
+			if err != nil {
 				return err
 			}
 			if rebuilt[j].doc != int(doc) || rebuilt[j].tf != int(tf) {
@@ -303,17 +783,17 @@ func (pr *persistReader) sections(ix *Index) error {
 			}
 		}
 	}
-	var posTermCount uint32
-	if err := pr.u32(&posTermCount); err != nil {
+	posTermCount, err := br.u32()
+	if err != nil {
 		return err
 	}
 	for i := uint32(0); i < posTermCount; i++ {
-		term, err := pr.str()
+		term, err := br.str()
 		if err != nil {
 			return err
 		}
-		var n uint32
-		if err := pr.u32(&n); err != nil {
+		n, err := br.u32()
+		if err != nil {
 			return err
 		}
 		rebuilt := ix.positions[term]
@@ -321,19 +801,20 @@ func (pr *persistReader) sections(ix *Index) error {
 			return fmt.Errorf("search: position lists mismatch for %q: %d stored, %d rebuilt", term, n, len(rebuilt))
 		}
 		for j := uint32(0); j < n; j++ {
-			var doc, np uint32
-			if err := pr.u32(&doc); err != nil {
+			doc, err := br.u32()
+			if err != nil {
 				return err
 			}
-			if err := pr.u32(&np); err != nil {
+			np, err := br.u32()
+			if err != nil {
 				return err
 			}
 			if rebuilt[j].doc != int(doc) || uint32(len(rebuilt[j].pos)) != np {
 				return fmt.Errorf("search: position list %d of %q differs", j, term)
 			}
 			for pj := uint32(0); pj < np; pj++ {
-				var pos uint32
-				if err := pr.u32(&pos); err != nil {
+				pos, err := br.u32()
+				if err != nil {
 					return err
 				}
 				if rebuilt[j].pos[pj] != int32(pos) {
@@ -343,51 +824,4 @@ func (pr *persistReader) sections(ix *Index) error {
 		}
 	}
 	return nil
-}
-
-// ReadIndex loads a monolithic index previously written with Index.WriteTo.
-// Files written by ShardedIndex.WriteTo with more than one shard must be
-// loaded with ReadShardedIndex (the shard-local doc ids in their integrity
-// sections only make sense against the sharded layout).
-func ReadIndex(r io.Reader) (*Index, error) {
-	pr := &persistReader{br: bufio.NewReader(r)}
-	shards, err := pr.header()
-	if err != nil {
-		return nil, err
-	}
-	if shards != 1 {
-		return nil, fmt.Errorf("search: index has %d shards; use ReadShardedIndex", shards)
-	}
-	ix := NewIndex()
-	if err := pr.docs(ix.Add); err != nil {
-		return nil, err
-	}
-	if err := pr.sections(ix); err != nil {
-		return nil, err
-	}
-	ix.Freeze()
-	return ix, nil
-}
-
-// ReadShardedIndex loads any index snapshot as a ShardedIndex with the
-// stored shard count (1 for monolithic and version-2 files): documents are
-// re-added in global order, which reproduces the round-robin shard layout
-// exactly, then every shard is verified against its stored sections.
-func ReadShardedIndex(r io.Reader) (*ShardedIndex, error) {
-	pr := &persistReader{br: bufio.NewReader(r)}
-	shards, err := pr.header()
-	if err != nil {
-		return nil, err
-	}
-	s := NewShardedIndex(shards)
-	if err := pr.docs(s.Add); err != nil {
-		return nil, err
-	}
-	for si, sh := range s.shards {
-		if err := pr.sections(sh); err != nil {
-			return nil, fmt.Errorf("shard %d: %w", si, err)
-		}
-	}
-	s.Freeze()
-	return s, nil
 }

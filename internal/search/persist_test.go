@@ -2,6 +2,7 @@ package search
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -56,6 +57,65 @@ func TestReadIndexRejectsTruncated(t *testing.T) {
 	for _, cut := range []int{5, 9, len(data) / 2, len(data) - 3} {
 		if _, err := ReadIndex(bytes.NewReader(data[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// failAfter is an io.Writer that accepts n bytes then fails, driving every
+// write-error return in the persist writers.
+type failAfter struct {
+	n int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		k := w.n
+		w.n = 0
+		return k, errors.New("failAfter: write refused")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestWriteToPropagatesErrors sweeps the failure point across the whole
+// stream for both writers: every short write must surface an error (never a
+// silent truncated file).
+func TestWriteToPropagatesErrors(t *testing.T) {
+	mono := smallIndex()
+	var buf bytes.Buffer
+	if _, err := mono.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < buf.Len(); cut += 7 {
+		if _, err := mono.WriteTo(&failAfter{n: cut}); err == nil {
+			t.Fatalf("monolithic WriteTo with write failure at byte %d reported success", cut)
+		}
+	}
+
+	sharded := legacyCorpus(3)
+	buf.Reset()
+	if _, err := sharded.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < buf.Len(); cut += 7 {
+		if _, err := sharded.WriteTo(&failAfter{n: cut}); err == nil {
+			t.Fatalf("sharded WriteTo with write failure at byte %d reported success", cut)
+		}
+	}
+}
+
+// TestReadV4TruncationSweep: every proper prefix of a v4 stream must be
+// rejected with an error — no prefix may load and none may panic.
+func TestReadV4TruncationSweep(t *testing.T) {
+	sharded := legacyCorpus(2)
+	var buf bytes.Buffer
+	if _, err := sharded.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := ReadShardedIndexBytes(data[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", cut, len(data))
 		}
 	}
 }

@@ -130,7 +130,9 @@ func TestShardedPersistRoundTrip(t *testing.T) {
 	}
 	data := buf.Bytes()
 
-	loaded, err := ReadShardedIndex(bytes.NewReader(data))
+	// The bytes-based entry is the one the snapshot bundle reader uses;
+	// exercise it here so both spellings stay equivalent.
+	loaded, err := ReadShardedIndexBytes(data)
 	if err != nil {
 		t.Fatal(err)
 	}

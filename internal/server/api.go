@@ -134,15 +134,29 @@ type ErrorBodyJSON struct {
 
 // StatzJSON is the body of GET /statz.
 type StatzJSON struct {
-	UptimeMs    float64     `json:"uptime_ms"`
-	InFlight    int         `json:"in_flight"`
-	MaxInFlight int         `json:"max_in_flight"`
-	Served      int64       `json:"served"`
-	Rejected    int64       `json:"rejected"`
-	Failed      int64       `json:"failed"`
-	Search      *SearchFull `json:"search,omitempty"`
-	Cache       *CacheFull  `json:"cache,omitempty"`
-	Geo         *GeoFull    `json:"geo,omitempty"`
+	UptimeMs    float64       `json:"uptime_ms"`
+	InFlight    int           `json:"in_flight"`
+	MaxInFlight int           `json:"max_in_flight"`
+	Served      int64         `json:"served"`
+	Rejected    int64         `json:"rejected"`
+	Failed      int64         `json:"failed"`
+	Snapshot    *SnapshotFull `json:"snapshot,omitempty"`
+	Search      *SearchFull   `json:"search,omitempty"`
+	Cache       *CacheFull    `json:"cache,omitempty"`
+	Geo         *GeoFull      `json:"geo,omitempty"`
+}
+
+// SnapshotFull says where the serving world came from: "built" (full
+// in-process world build) or "snapshot" (booted from a TSNP bundle), with
+// the world's identity, the bundle load cost (snapshot boots only) and the
+// number of completed hot-reload swaps since the server started.
+type SnapshotFull struct {
+	Source      string  `json:"source"`
+	Seed        int64   `json:"seed"`
+	Scale       string  `json:"scale"`
+	Classifier  string  `json:"classifier"`
+	LoadMs      float64 `json:"load_ms,omitempty"`
+	ReloadEpoch int64   `json:"reload_epoch"`
 }
 
 // GeoFull is the geo subsystem's point-in-time serving state: the frozen

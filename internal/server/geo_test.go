@@ -171,8 +171,8 @@ func TestStatzGeo(t *testing.T) {
 	if statz.Geo == nil {
 		t.Fatal("statz missing geo block")
 	}
-	if statz.Geo.GazetteerLocations != s.svc.Geo().Len() {
-		t.Errorf("gazetteer_locations = %d, want %d", statz.Geo.GazetteerLocations, s.svc.Geo().Len())
+	if statz.Geo.GazetteerLocations != s.Service().Geo().Len() {
+		t.Errorf("gazetteer_locations = %d, want %d", statz.Geo.GazetteerLocations, s.Service().Geo().Len())
 	}
 	if statz.Geo.Requests < 1 || statz.Geo.CellsResolved < 1 {
 		t.Errorf("geo counters not advancing: %+v", statz.Geo)

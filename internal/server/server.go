@@ -39,12 +39,22 @@ type Config struct {
 	MaxBodyBytes int64
 }
 
-// Server routes the v1 API over one repro.Service.
+// Server routes the v1 API over one repro.Service. The service reference is
+// swappable at runtime (Reload): each request loads it exactly once, so a
+// swap between requests is invisible and a request in flight finishes
+// against the service it started with — zero dropped requests.
 type Server struct {
-	svc   *repro.Service
+	svc   atomic.Pointer[repro.Service]
 	cfg   Config
 	sem   chan struct{}
 	start time.Time
+
+	// reloading is true while a Reload is building/loading the replacement
+	// service; /healthz reports not-ready for that window so a balancer
+	// drains politely ahead of the swap. reloadEpoch counts completed
+	// swaps, surfaced on /statz.
+	reloading   atomic.Bool
+	reloadEpoch atomic.Int64
 
 	served   atomic.Int64
 	rejected atomic.Int64
@@ -75,12 +85,48 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
-	return &Server{
-		svc:   cfg.Service,
+	s := &Server{
 		cfg:   cfg,
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		start: time.Now(),
 	}
+	s.svc.Store(cfg.Service)
+	return s
+}
+
+// Service returns the service currently serving requests.
+func (s *Server) Service() *repro.Service { return s.svc.Load() }
+
+// ErrReloadInProgress rejects a Reload that overlaps another: the swap is
+// serialised so two concurrent reloads cannot race the epoch.
+var ErrReloadInProgress = errors.New("server: a reload is already in progress")
+
+// Reload replaces the serving service with the one build returns, atomically
+// and between requests: in-flight requests finish against the service they
+// started with, requests admitted after the swap see only the new one, and
+// no request is dropped either way. The old service's shared query cache (if
+// any) is reset on swap, so verdicts computed against the retired world
+// cannot leak into responses via a still-referenced cache. While build runs,
+// /healthz reports not-ready and the v1 endpoints keep serving from the old
+// service. Only one reload runs at a time; an overlapping call fails fast
+// with ErrReloadInProgress. On build error the old service keeps serving.
+func (s *Server) Reload(build func() (*repro.Service, error)) error {
+	if !s.reloading.CompareAndSwap(false, true) {
+		return ErrReloadInProgress
+	}
+	defer s.reloading.Store(false)
+	next, err := build()
+	if err != nil {
+		return err
+	}
+	old := s.svc.Swap(next)
+	s.reloadEpoch.Add(1)
+	if old != nil && old != next {
+		if c := old.Lab().Cache; c != nil {
+			c.Reset()
+		}
+	}
+	return nil
 }
 
 // Handler returns the route table:
@@ -147,7 +193,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release(1)
-	resp, err := s.svc.Annotate(r.Context(), req)
+	resp, err := s.Service().Annotate(r.Context(), req)
 	if err != nil {
 		s.writeServiceError(w, err)
 		return
@@ -179,7 +225,7 @@ func (s *Server) handleGeocode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release(1)
-	resp, err := s.svc.Geocode(r.Context(), req)
+	resp, err := s.Service().Geocode(r.Context(), req)
 	if err != nil {
 		s.writeServiceError(w, err)
 		return
@@ -216,7 +262,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release(len(reqs))
-	resps, err := s.svc.AnnotateBatch(r.Context(), reqs)
+	resps, err := s.Service().AnnotateBatch(r.Context(), reqs)
 	if err != nil {
 		s.writeServiceError(w, err)
 		return
@@ -230,11 +276,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is the readiness signal: "ok" while serving steadily, 503
+// "reloading" while a Reload is building its replacement service — a
+// balancer can drain the replica ahead of the swap. The v1 endpoints keep
+// serving (from the old service) for the whole window either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.reloading.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthJSON{Status: "reloading"})
+		return
+	}
 	writeJSON(w, http.StatusOK, HealthJSON{Status: "ok"})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	svc := s.Service()
 	out := StatzJSON{
 		UptimeMs:    float64(time.Since(s.start)) / float64(time.Millisecond),
 		InFlight:    len(s.sem),
@@ -243,9 +298,20 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Rejected:    s.rejected.Load(),
 		Failed:      s.failed.Load(),
 	}
-	es := s.svc.Engine().Stats()
+	out.Snapshot = &SnapshotFull{
+		Source:      "built",
+		Seed:        svc.Seed(),
+		Scale:       svc.Scale(),
+		Classifier:  svc.ClassifierName(),
+		ReloadEpoch: s.reloadEpoch.Load(),
+	}
+	if info := svc.Snapshot(); info != nil {
+		out.Snapshot.Source = "snapshot"
+		out.Snapshot.LoadMs = float64(info.LoadDuration) / float64(time.Millisecond)
+	}
+	es := svc.Engine().Stats()
 	out.Search = &SearchFull{
-		IndexDocs:      s.svc.Engine().IndexSize(),
+		IndexDocs:      svc.Engine().IndexSize(),
 		Queries:        es.Queries,
 		Batches:        es.Batches,
 		BatchedQueries: es.BatchedQueries,
@@ -255,7 +321,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	if es.Batches > 0 {
 		out.Search.AvgBatchSize = float64(es.BatchedQueries) / float64(es.Batches)
 	}
-	if c := s.svc.Lab().Cache; c != nil {
+	if c := svc.Lab().Cache; c != nil {
 		st := c.Stats()
 		out.Cache = &CacheFull{
 			Hits:        st.Hits,
@@ -267,7 +333,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	out.Geo = &GeoFull{
-		GazetteerLocations: s.svc.Geo().Len(),
+		GazetteerLocations: svc.Geo().Len(),
 		Requests:           s.geoRequests.Load(),
 		CellsResolved:      s.geoResolved.Load(),
 	}

@@ -1,0 +1,46 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadSnapshot: arbitrary bytes must never panic Read — every rejection
+// is a typed *FormatError or *ChecksumError, and anything accepted must be a
+// usable bundle that re-serialises cleanly. Seeds cover the valid stream,
+// truncations at the header/table/payload boundaries and single-byte flips;
+// the checked-in corpus under testdata/fuzz/FuzzReadSnapshot replays past
+// crashers by name in CI.
+func FuzzReadSnapshot(f *testing.F) {
+	valid := tinyBundleBytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 3, 4, 8, 12, len(valid) / 4, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	for _, off := range []int{0, 5, 9, 13, 40, len(valid) / 3, len(valid) - 2} {
+		mutated := append([]byte(nil), valid...)
+		mutated[off] ^= 0xFF
+		f.Add(mutated)
+	}
+	f.Add([]byte("TSNP"))
+	f.Add(append(append([]byte(nil), valid...), 0xAA)) // trailing garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Read(bytes.NewReader(data))
+		if err != nil {
+			var fe *FormatError
+			var ce *ChecksumError
+			if !errors.As(err, &fe) && !errors.As(err, &ce) {
+				t.Fatalf("untyped error %T: %v", err, err)
+			}
+			return
+		}
+		// Accepted bundles must hold working components and re-serialise.
+		_ = b.Index.Search("museum", 3)
+		_ = b.Gazetteer.Geocode("Paris")
+		if _, err := b.WriteTo(&bytes.Buffer{}); err != nil {
+			t.Fatalf("accepted bundle failed to re-serialise: %v", err)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/gazetteer"
 	"repro/internal/kb"
 	"repro/internal/search"
+	"repro/internal/snapshot"
 	"repro/internal/table"
 	"repro/internal/world"
 )
@@ -37,7 +39,10 @@ const (
 	ClassifierBayes = "bayes"
 )
 
-// settings accumulates the functional options of New.
+// settings accumulates the functional options of New. The *Set flags record
+// which identity options were given explicitly, so a snapshot boot can
+// distinguish "caller pinned this value" (refuse on manifest mismatch) from
+// "caller took the default" (inherit the manifest's value).
 type settings struct {
 	seed            int64
 	scale           string
@@ -47,6 +52,12 @@ type settings struct {
 	cacheMaxEntries int
 	cacheTTL        time.Duration
 	searchShards    int
+	snapshotPath    string
+
+	seedSet       bool
+	scaleSet      bool
+	classifierSet bool
+	shardsSet     bool
 }
 
 // Option configures New. Options validate eagerly: an invalid value makes
@@ -59,6 +70,7 @@ type Option func(*settings) error
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {
 		s.seed = seed
+		s.seedSet = true
 		return nil
 	}
 }
@@ -69,6 +81,7 @@ func WithScale(scale string) Option {
 		switch scale {
 		case ScaleSmall, ScaleFull:
 			s.scale = scale
+			s.scaleSet = true
 			return nil
 		}
 		return &OptionError{Option: "WithScale", Value: scale, Allowed: []string{ScaleSmall, ScaleFull}}
@@ -83,6 +96,7 @@ func WithClassifier(name string) Option {
 		switch name {
 		case ClassifierSVM, ClassifierBayes:
 			s.classifier = name
+			s.classifierSet = true
 			return nil
 		}
 		return &OptionError{Option: "WithClassifier", Value: name, Allowed: []string{ClassifierSVM, ClassifierBayes}}
@@ -114,6 +128,29 @@ func WithSearchShards(n int) Option {
 			return &OptionError{Option: "WithSearchShards", Value: fmt.Sprint(n)}
 		}
 		s.searchShards = n
+		s.shardsSet = n != 0
+		return nil
+	}
+}
+
+// WithSnapshot boots the service from a prebuilt TSNP bundle (written by
+// Service.WriteSnapshot or cmd/snapshot) instead of rebuilding the world:
+// the search index, gazetteer and both trained classifiers stream in
+// sequentially, so startup is IO-bound rather than compute-bound. The
+// service inherits the bundle manifest's seed, scale and shard count; if any
+// of those are ALSO set explicitly (WithSeed, WithScale, WithSearchShards)
+// and disagree with the manifest, New refuses with a *SnapshotMismatchError
+// rather than serving results the flags did not ask for. WithClassifier
+// still selects freely — both classifiers travel in every bundle. A
+// snapshot-booted service has no synthetic universe attached: World, KB and
+// Lab dataset fields are nil, and only the serving surface (Annotate,
+// Geocode, Explain and friends) is available.
+func WithSnapshot(path string) Option {
+	return func(s *settings) error {
+		if path == "" {
+			return &OptionError{Option: "WithSnapshot", Value: path}
+		}
+		s.snapshotPath = path
 		return nil
 	}
 }
@@ -159,11 +196,43 @@ func WithCacheLimits(maxEntries int, ttl time.Duration) Option {
 type Service struct {
 	lab         *eval.Lab
 	clf         string
+	scale       string
 	parallelism int
+	// buildDur is the wall-clock cost of New: the full world build, or the
+	// snapshot load. Surfaced on /statz and recorded into manifests this
+	// service writes.
+	buildDur time.Duration
+	// snap describes the bundle the service was booted from; nil when the
+	// world was built from scratch.
+	snap *SnapshotInfo
 	// base is the immutable pipeline configuration every request derives
 	// from; the expensive components (classifier, engine, gazetteer) are
 	// shared by reference and never rebuilt per request.
 	base annotate.Config
+}
+
+// SnapshotInfo describes the bundle a snapshot-booted service loaded,
+// flattened from the bundle manifest plus the observed load cost.
+type SnapshotInfo struct {
+	// Path is the bundle file the service booted from.
+	Path string
+	// Seed, Scale, Classifier, SearchShards, Docs and Locations mirror the
+	// bundle manifest (Classifier is the kind the writing service served
+	// with, not necessarily this one — see WithClassifier).
+	Seed         int64
+	Scale        string
+	Classifier   string
+	SearchShards int
+	Docs         int
+	Locations    int
+	// CreatedAtUnix, BuildMillis and Tool are the manifest's build
+	// metadata: when the bundle was written, how long the build that
+	// produced it took, and by which tool.
+	CreatedAtUnix int64
+	BuildMillis   int64
+	Tool          string
+	// LoadDuration is how long this service took to load the bundle.
+	LoadDuration time.Duration
 }
 
 // New builds the service. Construction is the expensive step (it generates
@@ -181,6 +250,9 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if st.snapshotPath != "" {
+		return newFromSnapshot(ctx, st)
+	}
 
 	cfg := eval.LabConfig{
 		Seed:            st.seed,
@@ -196,26 +268,137 @@ func New(ctx context.Context, opts ...Option) (*Service, error) {
 		cfg.MaxTrainEntities = 60
 	}
 
+	start := time.Now()
 	built := make(chan *eval.Lab, 1)
 	go func() { built <- eval.NewLab(cfg) }()
 	select {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case lab := <-built:
-		s := &Service{lab: lab, clf: st.classifier, parallelism: st.parallelism}
-		s.base = annotate.Config{
-			Searcher:     lab.Engine,
-			Classifier:   s.Classifier(st.classifier),
-			Types:        eval.TypeStrings(),
-			Postprocess:  true,
-			Disambiguate: true,
-			Gazetteer:    lab.Geo,
-			Parallelism:  st.parallelism,
-			Cache:        lab.Cache,
-			CacheSalt:    st.classifier,
-		}
+		s := &Service{lab: lab, clf: st.classifier, scale: st.scale, parallelism: st.parallelism, buildDur: time.Since(start)}
+		s.finish(st)
 		return s, nil
 	}
+}
+
+// finish derives the shared base config once the lab is in place.
+func (s *Service) finish(st settings) {
+	s.base = annotate.Config{
+		Searcher:     s.lab.Engine,
+		Classifier:   s.Classifier(s.clf),
+		Types:        eval.TypeStrings(),
+		Postprocess:  true,
+		Disambiguate: true,
+		Gazetteer:    s.lab.Geo,
+		Parallelism:  st.parallelism,
+		Cache:        s.lab.Cache,
+		CacheSalt:    s.clf,
+	}
+}
+
+// newFromSnapshot assembles the service from a TSNP bundle: sequential
+// section reads off one file, no corpus generation, no training. The load
+// runs in a background goroutine so ctx cancellation returns promptly (the
+// abandoned load completes and is discarded, mirroring New's build path).
+func newFromSnapshot(ctx context.Context, st settings) (*Service, error) {
+	type loaded struct {
+		bundle *snapshot.Bundle
+		dur    time.Duration
+		err    error
+	}
+	ch := make(chan loaded, 1)
+	go func() {
+		start := time.Now()
+		b, err := snapshot.ReadFile(st.snapshotPath)
+		ch <- loaded{b, time.Since(start), err}
+	}()
+	var l loaded
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case l = <-ch:
+	}
+	if l.err != nil {
+		return nil, fmt.Errorf("repro: loading snapshot %s: %w", st.snapshotPath, l.err)
+	}
+	m := l.bundle.Manifest
+
+	// Identity options that were set explicitly must agree with the
+	// manifest; unset ones inherit its values.
+	if st.seedSet && st.seed != m.Seed {
+		return nil, &SnapshotMismatchError{Option: "WithSeed", Want: fmt.Sprint(st.seed), Have: fmt.Sprint(m.Seed)}
+	}
+	if st.scaleSet && st.scale != m.Scale {
+		return nil, &SnapshotMismatchError{Option: "WithScale", Want: st.scale, Have: m.Scale}
+	}
+	if st.shardsSet && st.searchShards != m.SearchShards {
+		return nil, &SnapshotMismatchError{Option: "WithSearchShards", Want: fmt.Sprint(st.searchShards), Have: fmt.Sprint(m.SearchShards)}
+	}
+
+	cfg := eval.LabConfig{
+		Seed:            m.Seed,
+		Parallelism:     st.parallelism,
+		ShareCache:      st.shareCache,
+		CacheMaxEntries: st.cacheMaxEntries,
+		CacheTTL:        st.cacheTTL,
+		SearchShards:    m.SearchShards,
+	}
+	clf := st.classifier
+	if !st.classifierSet && (m.Classifier == ClassifierSVM || m.Classifier == ClassifierBayes) {
+		clf = m.Classifier
+	}
+	lab := eval.NewServedLab(cfg, search.NewShardedEngine(l.bundle.Index), l.bundle.Gazetteer, l.bundle.SVM, l.bundle.Bayes)
+	s := &Service{
+		lab:         lab,
+		clf:         clf,
+		scale:       m.Scale,
+		parallelism: st.parallelism,
+		buildDur:    l.dur,
+		snap: &SnapshotInfo{
+			Path:          st.snapshotPath,
+			Seed:          m.Seed,
+			Scale:         m.Scale,
+			Classifier:    m.Classifier,
+			SearchShards:  m.SearchShards,
+			Docs:          m.Docs,
+			Locations:     m.Locations,
+			CreatedAtUnix: m.CreatedAtUnix,
+			BuildMillis:   m.BuildMillis,
+			Tool:          m.Tool,
+			LoadDuration:  l.dur,
+		},
+	}
+	s.finish(st)
+	return s, nil
+}
+
+// WriteSnapshot serialises the service's serving artifacts — search index,
+// gazetteer, both classifiers — as a TSNP v1 bundle that WithSnapshot (and
+// cmd/serve -snapshot-file) can boot from. tool names the writer in the
+// bundle manifest.
+func (s *Service) WriteSnapshot(w io.Writer, tool string) (int64, error) {
+	six := s.lab.Engine.ShardedIndex()
+	if six == nil {
+		return 0, fmt.Errorf("repro: the service's engine wraps a monolithic index; only sharded services snapshot")
+	}
+	b := &snapshot.Bundle{
+		Manifest: snapshot.Manifest{
+			Seed:          s.lab.Cfg.Seed,
+			Scale:         s.scale,
+			Classifier:    s.clf,
+			SearchShards:  six.NumShards(),
+			Docs:          six.Len(),
+			Locations:     s.lab.Geo.Len(),
+			CreatedAtUnix: time.Now().Unix(),
+			BuildMillis:   s.buildDur.Milliseconds(),
+			Tool:          tool,
+		},
+		Index:     six,
+		Gazetteer: s.lab.Geo,
+		SVM:       s.lab.SVM,
+		Bayes:     s.lab.Bayes,
+	}
+	return b.WriteTo(w)
 }
 
 // Toggle is a three-state request switch for pipeline stages whose service
@@ -667,9 +850,34 @@ func (s *Service) Classifier(name string) classify.Classifier {
 // Engine exposes the simulated web search engine.
 func (s *Service) Engine() *search.Engine { return s.lab.Engine }
 
+// Seed is the seed the service's world was built from (for a snapshot boot,
+// the seed recorded in the bundle manifest).
+func (s *Service) Seed() int64 { return s.lab.Cfg.Seed }
+
+// Scale is the corpus scale: ScaleSmall or ScaleFull.
+func (s *Service) Scale() string { return s.scale }
+
+// ClassifierName is the snippet classifier the service annotates with:
+// ClassifierSVM or ClassifierBayes.
+func (s *Service) ClassifierName() string { return s.clf }
+
+// BuildDuration is the wall-clock cost of New: the full world build, or the
+// snapshot load for a snapshot-booted service.
+func (s *Service) BuildDuration() time.Duration { return s.buildDur }
+
+// Snapshot describes the bundle the service booted from; nil when the world
+// was built from scratch.
+func (s *Service) Snapshot() *SnapshotInfo { return s.snap }
+
 // Gazetteer exposes the mutable geocoding substrate the universe was built
-// with; the pipeline itself serves from the frozen form (see Geo).
-func (s *Service) Gazetteer() *gazetteer.Gazetteer { return s.lab.World.Gaz }
+// with; the pipeline itself serves from the frozen form (see Geo). It is nil
+// for a snapshot-booted service, which carries only the frozen form.
+func (s *Service) Gazetteer() *gazetteer.Gazetteer {
+	if s.lab.World == nil {
+		return nil
+	}
+	return s.lab.World.Gaz
+}
 
 // Geo exposes the immutable gazetteer the annotation pipeline and the
 // geocode endpoint serve from.

@@ -1,0 +1,172 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTestSnapshot snapshots the shared test service into dir and returns
+// the bundle path.
+func writeTestSnapshot(t *testing.T, svc *Service) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "world.tsnp")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.WriteSnapshot(f, "service_snapshot_test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServiceSnapshotRoundTrip is the package-level differential: a service
+// booted from a snapshot answers Annotate, Geocode and Explain identically
+// to the service the snapshot was written from.
+func TestServiceSnapshotRoundTrip(t *testing.T) {
+	svc := testService(t)
+	path := writeTestSnapshot(t, svc)
+
+	loaded, err := New(context.Background(), WithSnapshot(path), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded service inherits the manifest's identity.
+	if loaded.Seed() != svc.Seed() || loaded.Scale() != svc.Scale() || loaded.ClassifierName() != svc.ClassifierName() {
+		t.Errorf("loaded identity (seed %d, scale %s, clf %s) != built (%d, %s, %s)",
+			loaded.Seed(), loaded.Scale(), loaded.ClassifierName(), svc.Seed(), svc.Scale(), svc.ClassifierName())
+	}
+	snap := loaded.Snapshot()
+	if snap == nil {
+		t.Fatal("snapshot-booted service reports Snapshot() == nil")
+	}
+	if snap.Path != path || snap.Seed != svc.Seed() || snap.Tool != "service_snapshot_test" {
+		t.Errorf("SnapshotInfo = %+v", snap)
+	}
+	if svc.Snapshot() != nil {
+		t.Error("built-from-scratch service reports a SnapshotInfo")
+	}
+
+	tbl := testTable(t, svc)
+	ctx := context.Background()
+	req := &AnnotateRequest{Table: tbl, Geocode: true, Trace: true}
+	want, err := svc.Annotate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Annotate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Timing, got.Timing = Timing{}, Timing{}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("snapshot-booted Annotate diverged:\n got %+v\nwant %+v", got, want)
+	}
+
+	gw, err := svc.Geocode(ctx, &GeocodeRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := loaded.Geocode(ctx, &GeocodeRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Timing, gg.Timing = Timing{}, Timing{}
+	if !reflect.DeepEqual(gg, gw) {
+		t.Errorf("snapshot-booted Geocode diverged:\n got %+v\nwant %+v", gg, gw)
+	}
+
+	// A snapshot of the loaded service reproduces the payload sections
+	// byte-for-byte (the manifest's CreatedAt/BuildMillis legitimately
+	// differ, so compare via a second load's responses instead of bytes).
+	again := writeTestSnapshot(t, loaded)
+	reloaded, err := New(context.Background(), WithSnapshot(again), WithParallelism(4))
+	if err != nil {
+		t.Fatalf("re-snapshot of a snapshot-booted service does not load: %v", err)
+	}
+	got2, err := reloaded.Annotate(ctx, &AnnotateRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := svc.Annotate(ctx, &AnnotateRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2.Timing, want2.Timing = Timing{}, Timing{}
+	if !reflect.DeepEqual(got2, want2) {
+		t.Error("second-generation snapshot diverged from the original service")
+	}
+}
+
+// TestWithSnapshotMismatch: explicitly pinned identity options that disagree
+// with the bundle manifest refuse with a typed error; matching ones load.
+func TestWithSnapshotMismatch(t *testing.T) {
+	svc := testService(t)
+	path := writeTestSnapshot(t, svc)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"seed", WithSeed(svc.Seed() + 1)},
+		{"scale", WithScale(ScaleFull)},
+		{"shards", WithSearchShards(svc.Engine().ShardedIndex().NumShards() + 1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(ctx, WithSnapshot(path), tc.opt)
+			var sme *SnapshotMismatchError
+			if !errors.As(err, &sme) {
+				t.Fatalf("New() error = %v, want *SnapshotMismatchError", err)
+			}
+		})
+	}
+
+	// Explicit options that AGREE with the manifest are fine.
+	if _, err := New(ctx, WithSnapshot(path), WithSeed(svc.Seed()), WithScale(ScaleSmall)); err != nil {
+		t.Fatalf("matching explicit options refused: %v", err)
+	}
+	// WithClassifier selects freely — both models travel in the bundle.
+	loaded, err := New(ctx, WithSnapshot(path), WithClassifier(ClassifierBayes))
+	if err != nil {
+		t.Fatalf("WithClassifier(bayes) over an svm-manifest bundle refused: %v", err)
+	}
+	if loaded.ClassifierName() != ClassifierBayes {
+		t.Errorf("ClassifierName() = %q, want bayes", loaded.ClassifierName())
+	}
+}
+
+// TestWithSnapshotBadFile: missing and corrupt bundles fail with errors, and
+// an empty path is an option error.
+func TestWithSnapshotBadFile(t *testing.T) {
+	ctx := context.Background()
+	var oe *OptionError
+	if _, err := New(ctx, WithSnapshot("")); !errors.As(err, &oe) {
+		t.Errorf("WithSnapshot(\"\") error = %v, want *OptionError", err)
+	}
+	if _, err := New(ctx, WithSnapshot(filepath.Join(t.TempDir(), "absent.tsnp"))); err == nil {
+		t.Error("missing bundle file loaded successfully")
+	}
+	svc := testService(t)
+	path := writeTestSnapshot(t, svc)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.tsnp")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(ctx, WithSnapshot(trunc)); err == nil {
+		t.Error("truncated bundle loaded successfully")
+	}
+}
