@@ -2,8 +2,8 @@ package repro
 
 // Guard rails for the standing benchmark trajectory files: BENCH_search.json
 // (cmd/benchsearch), BENCH_annotate.json (cmd/benchannotate),
-// BENCH_geo.json (cmd/benchgeo) and BENCH_boot.json (cmd/benchboot) must
-// always parse, keep at least their
+// BENCH_geo.json (cmd/benchgeo), BENCH_boot.json (cmd/benchboot) and
+// BENCH_cluster.json (cmd/benchcluster) must always parse, keep at least their
 // seeded history, and append chronologically — a rebase or hand-edit that
 // reorders or truncates the history should fail CI, not silently rewrite
 // the project's performance record.
@@ -71,4 +71,51 @@ func TestBenchTrajectoryFiles(t *testing.T) {
 	// The boot trajectory must keep the replay-on-load baseline and the
 	// direct-image load run recorded against it.
 	checkTrajectory(t, "BENCH_boot.json", 2)
+	checkTrajectory(t, "BENCH_cluster.json", 1)
+}
+
+// TestBenchClusterRecord holds the distributed tier to its acceptance bar:
+// the recorded 4-replica saturation run must show at least a 3× aggregate
+// goodput over one process, and hedging must not make the tail worse than
+// running the same router unhedged over the same stalled workers.
+func TestBenchClusterRecord(t *testing.T) {
+	data, err := os.ReadFile("BENCH_cluster.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj struct {
+		Runs []struct {
+			Label    string  `json:"label"`
+			Replicas int     `json:"replicas"`
+			Speedup  float64 `json:"speedup_cluster_over_single"`
+			Tail     struct {
+				UnhedgedP999Ms float64 `json:"unhedged_p999_ms"`
+				HedgedP999Ms   float64 `json:"hedged_p999_ms"`
+				HedgesFired    int64   `json:"hedges_fired"`
+			} `json:"tail"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) == 0 {
+		t.Fatal("BENCH_cluster.json records no runs")
+	}
+	r := traj.Runs[len(traj.Runs)-1]
+	if r.Replicas < 4 {
+		t.Errorf("latest run measured %d replicas, want the 4-replica point", r.Replicas)
+	}
+	if r.Speedup < 3 {
+		t.Errorf("latest run %q: cluster speedup %.2fx, want >= 3x over a single process", r.Label, r.Speedup)
+	}
+	if r.Tail.HedgedP999Ms <= 0 || r.Tail.UnhedgedP999Ms <= 0 {
+		t.Fatalf("latest run %q: tail phase not recorded: %+v", r.Label, r.Tail)
+	}
+	if r.Tail.HedgedP999Ms > r.Tail.UnhedgedP999Ms {
+		t.Errorf("latest run %q: hedged p999 %.0fms worse than unhedged %.0fms at the same offered rate",
+			r.Label, r.Tail.HedgedP999Ms, r.Tail.UnhedgedP999Ms)
+	}
+	if r.Tail.HedgesFired == 0 {
+		t.Errorf("latest run %q: hedging never fired during the stall phase", r.Label)
+	}
 }

@@ -1,55 +1,67 @@
 // Command loadgen measures end-to-end throughput of a running cmd/serve
-// instance: it builds tables from the same seeded synthetic universe the
-// server annotates, fires them at POST /v1/annotate from a bounded pool of
-// concurrent clients, and reports throughput, latency percentiles and the
-// server-side query counts.
+// instance — or a whole routed cluster: it builds tables from the same
+// seeded synthetic universe the servers annotate, fires them at the v1 API,
+// and reports throughput, latency percentiles (p50/p90/p99/p999) and the
+// server-side work counters, split per endpoint.
 //
 // Usage:
 //
-//	loadgen [-addr http://localhost:8080] [-n 100] [-c 8] [-rows 5]
-//	        [-seed 42] [-distinct] [-timeout 30s]
+//	loadgen [-addr http://localhost:8080[,http://host2:8080,...]] [-n 100]
+//	        [-c 8] [-rate 0] [-geocode-frac 0] [-rows 5] [-seed 42]
+//	        [-distinct] [-timeout 30s]
 //
-// -seed must match the server's seed for the tables to name entities the
-// server's corpus knows. By default every request reuses the same small pool
-// of entity names, so a server started with -share-cache converges to cache
-// hits — the realistic steady state for repeated corpora. -distinct suffixes
-// every cell with the request index instead, forcing unique queries and
-// exercising the full search path on every request.
+// -addr takes one or more comma-separated targets; requests round-robin
+// across them, so the generator can drive a single worker, a set of replicas
+// or a router front-end with the same invocation.
+//
+// By default the generator is closed-loop: -c clients each fire their next
+// request as soon as the last one returns, so the offered load adapts to the
+// server's speed. With -rate R it becomes open-loop: requests arrive as a
+// Poisson process at R req/s on their own schedule, whether or not earlier
+// requests have returned — the right model for measuring saturation and tail
+// latency, because a slow server faces the same offered load as a fast one.
+//
+// -geocode-frac splits traffic between POST /v1/annotate and POST
+// /v1/geocode. -seed must match the server's seed for the tables to name
+// entities the server's corpus knows. By default every request reuses the
+// same small pool of entity names, so a server started with -share-cache
+// converges to cache hits; -distinct suffixes every cell with the request
+// index instead, forcing unique queries and exercising the full search path
+// on every request.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"sort"
-	"sync"
+	"strings"
 	"time"
 
-	"repro/internal/server"
-	"repro/internal/table"
-	"repro/internal/world"
+	"repro/internal/load"
 )
 
 // options are the parsed flags; separated from main so tests can drive run.
 type options struct {
-	addr     string
-	n        int
-	c        int
-	rows     int
-	seed     int64
-	distinct bool
-	timeout  time.Duration
+	addr        string
+	n           int
+	c           int
+	rate        float64
+	geocodeFrac float64
+	rows        int
+	seed        int64
+	distinct    bool
+	timeout     time.Duration
 }
 
 func main() {
 	var opts options
-	flag.StringVar(&opts.addr, "addr", "http://localhost:8080", "base URL of the serve instance")
+	flag.StringVar(&opts.addr, "addr", "http://localhost:8080", "comma-separated base URLs of the serving targets")
 	flag.IntVar(&opts.n, "n", 100, "total requests to send")
-	flag.IntVar(&opts.c, "c", 8, "concurrent clients")
+	flag.IntVar(&opts.c, "c", 8, "concurrent clients (closed-loop mode)")
+	flag.Float64Var(&opts.rate, "rate", 0, "open-loop Poisson arrival rate in req/s (0 = closed loop)")
+	flag.Float64Var(&opts.geocodeFrac, "geocode-frac", 0, "fraction of requests sent to /v1/geocode (0..1)")
 	flag.IntVar(&opts.rows, "rows", 5, "rows per request table")
 	flag.Int64Var(&opts.seed, "seed", 42, "universe seed (must match the server)")
 	flag.BoolVar(&opts.distinct, "distinct", false, "make every cell value unique (defeats the server's query cache)")
@@ -60,148 +72,100 @@ func main() {
 
 // run executes the load test and returns the process exit code.
 func run(opts options, stdout, stderr io.Writer) int {
-	if opts.n <= 0 || opts.c <= 0 || opts.rows <= 0 {
-		fmt.Fprintln(stderr, "loadgen: -n, -c and -rows must be positive")
+	if opts.n <= 0 || opts.rows <= 0 || (opts.rate <= 0 && opts.c <= 0) {
+		fmt.Fprintln(stderr, "loadgen: -n and -rows must be positive, and closed-loop mode needs -c")
+		return 2
+	}
+	if opts.geocodeFrac < 0 || opts.geocodeFrac > 1 {
+		fmt.Fprintln(stderr, "loadgen: -geocode-frac must be within 0..1")
+		return 2
+	}
+	var targets []string
+	for _, a := range strings.Split(opts.addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(stderr, "loadgen: -addr needs at least one target")
 		return 2
 	}
 
-	// The same small-scale universe the server builds: its entity names
-	// are the workload.
-	w := world.Generate(world.Config{Seed: opts.seed, KBPerType: 60})
-	ents := w.TableEntities(world.Restaurant)
-	if len(ents) == 0 {
-		fmt.Fprintln(stderr, "loadgen: universe has no restaurant entities")
+	res, err := load.Run(load.Config{
+		Targets:     targets,
+		N:           opts.n,
+		Concurrency: opts.c,
+		Rate:        opts.rate,
+		GeocodeFrac: opts.geocodeFrac,
+		Rows:        opts.rows,
+		Seed:        opts.seed,
+		Distinct:    opts.distinct,
+		Timeout:     opts.timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "loadgen:", err)
 		return 1
 	}
-
-	bodies := make([][]byte, opts.n)
-	for i := range bodies {
-		bodies[i] = requestBody(i, opts.rows, ents, opts.distinct)
+	for _, ep := range []*load.Endpoint{&res.Annotate, &res.Geocode} {
+		if ep.FirstErr != nil {
+			fmt.Fprintln(stderr, "loadgen: request error:", ep.FirstErr)
+		}
 	}
 
-	client := &http.Client{Timeout: opts.timeout}
-	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		statuses  = map[int]int{}
-		queries   int
-		annotated int
-		firstErr  error
-	)
-	startAll := time.Now()
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for worker := 0; worker < opts.c; worker++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				start := time.Now()
-				status, resp, err := post(client, opts.addr+"/v1/annotate", bodies[i])
-				lat := time.Since(start)
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-				} else {
-					statuses[status]++
-					latencies = append(latencies, lat)
-					if resp != nil {
-						queries += resp.Stats.Queries
-						annotated += resp.Stats.Annotated
-					}
-				}
-				mu.Unlock()
-			}
-		}()
+	if opts.rate > 0 {
+		fmt.Fprintf(stdout, "sent %d requests in %v (offered %.1f req/s open-loop, %.1f ok/s goodput)\n",
+			opts.n, res.Wall.Round(time.Millisecond), opts.rate, float64(res.OK())/res.Wall.Seconds())
+	} else {
+		fmt.Fprintf(stdout, "sent %d requests in %v (%.1f req/s) with %d clients\n",
+			opts.n, res.Wall.Round(time.Millisecond), float64(opts.n)/res.Wall.Seconds(), opts.c)
 	}
-	for i := 0; i < opts.n; i++ {
-		next <- i
+	statuses := map[int]int{}
+	for code, n := range res.Annotate.Statuses {
+		statuses[code] += n
 	}
-	close(next)
-	wg.Wait()
-	wall := time.Since(startAll)
-
-	if firstErr != nil {
-		fmt.Fprintln(stderr, "loadgen: request error:", firstErr)
+	for code, n := range res.Geocode.Statuses {
+		statuses[code] += n
 	}
-	ok := statuses[http.StatusOK]
-	fmt.Fprintf(stdout, "sent %d requests in %v (%.1f req/s) with %d clients\n",
-		opts.n, wall.Round(time.Millisecond), float64(opts.n)/wall.Seconds(), opts.c)
-	fmt.Fprintf(stdout, "status: ")
 	codes := make([]int, 0, len(statuses))
 	for code := range statuses {
 		codes = append(codes, code)
 	}
 	sort.Ints(codes)
+	fmt.Fprintf(stdout, "status: ")
 	for _, code := range codes {
 		fmt.Fprintf(stdout, "%d×%d ", statuses[code], code)
 	}
 	fmt.Fprintln(stdout)
-	if ok > 0 {
+
+	if ok := res.Annotate.OK(); ok > 0 {
 		fmt.Fprintf(stdout, "server work: %d annotations, %d search queries (%.1f queries/request)\n",
-			annotated, queries, float64(queries)/float64(ok))
+			res.Annotate.Annotated, res.Annotate.Queries, float64(res.Annotate.Queries)/float64(ok))
 	}
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
-			pct(latencies, 50), pct(latencies, 90), pct(latencies, 99), latencies[len(latencies)-1].Round(time.Millisecond))
+	if res.Geocode.Sent > 0 {
+		fmt.Fprintf(stdout, "geocode work: %d requests, %d cells resolved\n",
+			res.Geocode.OK(), res.Geocode.Resolved)
 	}
-	if firstErr != nil || ok == 0 {
+	if len(res.Annotate.Latencies) > 0 {
+		fmt.Fprintf(stdout, "latency: %s\n", percentileLine(res.Annotate.Latencies))
+	}
+	if len(res.Geocode.Latencies) > 0 {
+		fmt.Fprintf(stdout, "geocode latency: %s\n", percentileLine(res.Geocode.Latencies))
+	}
+
+	if res.Annotate.FirstErr != nil || res.Geocode.FirstErr != nil || res.OK() == 0 {
 		return 1
 	}
 	return 0
 }
 
-// requestBody builds one /v1/annotate JSON body: a Name/Phone restaurant
-// table like the paper's efficiency analysis uses.
-func requestBody(reqIndex, rows int, ents []*world.Entity, distinct bool) []byte {
-	tbl := table.New(fmt.Sprintf("load-%d", reqIndex),
-		table.Column{Header: "Name", Type: table.Text},
-		table.Column{Header: "Phone", Type: table.Text},
-	)
-	for r := 0; r < rows; r++ {
-		e := ents[(reqIndex*rows+r)%len(ents)]
-		name := e.Name
-		if distinct {
-			name = fmt.Sprintf("%s %d-%d", name, reqIndex, r)
-		}
-		if err := tbl.AppendRow(name, e.Phone); err != nil {
-			panic(err)
-		}
-	}
-	var tblJSON bytes.Buffer
-	if err := table.WriteJSON(&tblJSON, tbl); err != nil {
-		panic(err)
-	}
-	body, err := json.Marshal(server.AnnotateRequestJSON{Table: tblJSON.Bytes()})
-	if err != nil {
-		panic(err)
-	}
-	return body
-}
-
-func post(client *http.Client, url string, body []byte) (int, *server.AnnotateResponseJSON, error) {
-	httpResp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, nil, err
-	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode != http.StatusOK {
-		return httpResp.StatusCode, nil, nil
-	}
-	var resp server.AnnotateResponseJSON
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return httpResp.StatusCode, nil, err
-	}
-	return httpResp.StatusCode, &resp, nil
+// percentileLine renders one endpoint's tail profile.
+func percentileLine(sorted []time.Duration) string {
+	return fmt.Sprintf("p50=%v p90=%v p99=%v p999=%v max=%v",
+		pct(sorted, 50), pct(sorted, 90), pct(sorted, 99),
+		load.Percentile(sorted, 999).Round(time.Millisecond),
+		sorted[len(sorted)-1].Round(time.Millisecond))
 }
 
 func pct(sorted []time.Duration, p int) time.Duration {
-	idx := len(sorted) * p / 100
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx].Round(time.Millisecond)
+	return load.Percentile(sorted, p*10).Round(time.Millisecond)
 }

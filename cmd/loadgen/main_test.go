@@ -75,6 +75,50 @@ func TestRunAllRejected(t *testing.T) {
 	}
 }
 
+// TestRunOpenLoopMixedTraffic drives the cluster-driver surface: multiple
+// targets, an open-loop Poisson rate and a geocode traffic share, with the
+// per-endpoint report lines.
+func TestRunOpenLoopMixedTraffic(t *testing.T) {
+	handler := func(t *testing.T) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/v1/annotate":
+				_ = json.NewEncoder(w).Encode(server.AnnotateResponseJSON{
+					Stats: server.StatsJSON{Annotated: 1, Queries: 2},
+				})
+			case "/v1/geocode":
+				_ = json.NewEncoder(w).Encode(server.GeocodeResponseJSON{
+					Stats: server.GeoStatsJSON{Resolved: 3},
+				})
+			default:
+				t.Errorf("unexpected path %s", r.URL.Path)
+			}
+		})
+	}
+	t1 := httptest.NewServer(handler(t))
+	t2 := httptest.NewServer(handler(t))
+	defer t1.Close()
+	defer t2.Close()
+
+	var stdout, stderr bytes.Buffer
+	code := run(options{
+		addr: t1.URL + "," + t2.URL, n: 30, rate: 500, geocodeFrac: 0.4,
+		rows: 2, seed: 42, timeout: 5 * time.Second,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run() = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"offered 500.0 req/s open-loop", "30×200",
+		"geocode work:", "latency: p50=", "p999=", "geocode latency: p50=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run(options{n: 0, c: 1, rows: 1}, &stdout, &stderr); code != 2 {

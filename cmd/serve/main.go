@@ -28,6 +28,22 @@
 //
 // SIGINT/SIGTERM drain in-flight requests and shut down gracefully.
 // cmd/loadgen generates load against a running server.
+//
+// # Router mode
+//
+// With -router, serve becomes the edge of a replicated cluster instead of a
+// worker: it builds no world of its own and proxies the v1 surface to the
+// -workers replicas (each a plain serve instance booted from the SAME
+// snapshot file). Each table is consistent-hashed by its canonical bytes to
+// -replication ring owners; slow requests are hedged to the next owner after
+// a p95-tracked delay (first response wins, the loser is cancelled — disable
+// with -no-hedge), dead workers are retried once, and a background /healthz
+// prober ejects failing workers and readmits them with exponential backoff.
+// GET /statz merges the fleet's counters and adds a "router" section.
+//
+//	serve -router -workers http://h1:8080,http://h2:8080 [-addr :8090]
+//	      [-replication 2] [-no-hedge] [-hedge-initial 100ms]
+//	      [-probe-interval 1s] [-max-inflight 256] [-max-batch 32]
 package main
 
 import (
@@ -38,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,8 +77,20 @@ func main() {
 		maxCells     = flag.Int("max-cells", 100000, "reject tables larger than this many cells")
 		maxBatch     = flag.Int("max-batch", 32, "max requests per /v1/annotate:batch call")
 		snapshotFile = flag.String("snapshot-file", "", "boot from this TSNP bundle instead of building; SIGHUP reloads it")
+
+		routerMode    = flag.Bool("router", false, "run as a cluster router instead of a worker (requires -workers)")
+		workers       = flag.String("workers", "", "router mode: comma-separated worker base URLs (e.g. http://h1:8080,http://h2:8080)")
+		replication   = flag.Int("replication", 2, "router mode: ring owners per table (hedge/retry replica set)")
+		noHedge       = flag.Bool("no-hedge", false, "router mode: disable tail-latency request hedging")
+		hedgeInitial  = flag.Duration("hedge-initial", 100*time.Millisecond, "router mode: hedge delay before the p95 tracker has samples")
+		probeInterval = flag.Duration("probe-interval", time.Second, "router mode: worker /healthz poll interval")
 	)
 	flag.Parse()
+
+	if *routerMode {
+		runRouter(*addr, *workers, *replication, *noHedge, *hedgeInitial, *probeInterval, *maxInflight, *maxBatch)
+		return
+	}
 
 	// Identity flags left at their defaults are not passed alongside a
 	// snapshot, so the bundle manifest's values win; explicitly setting
@@ -157,6 +186,67 @@ func main() {
 	}
 
 	fmt.Fprintln(os.Stderr, "serve: shutting down (draining in-flight requests)...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "serve: bye")
+}
+
+// runRouter runs the distributed-serving edge: a consistent-hash router over
+// the worker replicas, with hedging, health probing and edge admission.
+func runRouter(addr, workers string, replication int, noHedge bool, hedgeInitial, probeInterval time.Duration, maxInflight, maxBatch int) {
+	var urls []string
+	for _, w := range strings.Split(workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			urls = append(urls, strings.TrimRight(w, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "serve: -router requires -workers with at least one worker URL")
+		os.Exit(2)
+	}
+	router, err := server.NewRouter(server.RouterConfig{
+		Workers:        urls,
+		Replication:    replication,
+		MaxInFlight:    maxInflight,
+		MaxBatch:       maxBatch,
+		DisableHedging: noHedge,
+		HedgeInitial:   hedgeInitial,
+		ProbeInterval:  probeInterval,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	defer router.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: router listening on %s (%d workers, replication %d)\n", addr, len(urls), replication)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "serve: router shutting down (draining in-flight requests)...")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

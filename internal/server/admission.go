@@ -1,0 +1,61 @@
+package server
+
+import (
+	"hash/fnv"
+	"strconv"
+)
+
+// semaphore is the bounded in-flight admission primitive shared by the
+// single-process Server and the Router: a buffered channel whose capacity is
+// the in-flight limit. Acquisition is all-or-nothing and never blocks — a
+// full instance sheds the request with 429 instead of queueing into timeout
+// territory.
+type semaphore chan struct{}
+
+func newSemaphore(n int) semaphore { return make(semaphore, n) }
+
+// tryAcquire reserves n slots without blocking. It either reserves all n and
+// returns true, or reserves none and returns false — a partially-admitted
+// batch can never leak slots.
+func (s semaphore) tryAcquire(n int) bool {
+	for i := 0; i < n; i++ {
+		select {
+		case s <- struct{}{}:
+		default:
+			s.release(i)
+			return false
+		}
+	}
+	return true
+}
+
+func (s semaphore) release(n int) {
+	for i := 0; i < n; i++ {
+		<-s
+	}
+}
+
+// inFlight is the number of slots currently held.
+func (s semaphore) inFlight() int { return len(s) }
+
+// retryAfterSeconds derives the Retry-After hint of a 429 from the request's
+// hash: 1 + (key mod 3) seconds. The jitter is deterministic per request —
+// the same request always gets the same hint — but spreads distinct requests
+// over a 3-second window, so a synchronized fleet of clients that all got
+// shed in the same instant does not retry in lockstep and re-stampede the
+// admission gate.
+func retryAfterSeconds(key uint64) string {
+	return strconv.Itoa(1 + int(key%3))
+}
+
+// hashBytes folds one byte slice into an FNV-1a request key. Handlers hash
+// the raw wire table bytes (batches fold every table in order), so the key —
+// and with it the Retry-After jitter and the router's ring placement — is a
+// pure function of the request payload.
+func hashBytes(chunks ...[]byte) uint64 {
+	h := fnv.New64a()
+	for _, c := range chunks {
+		_, _ = h.Write(c)
+	}
+	return h.Sum64()
+}

@@ -119,6 +119,17 @@ type BatchResponseJSON struct {
 	Responses []AnnotateResponseJSON `json:"responses"`
 }
 
+// GeocodeBatchRequestJSON is the body of POST /v1/geocode:batch.
+type GeocodeBatchRequestJSON struct {
+	Requests []GeocodeRequestJSON `json:"requests"`
+}
+
+// GeocodeBatchResponseJSON is the body of a successful POST
+// /v1/geocode:batch; Responses is in request order.
+type GeocodeBatchResponseJSON struct {
+	Responses []GeocodeResponseJSON `json:"responses"`
+}
+
 // ErrorJSON is the body of every non-2xx response.
 type ErrorJSON struct {
 	Error ErrorBodyJSON `json:"error"`
@@ -144,6 +155,38 @@ type StatzJSON struct {
 	Search      *SearchFull   `json:"search,omitempty"`
 	Cache       *CacheFull    `json:"cache,omitempty"`
 	Geo         *GeoFull      `json:"geo,omitempty"`
+	Router      *RouterFull   `json:"router,omitempty"`
+}
+
+// RouterFull is the router tier's own /statz section, absent from a worker's
+// statz. The surrounding StatzJSON counters are the fleet-wide sums of every
+// reachable worker's counters (rejected additionally includes edge sheds);
+// Workers carries the per-worker breakdown.
+type RouterFull struct {
+	WorkersTotal   int                `json:"workers_total"`
+	WorkersHealthy int                `json:"workers_healthy"`
+	Replication    int                `json:"replication"`
+	HedgeDelayMs   float64            `json:"hedge_delay_ms"`
+	HedgesFired    int64              `json:"hedges_fired"`
+	HedgesWon      int64              `json:"hedges_won"`
+	Retries        int64              `json:"retries"`
+	Routed         int64              `json:"routed"`
+	RejectedAtEdge int64              `json:"rejected_at_edge"`
+	NoWorkerErrors int64              `json:"no_worker_errors"`
+	UpstreamErrors int64              `json:"upstream_errors"`
+	Workers        []RouterWorkerJSON `json:"workers"`
+}
+
+// RouterWorkerJSON is one worker's router-side view: health-state counters
+// plus the worker's own served count when its /statz was reachable.
+type RouterWorkerJSON struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	InFlight  int64  `json:"in_flight"`
+	Ejections int64  `json:"ejections"`
+	Reachable bool   `json:"reachable"`
+	Served    int64  `json:"served"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // SnapshotFull says where the serving world came from: "built" (full

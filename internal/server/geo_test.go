@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -152,6 +153,111 @@ func TestGoldenAnnotateGeocodeWire(t *testing.T) {
 		t.Fatalf("status = %d\n%s", rec.Code, rec.Body.String())
 	}
 	goldenCompare(t, "service_annotate_geocode.golden", rec.Body.Bytes())
+}
+
+// TestGeocodeBatchWire: each /v1/geocode:batch entry is identical to a
+// standalone /v1/geocode response over the same table, in request order.
+func TestGeocodeBatchWire(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	tbl := tableJSON(t)
+	single := post(h, "/v1/geocode", mustMarshal(t, GeocodeRequestJSON{Table: tbl}))
+	if single.Code != http.StatusOK {
+		t.Fatalf("geocode status = %d", single.Code)
+	}
+	var want GeocodeResponseJSON
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+	rec := post(h, "/v1/geocode:batch", mustMarshal(t, GeocodeBatchRequestJSON{
+		Requests: []GeocodeRequestJSON{{Table: tbl}, {Table: tbl}},
+	}))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status = %d\n%s", rec.Code, rec.Body.String())
+	}
+	var batch GeocodeBatchResponseJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Responses) != 2 {
+		t.Fatalf("got %d responses, want 2", len(batch.Responses))
+	}
+	for i, resp := range batch.Responses {
+		resp.Timing = want.Timing // wall-clock masked
+		if !reflect.DeepEqual(resp, want) {
+			t.Errorf("batch entry %d diverges from the standalone geocode:\n %+v\n %+v", i, resp, want)
+		}
+	}
+	// The geo counters advance once per batched table.
+	if got := s.geoRequests.Load(); got != 3 {
+		t.Errorf("geoRequests = %d, want 3 (one single + two batched)", got)
+	}
+}
+
+// TestGeocodeBatchValidationWire: batch-shape errors and indexed per-request
+// errors, all before any work starts.
+func TestGeocodeBatchValidationWire(t *testing.T) {
+	h := testServer(t, Config{MaxBatch: 2}).Handler()
+	for _, tc := range []struct {
+		name string
+		body []byte
+		code string
+		frag string
+	}{
+		{"empty batch", []byte(`{"requests": []}`), "invalid_request", "empty"},
+		{"oversized batch", mustMarshal(t, GeocodeBatchRequestJSON{
+			Requests: []GeocodeRequestJSON{{Table: tableJSON(t)}, {Table: tableJSON(t)}, {Table: tableJSON(t)}},
+		}), "invalid_request", "exceeds"},
+		{"unknown field", []byte(`{"requests": [{"tabel": {}}]}`), "invalid_json", "tabel"},
+		{"missing table is indexed", []byte(`{"requests": [{"table": {"name": "t", "columns": [{"header": "A", "type": "text"}], "rows": []}}, {}]}`),
+			"invalid_request", "request 1:"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(h, "/v1/geocode:batch", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400\n%s", rec.Code, rec.Body.String())
+			}
+			e := decodeError(t, rec)
+			if e.Code != tc.code {
+				t.Errorf("code = %q, want %q", e.Code, tc.code)
+			}
+			if !bytes.Contains([]byte(e.Message), []byte(tc.frag)) {
+				t.Errorf("message %q missing %q", e.Message, tc.frag)
+			}
+		})
+	}
+}
+
+// TestGeocodeBatchAdmission: a geocode batch costs one admission slot per
+// table, like the annotate batch, and sheds with the jittered Retry-After.
+func TestGeocodeBatchAdmission(t *testing.T) {
+	s := testServer(t, Config{MaxInFlight: 2, MaxBatch: 8})
+	h := s.Handler()
+	s.sem <- struct{}{}
+	body := mustMarshal(t, GeocodeBatchRequestJSON{
+		Requests: []GeocodeRequestJSON{{Table: tableJSON(t)}, {Table: tableJSON(t)}},
+	})
+	rec := post(h, "/v1/geocode:batch", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429\n%s", rec.Code, rec.Body.String())
+	}
+	if e := decodeError(t, rec); e.Code != "over_capacity" {
+		t.Errorf("code = %q, want over_capacity", e.Code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	if ra != "1" && ra != "2" && ra != "3" {
+		t.Errorf("Retry-After = %q, want a deterministic 1..3s hint", ra)
+	}
+	if rec2 := post(h, "/v1/geocode:batch", body); rec2.Header().Get("Retry-After") != ra {
+		t.Error("Retry-After differs for an identical request")
+	}
+	<-s.sem
+	if rec3 := post(h, "/v1/geocode:batch", body); rec3.Code != http.StatusOK {
+		t.Fatalf("status with free slots = %d, want 200\n%s", rec3.Code, rec3.Body.String())
+	}
+	if got := len(s.sem); got != 0 {
+		t.Errorf("in flight = %d after the batch finished, want 0", got)
+	}
 }
 
 // TestStatzGeo: the /statz geo block reports the frozen gazetteer and the

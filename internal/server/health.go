@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// workerState is one worker's health state machine, driven from two sides:
+// the background prober's periodic /healthz polls, and the router's own
+// transport errors (a connection refused mid-proxy is better evidence than
+// waiting for the next poll). Transitions:
+//
+//	healthy --(FailThreshold consecutive failures)--> ejected
+//	ejected --(one successful probe)--> healthy
+//
+// While ejected the worker takes no traffic and is probed with exponential
+// backoff (doubling from the probe interval up to BackoffMax), so a dead
+// worker costs a bounded trickle of probes; the first success readmits it
+// immediately and resets the backoff.
+type workerState struct {
+	url string
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	backoff     time.Duration
+	nextProbe   time.Time
+	lastErr     string
+
+	ejections int64 // completed healthy->ejected transitions
+
+	inflight atomic.Int64 // router-side attempts currently proxied to this worker
+}
+
+// healthConfig configures the prober; the zero value of every field selects
+// a sensible default.
+type healthConfig struct {
+	// Interval between /healthz polls of a healthy worker. Default 1s.
+	Interval time.Duration
+	// Timeout of one probe request. Default: Interval, at least 100ms.
+	Timeout time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a
+	// worker. Default 3.
+	FailThreshold int
+	// BackoffMax caps the exponential probe backoff of an ejected
+	// worker. Default 30s.
+	BackoffMax time.Duration
+}
+
+func (c *healthConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+		if c.Timeout < 100*time.Millisecond {
+			c.Timeout = 100 * time.Millisecond
+		}
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 30 * time.Second
+	}
+}
+
+// prober owns the health state of every worker and polls them in one
+// background goroutine (started by start, stopped by stop). Workers begin
+// healthy — a router must be able to serve before its first poll completes —
+// and the first failed probe window ejects them soon after boot if they were
+// never really there.
+type prober struct {
+	cfg     healthConfig
+	client  *http.Client
+	workers []*workerState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newProber(urls []string, cfg healthConfig, client *http.Client) *prober {
+	cfg.defaults()
+	p := &prober{
+		cfg:     cfg,
+		client:  client,
+		workers: make([]*workerState, len(urls)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i, url := range urls {
+		p.workers[i] = &workerState{url: url, healthy: true, backoff: cfg.Interval}
+	}
+	return p
+}
+
+func (p *prober) start() {
+	go func() {
+		defer close(p.done)
+		ticker := time.NewTicker(p.cfg.Interval)
+		defer ticker.Stop()
+		p.pollAll() // immediate first pass so a dead worker ejects quickly
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ticker.C:
+				p.pollAll()
+			}
+		}
+	}()
+}
+
+func (p *prober) stopProbing() {
+	close(p.stop)
+	<-p.done
+}
+
+// pollAll probes every worker that is due: healthy workers every tick,
+// ejected workers only when their backoff window has elapsed.
+func (p *prober) pollAll() {
+	now := time.Now()
+	for _, w := range p.workers {
+		w.mu.Lock()
+		due := w.healthy || !now.Before(w.nextProbe)
+		w.mu.Unlock()
+		if due {
+			p.probe(w)
+		}
+	}
+}
+
+// probe performs one /healthz poll and feeds the result into the state
+// machine. Any 2xx is healthy; a transport error, timeout or non-2xx
+// (including the 503 a worker reports mid-reload) counts as a failure.
+func (p *prober) probe(w *workerState) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/healthz", nil)
+	if err != nil {
+		p.observeFailure(w, err.Error())
+		return
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.observeFailure(w, err.Error())
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		p.observeFailure(w, resp.Status)
+		return
+	}
+	w.readmit()
+}
+
+// observeFailure records one failed probe (or one router-side transport
+// error) and ejects the worker once the consecutive-failure threshold is
+// reached. For an already-ejected worker it doubles the probe backoff.
+func (p *prober) observeFailure(w *workerState, reason string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.consecFails++
+	w.lastErr = reason
+	if w.healthy {
+		if w.consecFails >= p.cfg.FailThreshold {
+			w.healthy = false
+			w.ejections++
+			w.backoff = p.cfg.Interval
+			w.nextProbe = time.Now().Add(w.backoff)
+		}
+		return
+	}
+	w.backoff *= 2
+	if w.backoff > p.cfg.BackoffMax {
+		w.backoff = p.cfg.BackoffMax
+	}
+	w.nextProbe = time.Now().Add(w.backoff)
+}
+
+// readmit resets the state machine after a successful probe.
+func (w *workerState) readmit() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.healthy = true
+	w.consecFails = 0
+	w.lastErr = ""
+}
+
+// isHealthy reports whether the worker currently takes traffic.
+func (w *workerState) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// snapshotStats reads the counters the router's /statz reports.
+func (w *workerState) snapshotStats() (healthy bool, ejections int64, lastErr string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy, w.ejections, w.lastErr
+}
+
+// healthyCount is the number of workers currently taking traffic.
+func (p *prober) healthyCount() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.isHealthy() {
+			n++
+		}
+	}
+	return n
+}

@@ -46,7 +46,7 @@ type Config struct {
 type Server struct {
 	svc   atomic.Pointer[repro.Service]
 	cfg   Config
-	sem   chan struct{}
+	sem   semaphore
 	start time.Time
 
 	// reloading is true while a Reload is building/loading the replacement
@@ -87,7 +87,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.MaxInFlight),
+		sem:   newSemaphore(cfg.MaxInFlight),
 		start: time.Now(),
 	}
 	s.svc.Store(cfg.Service)
@@ -134,6 +134,7 @@ func (s *Server) Reload(build func() (*repro.Service, error)) error {
 //	POST /v1/annotate        annotate one table
 //	POST /v1/annotate:batch  annotate several tables over the worker pool
 //	POST /v1/geocode         geocode + disambiguate one table's Location columns
+//	POST /v1/geocode:batch   geocode several tables over the worker pool
 //	GET  /healthz            liveness (the service is built and serving)
 //	GET  /statz              serving, cache and geo statistics
 func (s *Server) Handler() http.Handler {
@@ -141,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/annotate", s.handleAnnotate)
 	mux.HandleFunc("POST /v1/annotate:batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/geocode", s.handleGeocode)
+	mux.HandleFunc("POST /v1/geocode:batch", s.handleGeocodeBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statz", s.handleStatz)
 	return mux
@@ -154,30 +156,22 @@ const statusClientClosedRequest = 499
 // admit tries to reserve n slots of the bounded in-flight semaphore —
 // weighted admission, so a batch of 32 tables costs 32 slots, keeping
 // MaxInFlight a bound on real annotation work. Acquisition never blocks: a
-// full server sheds the request immediately with 429 and a Retry-After
-// hint, keeping latency flat instead of queueing into timeout territory.
-// On success the caller must release(n).
-func (s *Server) admit(w http.ResponseWriter, n int) bool {
-	for i := 0; i < n; i++ {
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			s.release(i)
-			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusTooManyRequests, "over_capacity",
-				fmt.Sprintf("server is at its in-flight limit of %d table annotations", s.cfg.MaxInFlight))
-			return false
-		}
+// full server sheds the request immediately with 429 and a Retry-After hint
+// jittered by the request hash (see retryAfterSeconds), keeping latency flat
+// instead of queueing into timeout territory. On success the caller must
+// release(n).
+func (s *Server) admit(w http.ResponseWriter, n int, key uint64) bool {
+	if !s.sem.tryAcquire(n) {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(key))
+		s.writeError(w, http.StatusTooManyRequests, "over_capacity",
+			fmt.Sprintf("server is at its in-flight limit of %d table annotations", s.cfg.MaxInFlight))
+		return false
 	}
 	return true
 }
 
-func (s *Server) release(n int) {
-	for i := 0; i < n; i++ {
-		<-s.sem
-	}
-}
+func (s *Server) release(n int) { s.sem.release(n) }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	var wire AnnotateRequestJSON
@@ -189,7 +183,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, code, msg)
 		return
 	}
-	if !s.admit(w, 1) {
+	if !s.admit(w, 1, hashBytes(wire.Table)) {
 		return
 	}
 	defer s.release(1)
@@ -221,7 +215,7 @@ func (s *Server) handleGeocode(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, code, msg)
 		return
 	}
-	if !s.admit(w, 1) {
+	if !s.admit(w, 1, hashBytes(wire.Table)) {
 		return
 	}
 	defer s.release(1)
@@ -233,6 +227,57 @@ func (s *Server) handleGeocode(w http.ResponseWriter, r *http.Request) {
 	s.geoRequests.Add(1)
 	s.geoResolved.Add(int64(resp.Stats.Resolved))
 	writeJSON(w, http.StatusOK, geocodeToWire(resp))
+}
+
+// handleGeocodeBatch serves POST /v1/geocode:batch with annotate's batch
+// semantics: every table validates before any work starts, responses come
+// back in request order, and admission is weighted one slot per table — the
+// uniform surface the router proxies.
+func (s *Server) handleGeocodeBatch(w http.ResponseWriter, r *http.Request) {
+	var wire GeocodeBatchRequestJSON
+	if !s.decodeBody(w, r, &wire) {
+		return
+	}
+	if len(wire.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, "invalid_request", "requests is empty")
+		return
+	}
+	if len(wire.Requests) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, "invalid_request",
+			fmt.Sprintf("batch of %d requests exceeds the limit of %d", len(wire.Requests), s.cfg.MaxBatch))
+		return
+	}
+	reqs := make([]*repro.GeocodeRequest, len(wire.Requests))
+	tables := make([][]byte, len(wire.Requests))
+	for i := range wire.Requests {
+		req, err := wire.Requests[i].toRequest()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid_request", fmt.Sprintf("request %d: %s", i, err))
+			return
+		}
+		if status, code, msg, bad := s.tooLarge(req.Table); bad {
+			s.writeError(w, status, code, fmt.Sprintf("request %d: %s", i, msg))
+			return
+		}
+		reqs[i] = req
+		tables[i] = wire.Requests[i].Table
+	}
+	if !s.admit(w, len(reqs), hashBytes(tables...)) {
+		return
+	}
+	defer s.release(len(reqs))
+	resps, err := s.Service().GeocodeBatch(r.Context(), reqs)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	out := GeocodeBatchResponseJSON{Responses: make([]GeocodeResponseJSON, len(resps))}
+	for i, resp := range resps {
+		out.Responses[i] = geocodeToWire(resp)
+		s.geoResolved.Add(int64(resp.Stats.Resolved))
+	}
+	s.geoRequests.Add(int64(len(resps)))
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -250,6 +295,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqs := make([]*repro.AnnotateRequest, len(wire.Requests))
+	tables := make([][]byte, len(wire.Requests))
 	for i := range wire.Requests {
 		req, status, code, msg := s.prepare(&wire.Requests[i])
 		if req == nil {
@@ -257,8 +303,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		reqs[i] = req
+		tables[i] = wire.Requests[i].Table
 	}
-	if !s.admit(w, len(reqs)) {
+	if !s.admit(w, len(reqs), hashBytes(tables...)) {
 		return
 	}
 	defer s.release(len(reqs))

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -659,16 +660,26 @@ type GeocodeResponse struct {
 	Timing Timing
 }
 
+// validateGeocode is the shared request validation of Geocode and
+// GeocodeBatch, so single and batch requests can never drift apart on what
+// they accept.
+func validateGeocode(req *GeocodeRequest) error {
+	if req == nil || req.Table == nil {
+		return &RequestError{Field: "table", Reason: "missing"}
+	}
+	if req.Table.NumCols() == 0 {
+		return &RequestError{Field: "table", Reason: "has no columns"}
+	}
+	return nil
+}
+
 // Geocode resolves one table's Location columns against the gazetteer: the
 // §5.2.2 geocode+disambiguate stage as a standalone request, costing no
 // search-engine queries. It returns a *RequestError for invalid requests and
 // ctx.Err() on cancellation. Safe for concurrent use.
 func (s *Service) Geocode(ctx context.Context, req *GeocodeRequest) (*GeocodeResponse, error) {
-	if req == nil || req.Table == nil {
-		return nil, &RequestError{Field: "table", Reason: "missing"}
-	}
-	if req.Table.NumCols() == 0 {
-		return nil, &RequestError{Field: "table", Reason: "has no columns"}
+	if err := validateGeocode(req); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	gas, err := s.base.GeoAnnotate(ctx, req.Table)
@@ -696,6 +707,76 @@ func geoStats(t *Table, gas []GeoAnnotation) GeoStats {
 		}
 	}
 	return st
+}
+
+// GeocodeBatch geocodes the requests over the service's worker pool and
+// returns the responses in request order — the batch mirror of Geocode with
+// annotate's batch semantics. Every request is validated before any work
+// starts; the first invalid request fails the whole batch with its index, and
+// the lowest-indexed runtime error (or the context error) fails it
+// mid-flight. Safe for concurrent use.
+func (s *Service) GeocodeBatch(parent context.Context, reqs []*GeocodeRequest) ([]*GeocodeResponse, error) {
+	for i, req := range reqs {
+		if err := validateGeocode(req); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	out := make([]*GeocodeResponse, len(reqs))
+	errs := make([]error, len(reqs))
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	workers := s.parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				resp, err := s.Geocode(ctx, reqs[i])
+				if err != nil {
+					errs[i] = err
+					cancel() // abandon the rest of the batch
+					continue
+				}
+				out[i] = resp
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// The cancel() above aborts the batch's other requests once one fails,
+	// so their context.Canceled errors are collateral — report the
+	// lowest-indexed REAL error, and fall back to the parent's own error
+	// when the batch died because the caller cancelled.
+	firstIdx, firstErr := -1, error(nil)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstIdx == -1 {
+			firstIdx, firstErr = i, err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	if firstErr != nil {
+		if perr := parent.Err(); perr != nil {
+			return nil, perr
+		}
+		return nil, fmt.Errorf("request %d: %w", firstIdx, firstErr)
+	}
+	return out, nil
 }
 
 // Explain runs the request in tracing mode ONLY: one human-readable

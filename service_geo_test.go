@@ -75,6 +75,62 @@ func TestGeocodeCancelled(t *testing.T) {
 	}
 }
 
+// TestGeocodeBatch: the batch call mirrors AnnotateBatch's semantics —
+// responses in request order, each identical to a standalone Geocode of the
+// same table.
+func TestGeocodeBatch(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	ctx := context.Background()
+	single, err := svc.Geocode(ctx, &GeocodeRequest{Table: tbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []*GeocodeRequest{{Table: tbl}, {Table: tbl}, {Table: tbl}}
+	resps, err := svc.GeocodeBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, resp := range resps {
+		if !reflect.DeepEqual(resp.Annotations, single.Annotations) {
+			t.Errorf("response %d diverges from the standalone geocode", i)
+		}
+		if resp.Stats != single.Stats {
+			t.Errorf("response %d stats = %+v, want %+v", i, resp.Stats, single.Stats)
+		}
+	}
+}
+
+// TestGeocodeBatchValidation: every request is validated before ANY work
+// starts, and the error names the failing request's index.
+func TestGeocodeBatchValidation(t *testing.T) {
+	svc := testService(t)
+	tbl := testTable(t, svc)
+	var reqErr *RequestError
+	_, err := svc.GeocodeBatch(context.Background(), []*GeocodeRequest{
+		{Table: tbl}, nil, {Table: tbl},
+	})
+	if !errors.As(err, &reqErr) {
+		t.Fatalf("error = %v, want *RequestError", err)
+	}
+	if want := "request 1: "; err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Errorf("error %q does not name request 1", err)
+	}
+}
+
+func TestGeocodeBatchCancelled(t *testing.T) {
+	svc := testService(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := svc.GeocodeBatch(ctx, []*GeocodeRequest{{Table: testTable(t, svc)}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+}
+
 // TestAnnotateGeocodeToggle: the Geocode request flag adds GeoAnnotations to
 // the annotate response — identical to the standalone endpoint's — and its
 // absence keeps the response byte-compatible with the pre-geo wire format.
