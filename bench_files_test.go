@@ -74,6 +74,78 @@ func TestBenchTrajectoryFiles(t *testing.T) {
 	checkTrajectory(t, "BENCH_cluster.json", 1)
 }
 
+// TestBenchGeoRecord holds the component-parallel resolver to its
+// acceptance bar: the recorded huge-table address-workload pair (whole-table
+// engine vs component engine at workers=4, same geometry, >= 5000 rows)
+// must show at least 2x resolve throughput, a genuine decomposition, and a
+// recorded peak-scratch bound well under the whole graph's CSR footprint.
+func TestBenchGeoRecord(t *testing.T) {
+	data, err := os.ReadFile("BENCH_geo.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj struct {
+		Runs []struct {
+			Label  string `json:"label"`
+			Points []struct {
+				Rows               int     `json:"rows"`
+				Edges              int     `json:"edges"`
+				ResolveCellsPerSec float64 `json:"resolve_cells_per_sec"`
+				Workload           string  `json:"workload"`
+				Engine             string  `json:"engine"`
+				Workers            int     `json:"workers"`
+				Components         int     `json:"components"`
+				LargestComponent   int     `json:"largest_component"`
+				PeakScratchBytes   int64   `json:"peak_scratch_bytes"`
+			} `json:"points"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	single := map[int]float64{} // rows -> best recorded single-engine resolve throughput
+	ok := false
+	for _, r := range traj.Runs {
+		for _, p := range r.Points {
+			if p.Workload != "address" || p.Rows < 5000 {
+				continue
+			}
+			if p.Engine == "single" {
+				if p.ResolveCellsPerSec > single[p.Rows] {
+					single[p.Rows] = p.ResolveCellsPerSec
+				}
+				continue
+			}
+			base := single[p.Rows]
+			if p.Engine != "components" || p.Workers != 4 || base == 0 {
+				continue
+			}
+			// Not every recorded pair has to clear the bar (smaller tables
+			// amortize the workers less) — but at least one must.
+			if p.ResolveCellsPerSec < 2*base {
+				continue
+			}
+			if p.Components < 2 || p.LargestComponent == 0 {
+				t.Errorf("run %q rows=%d: no decomposition recorded: %+v", r.Label, p.Rows, p)
+				continue
+			}
+			// The pooled scratch must stay well under the whole graph's
+			// edge arrays alone (8 bytes per directed edge across the two
+			// CSR index arrays is already an undercount of the full-graph
+			// footprint the old engine held).
+			if full := int64(p.Edges) * 8; p.PeakScratchBytes <= 0 || p.PeakScratchBytes >= full {
+				t.Errorf("run %q rows=%d: peak scratch %d bytes not bounded below whole-graph %d",
+					r.Label, p.Rows, p.PeakScratchBytes, full)
+				continue
+			}
+			ok = true
+		}
+	}
+	if !ok {
+		t.Error("BENCH_geo.json records no qualifying huge-table pair (address workload, >= 5000 rows, single vs components at workers=4)")
+	}
+}
+
 // TestBenchClusterRecord holds the distributed tier to its acceptance bar:
 // the recorded 4-replica saturation run must show at least a 3× aggregate
 // goodput over one process, and hedging must not make the tail worse than

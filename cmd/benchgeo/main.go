@@ -18,7 +18,15 @@
 //
 //	benchgeo -label "PR5 sparse graph" [-out BENCH_geo.json]
 //	         [-seed 42] [-scales 1,8,91] [-rows 50] [-cols 4] [-cands 8]
-//	         [-repeat 3]
+//	         [-repeat 3] [-workload figure7|address]
+//	         [-engine components|single] [-workers 0]
+//
+// -workload address switches to contextful "Street, City" geocodes whose
+// voting graph decomposes into many independent components — the huge-table
+// shape the component-parallel resolver targets (use with -rows 5000+).
+// -engine single retains the pre-decomposition whole-table engine for A/B
+// comparison; the default components engine also records components found,
+// the largest component and peak pooled-scratch bytes per point.
 package main
 
 import (
@@ -45,7 +53,10 @@ type geo interface {
 	StreetsIn(gazetteer.LocID) []gazetteer.LocID
 }
 
-// point is one measured operating point of the sweep.
+// point is one measured operating point of the sweep. The decomposition
+// fields (workload, engine, workers, components, largest_component,
+// peak_scratch_bytes) date from the component-parallel resolver and are
+// omitted on the legacy single-graph figure7 points.
 type point struct {
 	GazLocations       int     `json:"gaz_locations"`
 	Rows               int     `json:"rows"`
@@ -55,6 +66,12 @@ type point struct {
 	Edges              int     `json:"edges"`
 	BuildCellsPerSec   float64 `json:"build_cells_per_sec"`
 	ResolveCellsPerSec float64 `json:"resolve_cells_per_sec"`
+	Workload           string  `json:"workload,omitempty"`
+	Engine             string  `json:"engine,omitempty"`
+	Workers            int     `json:"workers,omitempty"`
+	Components         int     `json:"components,omitempty"`
+	LargestComponent   int     `json:"largest_component,omitempty"`
+	PeakScratchBytes   int64   `json:"peak_scratch_bytes,omitempty"`
 }
 
 // run is one labelled benchmark invocation.
@@ -74,30 +91,44 @@ type trajectory struct {
 
 // options carries one invocation's parameters; tests inject smaller ones.
 type options struct {
-	label  string
-	out    string
-	seed   int64
-	scales []int
-	rows   int
-	cols   int
-	cands  int
-	repeat int
+	label    string
+	out      string
+	seed     int64
+	scales   []int
+	rows     int
+	cols     int
+	cands    int
+	repeat   int
+	workload string // "figure7" (ambiguous lookups) or "address" (contextful, decomposes)
+	engine   string // "components" (default) or "single" (retained whole-table engine)
+	workers  int    // component workers; 0 = min(GOMAXPROCS, 8)
 }
 
 func main() {
 	var (
-		label  = flag.String("label", "", "label for this run (required)")
-		out    = flag.String("out", "BENCH_geo.json", "trajectory file to append to")
-		seed   = flag.Int64("seed", 42, "gazetteer seed")
-		scales = flag.String("scales", "1,8,91", "comma-separated gazetteer scales (91 ≈ 100k locations)")
-		rows   = flag.Int("rows", 50, "table rows")
-		cols   = flag.Int("cols", 4, "table columns (1 street column + cols-1 city columns)")
-		cands  = flag.Int("cands", 8, "candidate interpretations per cell")
-		repeat = flag.Int("repeat", 3, "repetitions per operating point (best is kept)")
+		label    = flag.String("label", "", "label for this run (required)")
+		out      = flag.String("out", "BENCH_geo.json", "trajectory file to append to")
+		seed     = flag.Int64("seed", 42, "gazetteer seed")
+		scales   = flag.String("scales", "1,8,91", "comma-separated gazetteer scales (91 ≈ 100k locations)")
+		rows     = flag.Int("rows", 50, "table rows")
+		cols     = flag.Int("cols", 4, "table columns (1 street column + cols-1 city columns)")
+		cands    = flag.Int("cands", 8, "candidate interpretations per cell")
+		repeat   = flag.Int("repeat", 3, "repetitions per operating point (best is kept)")
+		workload = flag.String("workload", "figure7", "table shape: figure7 (ambiguous lookups, one giant component) | address (contextful geocodes, decomposes into many components)")
+		engine   = flag.String("engine", "components", "resolver: components (component-parallel) | single (retained whole-table engine)")
+		workers  = flag.Int("workers", 0, "component workers for -engine components (0 = one per CPU, capped at 8)")
 	)
 	flag.Parse()
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchgeo: -label is required")
+		os.Exit(2)
+	}
+	if *workload != "figure7" && *workload != "address" {
+		fmt.Fprintln(os.Stderr, "benchgeo: -workload must be figure7 or address")
+		os.Exit(2)
+	}
+	if *engine != "components" && *engine != "single" {
+		fmt.Fprintln(os.Stderr, "benchgeo: -engine must be components or single")
 		os.Exit(2)
 	}
 	scaleList, err := parseScales(*scales)
@@ -106,7 +137,8 @@ func main() {
 		os.Exit(2)
 	}
 	o := options{label: *label, out: *out, seed: *seed, scales: scaleList,
-		rows: *rows, cols: *cols, cands: *cands, repeat: *repeat}
+		rows: *rows, cols: *cols, cands: *cands, repeat: *repeat,
+		workload: *workload, engine: *engine, workers: *workers}
 	if err := benchmark(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgeo:", err)
 		os.Exit(1)
@@ -129,6 +161,10 @@ func benchmark(o options, stdout io.Writer) error {
 		r.Points = append(r.Points, p)
 		fmt.Fprintf(stdout, "gaz=%d locs: build %.0f cells/s, resolve %.0f cells/s (%d nodes, %d edges)\n",
 			p.GazLocations, p.BuildCellsPerSec, p.ResolveCellsPerSec, p.Nodes, p.Edges)
+		if p.Components > 0 {
+			fmt.Fprintf(stdout, "  %d components (largest %d nodes), peak scratch %d bytes\n",
+				p.Components, p.LargestComponent, p.PeakScratchBytes)
+		}
 	}
 
 	traj := trajectory{
@@ -159,12 +195,19 @@ func benchmark(o options, stdout io.Writer) error {
 // measure times graph construction and full resolution for one gazetteer.
 func measure(g geo, o options) (point, error) {
 	rng := rand.New(rand.NewSource(o.seed + int64(o.rows)<<16))
-	interps, err := buildInterps(g, rng, o.rows, o.cols, o.cands)
+	var interps []disambig.Interpretation
+	var err error
+	if o.workload == "address" {
+		interps, err = buildAddressInterps(g, rng, o.rows, o.cols)
+	} else {
+		interps, err = buildInterps(g, rng, o.rows, o.cols, o.cands)
+	}
 	if err != nil {
 		return point{}, err
 	}
 	cells := float64(o.rows * o.cols)
-	p := point{Rows: o.rows, Cols: o.cols, CandsPerCell: o.cands}
+	p := point{Rows: o.rows, Cols: o.cols, CandsPerCell: o.cands,
+		Workload: o.workload, Engine: o.engine, Workers: o.workers}
 
 	var bestBuild, bestResolve time.Duration
 	for rep := 0; rep < o.repeat; rep++ {
@@ -177,7 +220,15 @@ func measure(g geo, o options) (point, error) {
 		p.Nodes, p.Edges = gr.NodeCount(), gr.EdgeCount()
 
 		start = time.Now()
-		choice := disambig.Resolve(interps, g)
+		var choice map[disambig.CellRef]gazetteer.LocID
+		if o.engine == "single" {
+			choice, _ = disambig.ResolveScoresSingle(interps, g)
+		} else {
+			var st disambig.Stats
+			choice, _, st = disambig.ResolveScoresOpt(interps, g, disambig.Options{Workers: o.workers})
+			p.Components, p.LargestComponent = st.Components, st.LargestComponent
+			p.PeakScratchBytes = st.PeakScratchBytes
+		}
 		d = time.Since(start)
 		if rep == 0 || d < bestResolve {
 			bestResolve = d
@@ -189,6 +240,36 @@ func measure(g geo, o options) (point, error) {
 	p.BuildCellsPerSec = cells / bestBuild.Seconds()
 	p.ResolveCellsPerSec = cells / bestResolve.Seconds()
 	return p, nil
+}
+
+// buildAddressInterps builds the decomposable huge-table workload: every
+// row's cells are full "Street, City" addresses geocoded with their city
+// context, so candidate sets only couple rows that share a city name and
+// the voting graph splits into many independent components — the shape the
+// component-parallel resolver exists for. Candidate set sizes come from the
+// geocoder itself (the -cands knob does not apply).
+func buildAddressInterps(g geo, rng *rand.Rand, rows, cols int) ([]disambig.Interpretation, error) {
+	cities := g.Cities()
+	if len(cities) == 0 {
+		return nil, fmt.Errorf("gazetteer has no cities")
+	}
+	var interps []disambig.Interpretation
+	for i := 1; i <= rows; i++ {
+		var home gazetteer.LocID
+		var streets []gazetteer.LocID
+		for len(streets) == 0 {
+			home = cities[rng.Intn(len(cities))]
+			streets = g.StreetsIn(home)
+		}
+		for j := 1; j <= cols; j++ {
+			street := streets[rng.Intn(len(streets))]
+			interps = append(interps, disambig.Interpretation{
+				Cell:       disambig.CellRef{Row: i, Col: j},
+				Candidates: g.Geocode(g.Name(street) + ", " + g.Name(home)),
+			})
+		}
+	}
+	return interps, nil
 }
 
 // buildInterps builds the synthetic interpretation grid the paper's Figure 7

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	loadgen [-addr http://localhost:8080[,http://host2:8080,...]] [-n 100]
-//	        [-c 8] [-rate 0] [-geocode-frac 0] [-rows 5] [-seed 42]
-//	        [-distinct] [-timeout 30s]
+//	        [-c 8] [-rate 0] [-geocode-frac 0] [-rows 5] [-geocode-rows 0]
+//	        [-seed 42] [-distinct] [-timeout 30s]
 //
 // -addr takes one or more comma-separated targets; requests round-robin
 // across them, so the generator can drive a single worker, a set of replicas
@@ -50,6 +50,7 @@ type options struct {
 	rate        float64
 	geocodeFrac float64
 	rows        int
+	geocodeRows int
 	seed        int64
 	distinct    bool
 	timeout     time.Duration
@@ -63,6 +64,7 @@ func main() {
 	flag.Float64Var(&opts.rate, "rate", 0, "open-loop Poisson arrival rate in req/s (0 = closed loop)")
 	flag.Float64Var(&opts.geocodeFrac, "geocode-frac", 0, "fraction of requests sent to /v1/geocode (0..1)")
 	flag.IntVar(&opts.rows, "rows", 5, "rows per request table")
+	flag.IntVar(&opts.geocodeRows, "geocode-rows", 0, "rows per geocode table (0 = use -rows); large values drive the streaming geo stage")
 	flag.Int64Var(&opts.seed, "seed", 42, "universe seed (must match the server)")
 	flag.BoolVar(&opts.distinct, "distinct", false, "make every cell value unique (defeats the server's query cache)")
 	flag.DurationVar(&opts.timeout, "timeout", 30*time.Second, "per-request timeout")
@@ -78,6 +80,10 @@ func run(opts options, stdout, stderr io.Writer) int {
 	}
 	if opts.geocodeFrac < 0 || opts.geocodeFrac > 1 {
 		fmt.Fprintln(stderr, "loadgen: -geocode-frac must be within 0..1")
+		return 2
+	}
+	if opts.geocodeRows < 0 {
+		fmt.Fprintln(stderr, "loadgen: -geocode-rows must not be negative")
 		return 2
 	}
 	var targets []string
@@ -98,6 +104,7 @@ func run(opts options, stdout, stderr io.Writer) int {
 		Rate:        opts.rate,
 		GeocodeFrac: opts.geocodeFrac,
 		Rows:        opts.rows,
+		GeocodeRows: opts.geocodeRows,
 		Seed:        opts.seed,
 		Distinct:    opts.distinct,
 		Timeout:     opts.timeout,

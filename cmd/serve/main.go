@@ -10,8 +10,9 @@
 // Usage:
 //
 //	serve [-addr :8080] [-seed 42] [-scale small|full] [-classifier svm|bayes]
-//	      [-parallel 8] [-share-cache] [-cache-max-entries 0] [-cache-ttl 0]
-//	      [-max-inflight 64] [-max-cells 100000] [-snapshot-file world.tsnp]
+//	      [-parallel 8] [-geo-workers 0] [-share-cache] [-cache-max-entries 0]
+//	      [-cache-ttl 0] [-max-inflight 64] [-max-cells 100000]
+//	      [-snapshot-file world.tsnp] [-pprof-addr localhost:6060]
 //
 // By default the server builds the full system (corpus, index, classifiers)
 // before it starts listening; with -snapshot-file it boots from a prebuilt
@@ -52,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -77,6 +79,8 @@ func main() {
 		maxCells     = flag.Int("max-cells", 100000, "reject tables larger than this many cells")
 		maxBatch     = flag.Int("max-batch", 32, "max requests per /v1/annotate:batch call")
 		snapshotFile = flag.String("snapshot-file", "", "boot from this TSNP bundle instead of building; SIGHUP reloads it")
+		geoWorkers   = flag.Int("geo-workers", 0, "disambiguation component workers (0 = one per CPU, capped at 8; results identical at any count)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 
 		routerMode    = flag.Bool("router", false, "run as a cluster router instead of a worker (requires -workers)")
 		workers       = flag.String("workers", "", "router mode: comma-separated worker base URLs (e.g. http://h1:8080,http://h2:8080)")
@@ -86,6 +90,8 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", time.Second, "router mode: worker /healthz poll interval")
 	)
 	flag.Parse()
+
+	startPprof(*pprofAddr)
 
 	if *routerMode {
 		runRouter(*addr, *workers, *replication, *noHedge, *hedgeInitial, *probeInterval, *maxInflight, *maxBatch)
@@ -111,6 +117,7 @@ func main() {
 		opts = append(opts, repro.WithSearchShards(*shards))
 	}
 	opts = append(opts, repro.WithParallelism(*parallel))
+	opts = append(opts, repro.WithGeoWorkers(*geoWorkers))
 	if *shareCache {
 		opts = append(opts, repro.WithSharedCache())
 		if *cacheMax != 0 || *cacheTTL != 0 {
@@ -197,6 +204,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "serve: bye")
+}
+
+// startPprof serves net/http/pprof on its own listener when addr is
+// non-empty, keeping the profiling surface off the v1 API address entirely
+// (separate port, separate mux — an operator firewalls it independently).
+// Profiling is strictly opt-in; the default is no listener at all.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		fmt.Fprintf(os.Stderr, "serve: pprof listening on %s\n", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: pprof:", err)
+		}
+	}()
 }
 
 // runRouter runs the distributed-serving edge: a consistent-hash router over

@@ -160,6 +160,14 @@ type Config struct {
 	// when Cache is nil.
 	CacheSalt string
 
+	// GeoWorkers bounds the worker pool resolving disambiguation
+	// components in parallel inside the geo stage (GeoAnnotate /
+	// PrepareGeo). 0 means min(GOMAXPROCS, 8). The count has no effect
+	// on results — components are independent and scored bit-identically
+	// at any worker count — only on latency and peak scratch memory,
+	// which grows O(largest component × workers).
+	GeoWorkers int
+
 	// geo optionally carries one table's precomputed geocode+disambiguate
 	// resolution (set via PrepareGeo) so the Disambiguate stage and
 	// GeoAnnotate share a single voting pass. Bound to its table: runs

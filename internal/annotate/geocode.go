@@ -35,6 +35,32 @@ type GeoAnnotation struct {
 	Loc gazetteer.LocID
 }
 
+// GeoStageStats describes one geo-stage run: how many cells geocoded and
+// how the disambiguation graph decomposed. Zero when the table had nothing
+// to geocode.
+type GeoStageStats struct {
+	// Cells is the number of cells that geocoded to at least one
+	// candidate (= the interpretations fed to disambiguation).
+	Cells int
+	// Components, LargestComponent and Edges describe the voting graph's
+	// connected-component decomposition (see disambig.Stats).
+	Components       int
+	LargestComponent int
+	// PeakScratchBytes is the high-water mark of pooled per-component
+	// scratch held concurrently during resolution — the O(largest
+	// component × workers) memory bound made observable.
+	PeakScratchBytes int64
+}
+
+func stageStats(cells int, st disambig.Stats) GeoStageStats {
+	return GeoStageStats{
+		Cells:            cells,
+		Components:       st.Components,
+		LargestComponent: st.LargestComponent,
+		PeakScratchBytes: st.PeakScratchBytes,
+	}
+}
+
 // geoResolution is one table's geocode+disambiguate result — the geocoded
 // interpretations and the voting outcome — computed once and shared between
 // the §5.2.2 spatial query augmentation and the GeoAnnotate output so a
@@ -44,6 +70,7 @@ type geoResolution struct {
 	interps []disambig.Interpretation
 	choice  map[disambig.CellRef]gazetteer.LocID
 	detail  map[disambig.CellRef]map[gazetteer.LocID]float64
+	stats   GeoStageStats
 }
 
 // resolveGeo geocodes the table's Location columns and runs the voting
@@ -55,6 +82,24 @@ type geoResolution struct {
 // Disambiguate stage inside plan() passes no ctx, preserving its historical
 // run-to-completion semantics.)
 func (c Config) resolveGeo(ctx context.Context, t *table.Table) (*geoResolution, error) {
+	interps, err := c.geocodeCells(ctx, t)
+	if err != nil || len(interps) == 0 {
+		return nil, err
+	}
+	choice, detail, st := disambig.ResolveScoresOpt(interps, c.Gazetteer, c.geoOptions())
+	return &geoResolution{
+		table:   t,
+		interps: interps,
+		choice:  choice,
+		detail:  detail,
+		stats:   stageStats(len(interps), st),
+	}, nil
+}
+
+// geocodeCells geocodes the table's Location columns into the
+// interpretation list disambiguation consumes, in column-major cell order.
+// Nil when the config has no gazetteer or nothing geocodes.
+func (c Config) geocodeCells(ctx context.Context, t *table.Table) ([]disambig.Interpretation, error) {
 	if c.Gazetteer == nil {
 		return nil, nil
 	}
@@ -79,16 +124,16 @@ func (c Config) resolveGeo(ctx context.Context, t *table.Table) (*geoResolution,
 			})
 		}
 	}
-	if len(interps) == 0 {
-		return nil, nil
-	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	choice, detail := disambig.ResolveScores(interps, c.Gazetteer)
-	return &geoResolution{table: t, interps: interps, choice: choice, detail: detail}, nil
+	return interps, nil
+}
+
+func (c Config) geoOptions() disambig.Options {
+	return disambig.Options{Workers: c.GeoWorkers}
 }
 
 // geoFor returns the precomputed resolution when one was prepared for THIS
@@ -130,15 +175,49 @@ func (c Config) PrepareGeo(ctx context.Context, t *table.Table) (Config, error) 
 // Cancellation is observed between geocoded cells and before propagation;
 // the error is then ctx.Err(), never a truncated result.
 func (c Config) GeoAnnotate(ctx context.Context, t *table.Table) ([]GeoAnnotation, error) {
+	gas, _, err := c.GeoAnnotateStats(ctx, t)
+	return gas, err
+}
+
+// geoStreamThreshold is the interpretation count above which
+// GeoAnnotateStats switches from the shared batch resolution to the
+// streaming per-component pipeline. Variable so tests can force the
+// streaming path on small tables.
+var geoStreamThreshold = 4096
+
+// GeoAnnotateStats is GeoAnnotate plus the stage's decomposition
+// statistics (component counts and the peak pooled-scratch high-water
+// mark), for serving layers that surface them.
+//
+// Huge tables — above geoStreamThreshold geocoded cells, with no
+// resolution prepared by PrepareGeo — take a streaming path: components
+// flow straight from the disambiguation worker pool into GeoAnnotations,
+// so the full per-cell score maps are never materialized; only the
+// annotations themselves (and per-component scratch, pooled and bounded)
+// are held. The output is byte-identical to the batch path: annotations
+// are merged back into deterministic column-major (col, row) cell order,
+// and scores are bit-identical by the disambig component contract.
+func (c Config) GeoAnnotateStats(ctx context.Context, t *table.Table) ([]GeoAnnotation, GeoStageStats, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, GeoStageStats{}, err
 	}
-	res, err := c.geoFor(ctx, t)
-	if err != nil {
-		return nil, err
-	}
-	if res == nil {
-		return nil, nil
+	res := c.geo
+	if res == nil || res.table != t {
+		interps, err := c.geocodeCells(ctx, t)
+		if err != nil || len(interps) == 0 {
+			return nil, GeoStageStats{}, err
+		}
+		if len(interps) >= geoStreamThreshold {
+			return c.geoAnnotateStream(interps)
+		}
+		choice, detail, st := disambig.ResolveScoresOpt(interps, c.Gazetteer, c.geoOptions())
+		res = &geoResolution{
+			table:   t,
+			interps: interps,
+			choice:  choice,
+			detail:  detail,
+			stats:   stageStats(len(interps), st),
+		}
 	}
 	out := make([]GeoAnnotation, 0, len(res.interps))
 	for _, it := range res.interps {
@@ -146,19 +225,54 @@ func (c Config) GeoAnnotate(ctx context.Context, t *table.Table) ([]GeoAnnotatio
 		if loc == gazetteer.NoLocation {
 			continue // unreachable: every interpretation has candidates
 		}
-		ga := GeoAnnotation{
-			Row:        it.Cell.Row,
-			Col:        it.Cell.Col,
-			Location:   c.Gazetteer.FullName(loc),
-			Kind:       c.Gazetteer.Kind(loc).String(),
-			Candidates: len(it.Candidates),
-			Score:      res.detail[it.Cell][loc],
-			Loc:        loc,
-		}
-		if city := c.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
-			ga.City = c.Gazetteer.Name(city)
-		}
+		ga := c.geoAnnotation(it, loc, res.detail[it.Cell][loc])
 		out = append(out, ga)
 	}
-	return out, nil
+	return out, res.stats, nil
+}
+
+// geoAnnotateStream resolves huge tables component by component: each
+// component's cells are annotated the moment its scores converge, from
+// whichever worker finished it, into a slot per interpretation — writes
+// are disjoint because the geocode pass emits one interpretation per cell
+// — then compacted back into the deterministic column-major order the
+// batch path produces.
+func (c Config) geoAnnotateStream(interps []disambig.Interpretation) ([]GeoAnnotation, GeoStageStats, error) {
+	slot := make(map[disambig.CellRef]int, len(interps))
+	for i, it := range interps {
+		slot[it.Cell] = i
+	}
+	out := make([]GeoAnnotation, len(interps))
+	st := disambig.ResolveStream(interps, c.Gazetteer, c.geoOptions(),
+		func(cell disambig.CellRef, loc gazetteer.LocID, scores map[gazetteer.LocID]float64) {
+			if loc == gazetteer.NoLocation {
+				return // unreachable: every interpretation has candidates
+			}
+			i := slot[cell]
+			out[i] = c.geoAnnotation(interps[i], loc, scores[loc])
+		})
+	compact := out[:0]
+	for _, ga := range out {
+		if ga.Loc != gazetteer.NoLocation {
+			compact = append(compact, ga)
+		}
+	}
+	return compact, stageStats(len(interps), st), nil
+}
+
+// geoAnnotation renders one resolved cell.
+func (c Config) geoAnnotation(it disambig.Interpretation, loc gazetteer.LocID, score float64) GeoAnnotation {
+	ga := GeoAnnotation{
+		Row:        it.Cell.Row,
+		Col:        it.Cell.Col,
+		Location:   c.Gazetteer.FullName(loc),
+		Kind:       c.Gazetteer.Kind(loc).String(),
+		Candidates: len(it.Candidates),
+		Score:      score,
+		Loc:        loc,
+	}
+	if city := c.Gazetteer.CityOf(loc); city != gazetteer.NoLocation {
+		ga.City = c.Gazetteer.Name(city)
+	}
+	return ga
 }

@@ -1,0 +1,112 @@
+package annotate
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gazetteer"
+	"repro/internal/table"
+)
+
+// addressTable builds a table of "Street, City" addresses spread over many
+// distinct cities, the shape whose voting graph decomposes into many
+// components (one per city cluster, roughly).
+func addressTable(t *testing.T, mg *gazetteer.Gazetteer, rows, cols int) *table.Table {
+	t.Helper()
+	g := gazetteer.Geo(mg)
+	specs := make([]table.Column, cols)
+	for j := range specs {
+		specs[j] = table.Column{Header: "Addr", Type: table.Location}
+	}
+	tbl := table.New("addresses", specs...)
+	cities := mg.Cities()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < rows; i++ {
+		var home gazetteer.LocID
+		var streets []gazetteer.LocID
+		for len(streets) == 0 {
+			home = cities[rng.Intn(len(cities))]
+			streets = mg.StreetsIn(home)
+		}
+		vals := make([]string, cols)
+		for j := range vals {
+			st := streets[rng.Intn(len(streets))]
+			vals[j] = g.Name(st) + ", " + g.Name(home)
+		}
+		if err := tbl.AppendRow(vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// TestGeoAnnotateStreamMatchesBatch forces the streaming per-component
+// pipeline on a table small enough to also run through the batch path and
+// requires byte-identical annotations — same cells, same order, same
+// bitwise scores — plus identical decomposition stats, at several worker
+// counts.
+func TestGeoAnnotateStreamMatchesBatch(t *testing.T) {
+	mg := gazetteer.SyntheticScale(42, 6)
+	tbl := addressTable(t, mg, 50, 3)
+	ctx := context.Background()
+	for _, g := range []gazetteer.Geo{mg, mg.Freeze()} {
+		cfg := Config{Gazetteer: g}
+		want, wantStats, err := cfg.GeoAnnotateStats(ctx, tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantStats.Components < 2 {
+			t.Fatalf("address table produced %d components; test needs a decomposing workload", wantStats.Components)
+		}
+		defer func(v int) { geoStreamThreshold = v }(geoStreamThreshold)
+		geoStreamThreshold = 1
+		for _, w := range []int{0, 1, 2, 8} {
+			cfg.GeoWorkers = w
+			got, gotStats, err := cfg.GeoAnnotateStats(ctx, tbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("workers=%d: stream stats %+v, batch stats %+v", w, gotStats, wantStats)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d: streamed annotations diverge from batch path", w)
+			}
+		}
+		geoStreamThreshold = 1 << 20
+	}
+}
+
+// TestGeoAnnotateStatsSmallPath checks the stats surface on the ordinary
+// batch path too, and that PrepareGeo carries them through.
+func TestGeoAnnotateStatsSmallPath(t *testing.T) {
+	cfg := Config{Gazetteer: gazetteer.Synthetic(1).Freeze()}
+	ctx := context.Background()
+	tbl := geoTestTable(t)
+	gas, st, err := cfg.GeoAnnotateStats(ctx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gas) == 0 || st.Cells == 0 || st.Components == 0 || st.LargestComponent == 0 {
+		t.Fatalf("stats not populated: %+v (%d annotations)", st, len(gas))
+	}
+	if st.LargestComponent > st.Cells*10 {
+		t.Fatalf("implausible largest component %d for %d cells", st.LargestComponent, st.Cells)
+	}
+	prepared, err := cfg.PrepareGeo(ctx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gas2, st2, err := prepared.GeoAnnotateStats(ctx, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != st {
+		t.Fatalf("prepared stats %+v, fresh stats %+v", st2, st)
+	}
+	if !reflect.DeepEqual(gas2, gas) {
+		t.Fatal("prepared annotations diverge from fresh resolution")
+	}
+}

@@ -1,0 +1,653 @@
+package disambig
+
+// Component-parallel, memory-bounded resolution.
+//
+// The voting graph of a real table decomposes into connected components:
+// rows and columns rarely couple the whole table, so the graph splits into
+// independent islands (per-cell normalisation couples every node of a cell,
+// so a cell's nodes always land in one island together). This file labels
+// the components with a union-find pass over the SAME join-group records
+// BuildGraph sorts — without materialising a single edge — then builds,
+// propagates and decides each component independently: a bounded worker
+// pool streams components through pooled per-component scratch, so peak
+// memory is O(largest component × workers) instead of O(whole graph).
+//
+// Results are bit-identical to the whole-table loop (same choices, same
+// float64 scores). Two properties make that work:
+//
+//  1. Within a component, local node ids follow ascending global order, so
+//     every CSR in-list keeps the reference summation order and each
+//     iteration's arithmetic is bitwise identical to the global loop's.
+//
+//  2. The global loop stops after the FIRST iteration whose global max
+//     delta is sub-eps — a decision that couples otherwise-independent
+//     components. The resolver therefore records, per component, which
+//     iterations were sub-eps (phase 1 pauses a component at its first
+//     sub-eps iteration, or freezes it at an exact bitwise fixed point,
+//     where every later iteration provably reproduces the same bits), then
+//     a coordinator derives the global stop iteration T from the records —
+//     resuming components whose records end before a candidate T — and
+//     finally advances every component's saved state to exactly T
+//     iterations. max() over non-negative deltas is exact in float64, so
+//     splitting the global max into per-component maxima changes nothing.
+//
+// Total iteration work matches the global loop's (components frozen at an
+// exact fixed point stop early — strictly less); the only overhead is
+// re-sorting a resumed component's records, roughly one extra build per
+// resumed component in the common case.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gazetteer"
+)
+
+// Options tunes the component-parallel resolver.
+type Options struct {
+	// Workers bounds how many connected components are built and
+	// propagated concurrently (and thereby how many per-component scratch
+	// buffers exist at once); 0 selects min(GOMAXPROCS, 8). Results are
+	// bit-identical at every setting — only wall-clock and peak scratch
+	// memory change.
+	Workers int
+}
+
+// Stats describes one resolution: the decomposition's shape and the pooled
+// scratch high-water mark.
+type Stats struct {
+	// Nodes and Edges count the voting graph's (cell, candidate) nodes
+	// and directed edges, summed over all components.
+	Nodes, Edges int
+	// Components is the number of connected components; LargestComponent
+	// is the node count of the biggest one.
+	Components       int
+	LargestComponent int
+	// PeakScratchBytes is the high-water mark of per-component scratch
+	// (record buffers, edge staging, local CSR, score buffers) held
+	// concurrently across the resolve's workers — the O(largest component
+	// × workers) bound made observable.
+	PeakScratchBytes int64
+}
+
+// unionFind is a union-by-minimum disjoint-set forest over node indexes:
+// every root is the smallest node of its set, so components come out
+// numbered in ascending first-node order for free.
+type unionFind []int32
+
+func newUnionFind(n int) unionFind {
+	p := make(unionFind, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+func (p unionFind) find(x int32) int32 {
+	for p[x] != x {
+		p[x] = p[p[x]] // path halving
+		x = p[x]
+	}
+	return x
+}
+
+func (p unionFind) union(a, b int32) {
+	ra, rb := p.find(a), p.find(b)
+	switch {
+	case ra == rb:
+	case ra < rb:
+		p[rb] = ra
+	default:
+		p[ra] = rb
+	}
+}
+
+// decomposition is the labeled node table: every node assigned to exactly
+// one connected component, components ordered by their smallest node,
+// member lists ascending.
+type decomposition struct {
+	ns    *nodeSet
+	comps [][]int32
+}
+
+// decompose builds the node table and labels its connected components with
+// a union-find pass over the join-group records — no edge is ever
+// materialised. Per group the chain unions below reach exactly the nodes
+// the quadratic edge sets would connect, GIVEN the per-cell unions: within
+// a group, every cross-cell pair of container records is an edge (so
+// chaining the container segment unions their cells), every cross-cell
+// (location, container) pair is an edge in both directions (so bridging the
+// two chained segments unions all their cells), and same-cell pairs — the
+// only pairs the edge loops skip — are already unioned through their cell.
+func decompose(interps []Interpretation, g gazetteer.Geo) *decomposition {
+	ns := buildNodes(interps, g)
+	n := len(ns.locs)
+	uf := newUnionFind(n)
+	// Per-cell normalisation couples every node of a cell, so a cell's
+	// nodes must share a component even when no edge touches them.
+	for _, idxs := range ns.cellNodes {
+		for k := 1; k < len(idxs); k++ {
+			uf.union(idxs[0], idxs[k])
+		}
+	}
+	var b walkBufs
+	for dim := 0; dim < 2; dim++ {
+		ns.walkGroups(dim, nil, &b, func(locs, pars []int32, sharedPar bool) {
+			if sharedPar {
+				for k := 1; k < len(pars); k++ {
+					uf.union(pars[0], pars[k])
+				}
+			}
+			if len(locs) > 0 && len(pars) > 0 {
+				for k := 1; k < len(locs); k++ {
+					uf.union(locs[0], locs[k])
+				}
+				uf.union(locs[0], pars[0])
+			}
+		})
+	}
+
+	// Number components by smallest member and gather ascending member
+	// lists into one flat allocation. A node's root is never larger than
+	// the node itself (union-by-minimum), so roots are labeled before
+	// their members.
+	compOf := make([]int32, n)
+	var counts []int32
+	for i := 0; i < n; i++ {
+		r := uf.find(int32(i))
+		if int(r) == i {
+			compOf[i] = int32(len(counts))
+			counts = append(counts, 0)
+		} else {
+			compOf[i] = compOf[r]
+		}
+		counts[compOf[i]]++
+	}
+	comps := make([][]int32, len(counts))
+	flat := make([]int32, n)
+	off := int32(0)
+	for c, cnt := range counts {
+		comps[c] = flat[off : off : off+cnt]
+		off += cnt
+	}
+	for i := 0; i < n; i++ {
+		c := compOf[i]
+		comps[c] = append(comps[c], int32(i))
+	}
+	return &decomposition{ns: ns, comps: comps}
+}
+
+// compScratch is one worker's reusable component workspace: join-group
+// record buffers, edge staging, the local CSR and the score buffers. A
+// worker holds exactly one, checked out of scratchPool for the phase and
+// regrown to each component it processes, so a resolve's peak scratch is
+// bounded by the largest component times the worker count — never by the
+// table.
+type compScratch struct {
+	walk     walkBufs
+	voters   []int32
+	targets  []int32
+	byV, byT []int32
+	pos      []int32
+	inOff    []int32
+	in       []int32
+	fill     []int32
+	cells    []int32 // the component's cell indexes
+	scores   []float64
+	next     []float64
+}
+
+// bytes is the workspace's current footprint, by slice capacity.
+func (sc *compScratch) bytes() int64 {
+	i32 := cap(sc.walk.recNode) + cap(sc.walk.tmpNode) + cap(sc.voters) + cap(sc.targets) +
+		cap(sc.byV) + cap(sc.byT) + cap(sc.pos) + cap(sc.inOff) + cap(sc.in) + cap(sc.fill) + cap(sc.cells)
+	i64 := cap(sc.walk.recKey) + cap(sc.walk.tmpKey)
+	f64 := cap(sc.scores) + cap(sc.next)
+	return int64(i32)*4 + int64(i64)*8 + int64(f64)*8
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(compScratch) }}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// compRun is one component's propagation bookkeeping, steered by the
+// coordinator: how many iterations its saved state has absorbed, which of
+// them were sub-eps, and whether it has reached an exact fixed point.
+type compRun struct {
+	conv      [(maxIter + 63) / 64]uint64 // bit t-1 set = iteration t's max delta < eps
+	frontier  int                         // iterations applied to the saved state
+	firstConv int                         // first sub-eps iteration; 0 = none yet
+	fixedAt   int                         // first iteration whose delta was exactly 0; 0 = none
+	edges     int                         // the component's directed edge count
+}
+
+// convAt reports whether iteration t's max delta is known to be sub-eps.
+// Past an exact fixed point the scores are bitwise frozen, so every later
+// iteration's delta is exactly 0.
+func (r *compRun) convAt(t int) bool {
+	if r.fixedAt > 0 && t >= r.fixedAt {
+		return true
+	}
+	if t > r.frontier {
+		return false
+	}
+	return r.conv[(t-1)>>6]&(1<<uint((t-1)&63)) != 0
+}
+
+// runComp (re)builds the component's local graph in sc and advances its
+// propagation. With resume, the component's saved scores are loaded from
+// global; otherwise the per-cell uniform prior restarts it from iteration
+// zero. Iterations run from r.frontier+1 through until; with stopAtConv the
+// run additionally pauses at the first sub-eps iteration (phase 1), and any
+// run freezes at an exact fixed point. Delta bits are recorded into r and
+// the final local scores are scattered back to global.
+//
+// Local node ids are assigned in ascending global-node order, so the local
+// counting sorts produce in-lists in the reference summation order and each
+// iteration is bitwise identical to the whole-table loop restricted to this
+// component. localOf is the shared global-to-local index table; components
+// are disjoint, so concurrent workers touch disjoint entries.
+func (d *decomposition) runComp(comp []int32, r *compRun, sc *compScratch, localOf []int32, global []float64, resume, stopAtConv bool, until int) {
+	ns := d.ns
+	m := len(comp)
+	for li, gi := range comp {
+		localOf[gi] = int32(li)
+	}
+	// The component's cells, each discovered via its first node (a cell's
+	// nodes all land in one component, so the first suffices and each cell
+	// appears exactly once).
+	sc.cells = sc.cells[:0]
+	for _, gi := range comp {
+		ci := ns.nodeCell[gi]
+		if ns.cellNodes[ci][0] == gi {
+			sc.cells = append(sc.cells, ci)
+		}
+	}
+
+	// Local CSR: BuildGraph's edge discovery and canonicalisation,
+	// restricted to the component's nodes.
+	sc.voters = sc.voters[:0]
+	sc.targets = sc.targets[:0]
+	emit := func(v, t int32) {
+		sc.voters = append(sc.voters, localOf[v])
+		sc.targets = append(sc.targets, localOf[t])
+	}
+	for dim := 0; dim < 2; dim++ {
+		ns.walkGroups(dim, comp, &sc.walk, func(locs, pars []int32, sharedPar bool) {
+			if sharedPar {
+				for _, i := range pars {
+					for _, j := range pars {
+						if ns.nodeCell[i] != ns.nodeCell[j] {
+							emit(i, j)
+						}
+					}
+				}
+			}
+			for _, a := range locs {
+				for _, c := range pars {
+					if ns.nodeCell[a] != ns.nodeCell[c] {
+						emit(a, c)
+						emit(c, a)
+					}
+				}
+			}
+		})
+	}
+	ne := len(sc.voters)
+	r.edges = ne
+	byV, byT := growI32(sc.byV, ne), growI32(sc.byT, ne)
+	pos := growI32(sc.pos, m+1)
+	clear(pos)
+	for _, v := range sc.voters {
+		pos[v+1]++
+	}
+	for i := 0; i < m; i++ {
+		pos[i+1] += pos[i]
+	}
+	for k := 0; k < ne; k++ {
+		v := sc.voters[k]
+		byV[pos[v]] = v
+		byT[pos[v]] = sc.targets[k]
+		pos[v]++
+	}
+	inOff := growI32(sc.inOff, m+1)
+	clear(inOff)
+	for _, t := range byT {
+		inOff[t+1]++
+	}
+	for i := 0; i < m; i++ {
+		inOff[i+1] += inOff[i]
+	}
+	in := growI32(sc.in, ne)
+	fill := growI32(sc.fill, m)
+	copy(fill, inOff[:m])
+	for k := 0; k < ne; k++ {
+		t := byT[k]
+		in[fill[t]] = byV[k]
+		fill[t]++
+	}
+	sc.byV, sc.byT, sc.pos, sc.inOff, sc.in, sc.fill = byV, byT, pos, inOff, in, fill
+
+	scores := growF64(sc.scores, m)
+	next := growF64(sc.next, m)
+	sc.scores, sc.next = scores, next
+	if resume {
+		for li, gi := range comp {
+			scores[li] = global[gi]
+		}
+	} else {
+		for _, ci := range sc.cells {
+			idxs := ns.cellNodes[ci]
+			init := 1.0 / float64(len(idxs))
+			for _, gi := range idxs {
+				scores[localOf[gi]] = init
+			}
+		}
+	}
+
+	// Large components keep the whole-table loop's intra-graph fan-out on
+	// top of the component-level parallelism.
+	workers := 1
+	if m >= propagationParallelThreshold {
+		workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	for t := r.frontier + 1; t <= until; t++ {
+		sumVotesCSR(inOff, in, scores, next, workers)
+		for _, ci := range sc.cells {
+			idxs := ns.cellNodes[ci]
+			var total float64
+			for _, gi := range idxs {
+				total += next[localOf[gi]]
+			}
+			if total == 0 {
+				u := 1.0 / float64(len(idxs))
+				for _, gi := range idxs {
+					next[localOf[gi]] = u
+				}
+				continue
+			}
+			for _, gi := range idxs {
+				next[localOf[gi]] /= total
+			}
+		}
+		var delta float64
+		for i := 0; i < m; i++ {
+			delta = math.Max(delta, math.Abs(next[i]-scores[i]))
+		}
+		copy(scores, next)
+		r.frontier = t
+		if delta < eps {
+			r.conv[(t-1)>>6] |= 1 << uint((t-1)&63)
+			if r.firstConv == 0 {
+				r.firstConv = t
+			}
+			if delta == 0 && r.fixedAt == 0 {
+				r.fixedAt = t
+			}
+			if stopAtConv || r.fixedAt > 0 {
+				break
+			}
+		}
+	}
+	for li, gi := range comp {
+		global[gi] = scores[li]
+	}
+}
+
+// resolveComponents runs the full component-parallel resolution and returns
+// the global score array. When done is non-nil it is invoked exactly once
+// per component — possibly from concurrent workers — the moment that
+// component's scores are final, enabling the streaming path to emit results
+// before the whole table finishes its final phase.
+func (d *decomposition) resolveComponents(opt Options, done func(ci int, global []float64)) ([]float64, Stats) {
+	n := len(d.ns.locs)
+	global := make([]float64, n)
+	localOf := make([]int32, n)
+	runs := make([]compRun, len(d.comps))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	workers = max(1, min(workers, len(d.comps)))
+	var curBytes, peakBytes atomic.Int64
+	raise := func(v int64) {
+		for {
+			p := peakBytes.Load()
+			if v <= p || peakBytes.CompareAndSwap(p, v) {
+				return
+			}
+		}
+	}
+
+	// runPhase streams the selected components through the bounded worker
+	// pool. Each worker checks out one pooled scratch for the whole phase,
+	// so at most `workers` components are materialised at any moment.
+	runPhase := func(sel func(ci int) bool, resume, stopAtConv bool, until int, notify func(ci int)) {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := scratchPool.Get().(*compScratch)
+				held := sc.bytes()
+				raise(curBytes.Add(held))
+				defer func() {
+					curBytes.Add(-held)
+					scratchPool.Put(sc)
+				}()
+				for ci := range jobs {
+					d.runComp(d.comps[ci], &runs[ci], sc, localOf, global, resume, stopAtConv, until)
+					if grew := sc.bytes() - held; grew > 0 {
+						held += grew
+						raise(curBytes.Add(grew))
+					}
+					if notify != nil {
+						notify(ci)
+					}
+				}
+			}()
+		}
+		for ci := range d.comps {
+			if sel(ci) {
+				jobs <- ci
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Phase 1: every component propagates until its first sub-eps
+	// iteration (or an exact fixed point, or maxIter), recording which
+	// iterations were sub-eps.
+	runPhase(func(int) bool { return true }, false, true, maxIter, nil)
+
+	// Coordinator: the whole-table loop stops after the FIRST iteration
+	// whose global max delta is sub-eps — equivalently, the first t at
+	// which EVERY component's delta is sub-eps — or after maxIter.
+	// Determine that T from the records, resuming components whose
+	// records end before a candidate t. The initial candidate is the
+	// slowest component's first sub-eps iteration: no earlier t can
+	// qualify, because that component's deltas before it are all >= eps.
+	target := 0
+	for i := range runs {
+		ft := runs[i].firstConv
+		if ft == 0 {
+			ft = maxIter
+		}
+		target = max(target, ft)
+	}
+	T := maxIter
+	for {
+		runPhase(func(ci int) bool { return runs[ci].fixedAt == 0 && runs[ci].frontier < target }, true, false, target, nil)
+		found := -1
+		for t := 1; t <= target && found < 0; t++ {
+			ok := true
+			for i := range runs {
+				if !runs[i].convAt(t) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = t
+			}
+		}
+		if found >= 0 {
+			T = found
+			break
+		}
+		if target >= maxIter {
+			break // no sub-eps iteration exists; the loop exhausts maxIter
+		}
+		// Some component dipped back above eps at the candidate (deltas
+		// need not shrink monotonically): extend the horizon and keep
+		// looking.
+		target = min(target+8, maxIter)
+	}
+
+	// Final phase: bring every component's saved state to exactly T
+	// iterations. A component frozen at an exact fixed point by iteration
+	// f is bitwise identical from f-1 onward, so it already holds the
+	// T-state whenever T >= fixedAt-1. Lagging components resume; a
+	// component whose record ran PAST T — possible only when the stop
+	// search extended past a non-monotone delta dip — reruns from its
+	// prior.
+	finalDone := func(ci int) {
+		if done != nil {
+			done(ci, global)
+		}
+	}
+	var rerun []int
+	for ci := range runs {
+		r := &runs[ci]
+		if r.fixedAt > 0 {
+			if T < r.fixedAt-1 {
+				rerun = append(rerun, ci)
+			}
+		} else if r.frontier > T {
+			rerun = append(rerun, ci)
+		}
+	}
+	needsRerun := make(map[int]bool, len(rerun))
+	for _, ci := range rerun {
+		needsRerun[ci] = true
+		runs[ci] = compRun{edges: runs[ci].edges}
+	}
+	if done != nil {
+		// Components already holding their T-state are final now.
+		for ci := range runs {
+			r := &runs[ci]
+			atT := r.frontier == T || (r.fixedAt > 0 && T >= r.fixedAt-1)
+			if !needsRerun[ci] && atT {
+				finalDone(ci)
+			}
+		}
+	}
+	runPhase(func(ci int) bool {
+		return !needsRerun[ci] && runs[ci].fixedAt == 0 && runs[ci].frontier < T
+	}, true, false, T, finalDone)
+	if len(rerun) > 0 {
+		runPhase(func(ci int) bool { return needsRerun[ci] }, false, false, T, finalDone)
+	}
+
+	st := Stats{Nodes: n, Components: len(d.comps), PeakScratchBytes: peakBytes.Load()}
+	for i := range d.comps {
+		st.LargestComponent = max(st.LargestComponent, len(d.comps[i]))
+		st.Edges += runs[i].edges
+	}
+	return global, st
+}
+
+// degenerate reports whether no interpretation carries a usable candidate,
+// in which case resolution needs no graph at all.
+func degenerate(interps []Interpretation) bool {
+	for _, it := range interps {
+		for _, loc := range it.Candidates {
+			if loc != gazetteer.NoLocation {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resolveDegenerate is the NoLocation-only fast path: every cell maps to an
+// explicit NoLocation choice with an empty score map, with no graph build,
+// scratch checkout or propagation — matching what the full machinery
+// produces for candidate-free cells, at O(cells) cost.
+func resolveDegenerate(interps []Interpretation) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64, Stats) {
+	choice := map[CellRef]gazetteer.LocID{}
+	detail := map[CellRef]map[gazetteer.LocID]float64{}
+	for _, it := range interps {
+		if _, ok := choice[it.Cell]; ok {
+			continue
+		}
+		choice[it.Cell] = gazetteer.NoLocation
+		detail[it.Cell] = map[gazetteer.LocID]float64{}
+	}
+	return choice, detail, Stats{}
+}
+
+// ResolveScoresOpt is ResolveScores with explicit resolver options, also
+// returning the decomposition statistics. Results are bit-identical to the
+// whole-table engine (and to the seed reference) at every worker count.
+func ResolveScoresOpt(interps []Interpretation, g gazetteer.Geo, opt Options) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64, Stats) {
+	if degenerate(interps) {
+		return resolveDegenerate(interps)
+	}
+	d := decompose(interps, g)
+	scores, st := d.resolveComponents(opt, nil)
+	choice, detail := d.ns.choose(scores)
+	return choice, detail, st
+}
+
+// ResolveStream resolves like ResolveScoresOpt but delivers per-cell
+// results component by component, each the moment its component's scores
+// reach the global stop iteration — so a huge table's early components
+// surface while later ones are still propagating, and no whole-table choice
+// or detail map is ever built. yield may be called from concurrent workers;
+// calls for the cells of one component arrive consecutively from one
+// worker. Cells the graph never saw a candidate for yield NoLocation with
+// an empty score map, first. The per-cell scores map is freshly allocated
+// and owned by the callee.
+func ResolveStream(interps []Interpretation, g gazetteer.Geo, opt Options, yield func(cell CellRef, choice gazetteer.LocID, scores map[gazetteer.LocID]float64)) Stats {
+	if degenerate(interps) {
+		choice, detail, st := resolveDegenerate(interps)
+		for cell := range choice {
+			yield(cell, gazetteer.NoLocation, detail[cell])
+		}
+		return st
+	}
+	d := decompose(interps, g)
+	for ci := range d.ns.cells {
+		if len(d.ns.cellNodes[ci]) == 0 {
+			yield(d.ns.cells[ci], gazetteer.NoLocation, map[gazetteer.LocID]float64{})
+		}
+	}
+	_, st := d.resolveComponents(opt, func(ci int, global []float64) {
+		for _, gi := range d.comps[ci] {
+			cidx := d.ns.nodeCell[gi]
+			if d.ns.cellNodes[cidx][0] != gi {
+				continue // not the cell's first node; already yielded
+			}
+			best, m := d.ns.chooseCell(cidx, global)
+			yield(d.ns.cells[cidx], best, m)
+		}
+	})
+	return st
+}

@@ -1,0 +1,362 @@
+package disambig
+
+// Differential and property tests for the component-parallel resolver: the
+// decomposition must be exactly the voting graph's connected-component
+// partition (coarsened by per-cell coupling), and resolution must stay
+// BIT-identical to the retained whole-table engine — same choices, same
+// float64 scores — at every worker count, over both gazetteer forms.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gazetteer"
+)
+
+// checkEngines resolves through the whole-table engine and the
+// component-parallel engine at several worker counts and fails on any
+// divergence, bitwise. Returns the component engine's stats for callers
+// asserting decomposition shape.
+func checkEngines(t *testing.T, interps []Interpretation, g gazetteer.Geo, workers []int) Stats {
+	t.Helper()
+	wantChoice, wantDetail := ResolveScoresSingle(interps, g)
+	var st Stats
+	for _, w := range workers {
+		choice, detail, s := ResolveScoresOpt(interps, g, Options{Workers: w})
+		st = s
+		if len(choice) != len(wantChoice) {
+			t.Fatalf("workers=%d: %d choices, whole-table engine has %d", w, len(choice), len(wantChoice))
+		}
+		for cell, loc := range wantChoice {
+			if got := choice[cell]; got != loc {
+				t.Fatalf("workers=%d cell %v: chose %v, whole-table engine chose %v", w, cell, got, loc)
+			}
+		}
+		for cell, m := range wantDetail {
+			got := detail[cell]
+			if len(got) != len(m) {
+				t.Fatalf("workers=%d cell %v: score map sizes differ (%d vs %d)", w, cell, len(got), len(m))
+			}
+			for loc, s := range m {
+				if got[loc] != s {
+					t.Fatalf("workers=%d cell %v loc %v: score %v, whole-table engine %v (bitwise)", w, cell, loc, got[loc], s)
+				}
+			}
+		}
+	}
+	return st
+}
+
+var differentialWorkers = []int{1, 2, 8}
+
+// TestComponentParallelMatchesSingleGraph drives both engines over
+// randomized tables — larger than the O(n²) seed-reference suite can afford
+// — across worker counts {1, 2, 8} and both gazetteer forms.
+func TestComponentParallelMatchesSingleGraph(t *testing.T) {
+	for _, scale := range []int{1, 4} {
+		b := gazetteer.SyntheticScale(29, scale)
+		names := gazNames(b)
+		for _, g := range []gazetteer.Geo{b, b.Freeze()} {
+			rng := rand.New(rand.NewSource(int64(scale) * 977))
+			for trial := 0; trial < 15; trial++ {
+				rows, cols := 1+rng.Intn(40), 1+rng.Intn(6)
+				interps := randomInterps(g, rng, rows, cols, 8, names)
+				checkEngines(t, interps, g, differentialWorkers)
+			}
+		}
+	}
+}
+
+// addressInterps builds the decomposable huge-table workload: each row
+// holds a home city and addresses of streets inside it, geocoded with the
+// city name as context — so candidate sets only couple rows sharing a city
+// name and the graph splits into many components (one per distinct city
+// name, roughly). This is the cmd/benchgeo huge-table shape.
+func addressInterps(mg *gazetteer.Gazetteer, g gazetteer.Geo, rng *rand.Rand, rows, cols int) []Interpretation {
+	cities := mg.Cities()
+	var interps []Interpretation
+	for i := 1; i <= rows; i++ {
+		var home gazetteer.LocID
+		var streets []gazetteer.LocID
+		for len(streets) == 0 {
+			home = cities[rng.Intn(len(cities))]
+			streets = mg.StreetsIn(home)
+		}
+		for j := 1; j <= cols; j++ {
+			st := streets[rng.Intn(len(streets))]
+			addr := g.Name(st) + ", " + g.Name(home)
+			interps = append(interps, Interpretation{
+				Cell:       CellRef{Row: i, Col: j},
+				Candidates: g.Geocode(addr),
+			})
+		}
+	}
+	return interps
+}
+
+// TestComponentParallelMultiComponent exercises the engines on a workload
+// that genuinely decomposes (the whole point of the rewrite), asserting a
+// non-trivial component count alongside bit-identity.
+func TestComponentParallelMultiComponent(t *testing.T) {
+	mg := gazetteer.SyntheticScale(42, 8)
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range []gazetteer.Geo{mg, mg.Freeze()} {
+		interps := addressInterps(mg, g, rng, 60, 3)
+		st := checkEngines(t, interps, g, differentialWorkers)
+		if st.Components < 4 {
+			t.Fatalf("address workload produced only %d components; want a real decomposition", st.Components)
+		}
+		if st.LargestComponent >= st.Nodes {
+			t.Fatalf("largest component %d spans all %d nodes", st.LargestComponent, st.Nodes)
+		}
+		if st.PeakScratchBytes == 0 {
+			t.Fatalf("peak scratch bytes not recorded")
+		}
+	}
+}
+
+// TestResolveStreamMatches checks the streaming delivery against the batch
+// resolver: same cells, same choices, same bitwise scores, every cell
+// yielded exactly once, at several worker counts.
+func TestResolveStreamMatches(t *testing.T) {
+	mg := gazetteer.SyntheticScale(42, 4)
+	g := mg.Freeze()
+	rng := rand.New(rand.NewSource(11))
+	interps := addressInterps(mg, g, rng, 30, 3)
+	// A geocoder-miss cell: must stream an explicit NoLocation.
+	interps = append(interps, Interpretation{Cell: CellRef{Row: 500, Col: 1}})
+	wantChoice, wantDetail, wantStats := ResolveScoresOpt(interps, g, Options{})
+	for _, w := range differentialWorkers {
+		var mu chanMutex
+		gotChoice := map[CellRef]gazetteer.LocID{}
+		gotDetail := map[CellRef]map[gazetteer.LocID]float64{}
+		st := ResolveStream(interps, g, Options{Workers: w}, func(cell CellRef, loc gazetteer.LocID, scores map[gazetteer.LocID]float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := gotChoice[cell]; dup {
+				t.Errorf("workers=%d: cell %v yielded twice", w, cell)
+			}
+			gotChoice[cell] = loc
+			gotDetail[cell] = scores
+		})
+		if st.Components != wantStats.Components || st.Nodes != wantStats.Nodes || st.Edges != wantStats.Edges {
+			t.Fatalf("workers=%d: stream stats %+v, batch stats %+v", w, st, wantStats)
+		}
+		if len(gotChoice) != len(wantChoice) {
+			t.Fatalf("workers=%d: streamed %d cells, batch resolved %d", w, len(gotChoice), len(wantChoice))
+		}
+		for cell, loc := range wantChoice {
+			if gotChoice[cell] != loc {
+				t.Fatalf("workers=%d cell %v: streamed %v, batch chose %v", w, cell, gotChoice[cell], loc)
+			}
+			got, want := gotDetail[cell], wantDetail[cell]
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d cell %v: score map sizes differ", w, cell)
+			}
+			for l, s := range want {
+				if got[l] != s {
+					t.Fatalf("workers=%d cell %v loc %v: streamed score %v, batch %v", w, cell, l, got[l], s)
+				}
+			}
+		}
+	}
+}
+
+// chanMutex is a tiny mutex built on a 1-buffered channel, avoiding a sync
+// import for one test.
+type chanMutex chan struct{}
+
+func (m *chanMutex) Lock() {
+	if *m == nil {
+		*m = make(chanMutex, 1)
+	}
+	*m <- struct{}{}
+}
+func (m *chanMutex) Unlock() { <-*m }
+
+// TestDegenerateFastPath pins the NoLocation-only short-circuit: empty
+// inputs, empty candidate sets and all-NoLocation candidate sets resolve
+// without graph construction, matching the full engines' output shape
+// exactly.
+func TestDegenerateFastPath(t *testing.T) {
+	g := gazetteer.Synthetic(5)
+	cases := [][]Interpretation{
+		nil,
+		{},
+		{{Cell: CellRef{Row: 1, Col: 1}}},
+		{{Cell: CellRef{Row: 1, Col: 1}}, {Cell: CellRef{Row: 2, Col: 1}}, {Cell: CellRef{Row: 1, Col: 1}}},
+		{{Cell: CellRef{Row: 3, Col: 2}, Candidates: []gazetteer.LocID{gazetteer.NoLocation}}},
+		{
+			{Cell: CellRef{Row: 1, Col: 1}, Candidates: []gazetteer.LocID{gazetteer.NoLocation, gazetteer.NoLocation}},
+			{Cell: CellRef{Row: 2, Col: 2}},
+		},
+	}
+	for i, interps := range cases {
+		if !degenerate(interps) {
+			t.Fatalf("case %d: not detected as degenerate", i)
+		}
+		choice, detail, st := ResolveScoresOpt(interps, g, Options{})
+		if st != (Stats{}) {
+			t.Fatalf("case %d: degenerate stats %+v, want zero", i, st)
+		}
+		wantChoice, wantDetail := refCells(interps)
+		if len(choice) != len(wantChoice) || len(detail) != len(wantDetail) {
+			t.Fatalf("case %d: got %d/%d cells, want %d", i, len(choice), len(detail), len(wantChoice))
+		}
+		for cell := range wantChoice {
+			loc, ok := choice[cell]
+			if !ok || loc != gazetteer.NoLocation {
+				t.Fatalf("case %d cell %v: got (%v, %v), want explicit NoLocation", i, cell, loc, ok)
+			}
+			if m := detail[cell]; m == nil || len(m) != 0 {
+				t.Fatalf("case %d cell %v: detail %v, want empty non-nil map", i, cell, m)
+			}
+		}
+		// The graph-building engines agree on the degenerate shape.
+		grChoice, grDetail := ResolveScoresSingle(interps, g)
+		if len(grChoice) != len(choice) || len(grDetail) != len(detail) {
+			t.Fatalf("case %d: fast path and whole-table engine disagree on cell counts", i)
+		}
+	}
+	// And one near-miss: a single valid candidate anywhere defeats the
+	// short-circuit.
+	if degenerate([]Interpretation{{Cell: CellRef{Row: 1, Col: 1}, Candidates: []gazetteer.LocID{gazetteer.NoLocation, 3}}}) {
+		t.Fatal("a valid candidate was treated as degenerate")
+	}
+}
+
+// refCells derives the expected deduplicated cell set of a degenerate input.
+func refCells(interps []Interpretation) (map[CellRef]bool, map[CellRef]bool) {
+	cells := map[CellRef]bool{}
+	for _, it := range interps {
+		cells[it.Cell] = true
+	}
+	return cells, cells
+}
+
+// FuzzComponentDecomposition checks the partition invariants of decompose
+// against the materialised graph: every node lands in exactly one
+// component, every directed edge stays inside its voter's component, a
+// cell's nodes share one component, and the partition is exactly the one a
+// union-find over the materialised edges (plus per-cell coupling) produces
+// — no over- or under-merging. The derivation mirrors
+// FuzzResolveEquivalence so the two corpora stress the same shapes.
+func FuzzComponentDecomposition(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 10, 20, 30, 255, 2, 2, 1, 10, 11})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{5, 1, 3, 100, 101, 102, 255, 5, 2, 3, 100, 110, 120, 255, 6, 1, 1, 100})
+	f.Add([]byte{9, 3, 4, 1, 2, 3, 4, 255, 2, 9, 4, 7, 7, 7, 7})
+	g := gazetteer.Synthetic(23)
+	frozen := g.Freeze()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var interps []Interpretation
+		seen := map[CellRef]map[gazetteer.LocID]bool{}
+		i := 0
+		for i+3 <= len(data) && len(interps) < 40 {
+			cell := CellRef{Row: 1 + int(data[i])%12, Col: 1 + int(data[i+1])%6}
+			n := int(data[i+2]) % 8
+			i += 3
+			if seen[cell] == nil {
+				seen[cell] = map[gazetteer.LocID]bool{}
+			}
+			var cands []gazetteer.LocID
+			for k := 0; k < n && i < len(data); k++ {
+				id := gazetteer.LocID(1 + (int(data[i])*7+k*31)%g.Len())
+				i++
+				if !seen[cell][id] {
+					seen[cell][id] = true
+					cands = append(cands, id)
+				}
+			}
+			interps = append(interps, Interpretation{Cell: cell, Candidates: cands})
+			if i < len(data) && data[i] == 255 {
+				i++
+			}
+		}
+		for _, geo := range []gazetteer.Geo{g, frozen} {
+			checkDecomposition(t, interps, geo)
+		}
+	})
+}
+
+// checkDecomposition asserts decompose's partition invariants against the
+// whole-table graph, and the engines' bit-identity on the same input.
+func checkDecomposition(t *testing.T, interps []Interpretation, g gazetteer.Geo) {
+	t.Helper()
+	d := decompose(interps, g)
+	gr := BuildGraph(interps, g)
+	n := gr.NodeCount()
+
+	// Every node in exactly one component; members ascending.
+	compOf := make([]int, n)
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	total := 0
+	for ci, comp := range d.comps {
+		if len(comp) == 0 {
+			t.Fatalf("component %d is empty", ci)
+		}
+		for k, gi := range comp {
+			if k > 0 && comp[k-1] >= gi {
+				t.Fatalf("component %d members not ascending", ci)
+			}
+			if compOf[gi] != -1 {
+				t.Fatalf("node %d in components %d and %d", gi, compOf[gi], ci)
+			}
+			compOf[gi] = ci
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("%d nodes assigned, graph has %d", total, n)
+	}
+
+	// Component-local edges only.
+	for v := 0; v < n; v++ {
+		for _, w := range gr.in[gr.inOff[v]:gr.inOff[v+1]] {
+			if compOf[v] != compOf[w] {
+				t.Fatalf("edge %d->%d crosses components %d and %d", w, v, compOf[w], compOf[v])
+			}
+		}
+	}
+	// A cell's nodes share one component (normalisation coupling).
+	for ci, idxs := range gr.cellNodes {
+		for _, gi := range idxs {
+			if compOf[gi] != compOf[idxs[0]] {
+				t.Fatalf("cell %v split across components", gr.cells[ci])
+			}
+		}
+	}
+
+	// Exactness: the partition must equal the one derived from the
+	// materialised edges plus per-cell coupling — decompose must not merge
+	// components no edge or cell connects.
+	uf := newUnionFind(n)
+	for v := 0; v < n; v++ {
+		for _, w := range gr.in[gr.inOff[v]:gr.inOff[v+1]] {
+			uf.union(int32(v), w)
+		}
+	}
+	for _, idxs := range gr.cellNodes {
+		for k := 1; k < len(idxs); k++ {
+			uf.union(idxs[0], idxs[k])
+		}
+	}
+	roots := map[int32]int{}
+	for i := 0; i < n; i++ {
+		r := uf.find(int32(i))
+		if prev, ok := roots[r]; ok {
+			if prev != compOf[i] {
+				t.Fatalf("node %d: edge-derived set (root %d) spans components %d and %d", i, r, prev, compOf[i])
+			}
+		} else {
+			roots[r] = compOf[i]
+		}
+	}
+	if len(roots) != len(d.comps) {
+		t.Fatalf("decompose found %d components, edge-derived partition has %d", len(d.comps), len(roots))
+	}
+
+	checkEngines(t, interps, g, []int{1, 3})
+}

@@ -48,7 +48,8 @@ type Interpretation struct {
 // index — the exact summation order of the reference implementation, which
 // keeps the propagated float64 scores bit-identical.
 type Graph struct {
-	g gazetteer.Geo
+	g  gazetteer.Geo
+	ns *nodeSet // the node table the fields below alias
 
 	cells     []CellRef // deduplicated cells, first-appearance order
 	cellNodes [][]int32 // node indexes per cell, ascending
@@ -89,6 +90,157 @@ func radixSortByKey(keys []int64, nodes []int32, tmpK []int64, tmpN []int32, max
 	}
 }
 
+// nodeSet is the deduplicated node table of one resolution — every array
+// BuildGraph and the component decomposition share before any edge exists:
+// the (cell, candidate) nodes in input order, their precomputed direct
+// containers, and the dense row/column bucket ids the join-group walks key
+// on.
+type nodeSet struct {
+	g gazetteer.Geo
+
+	cells     []CellRef // deduplicated cells, first-appearance order
+	cellNodes [][]int32 // node indexes per cell, ascending
+	nodeCell  []int32   // node -> index into cells
+	locs      []gazetteer.LocID
+	parents   []gazetteer.LocID // locs' direct containers, precomputed
+
+	cellRowB, cellColB []int32 // cell -> dense row / column bucket id
+	numRowB, numColB   int
+	maxKey             int64 // gazetteer size + 1; location ids key below it
+}
+
+// buildNodes constructs the node table: one node per distinct (cell,
+// candidate) pair in input order, duplicates and NoLocation candidates
+// dropped, plus the per-cell bucket ids. A node pair shares at most one
+// bucket (same row and same column would mean the same cell).
+func buildNodes(interps []Interpretation, g gazetteer.Geo) *nodeSet {
+	ns := &nodeSet{g: g, maxKey: int64(g.Len()) + 1}
+	capHint := 0
+	for _, it := range interps {
+		capHint += len(it.Candidates)
+	}
+	ns.locs = make([]gazetteer.LocID, 0, capHint)
+	ns.parents = make([]gazetteer.LocID, 0, capHint)
+	ns.nodeCell = make([]int32, 0, capHint)
+	cellIdx := map[CellRef]int32{}
+	dup := map[gazetteer.LocID]bool{}
+	for _, it := range interps {
+		ci, ok := cellIdx[it.Cell]
+		if !ok {
+			ci = int32(len(ns.cells))
+			cellIdx[it.Cell] = ci
+			ns.cells = append(ns.cells, it.Cell)
+			ns.cellNodes = append(ns.cellNodes, nil)
+		}
+		if len(it.Candidates) == 0 {
+			continue
+		}
+		clear(dup)
+		for _, ni := range ns.cellNodes[ci] {
+			dup[ns.locs[ni]] = true
+		}
+		for _, loc := range it.Candidates {
+			if loc == gazetteer.NoLocation || dup[loc] {
+				continue
+			}
+			dup[loc] = true
+			ni := int32(len(ns.locs))
+			ns.locs = append(ns.locs, loc)
+			ns.parents = append(ns.parents, g.Parent(loc))
+			ns.nodeCell = append(ns.nodeCell, ci)
+			ns.cellNodes[ci] = append(ns.cellNodes[ci], ni)
+		}
+	}
+
+	rowIdx := map[int]int32{}
+	colIdx := map[int]int32{}
+	ns.cellRowB = make([]int32, len(ns.cells))
+	ns.cellColB = make([]int32, len(ns.cells))
+	for ci, cell := range ns.cells {
+		ri, ok := rowIdx[cell.Row]
+		if !ok {
+			ri = int32(len(rowIdx))
+			rowIdx[cell.Row] = ri
+		}
+		ns.cellRowB[ci] = ri
+		cj, ok := colIdx[cell.Col]
+		if !ok {
+			cj = int32(len(colIdx))
+			colIdx[cell.Col] = cj
+		}
+		ns.cellColB[ci] = cj
+	}
+	ns.numRowB, ns.numColB = len(rowIdx), len(colIdx)
+	return ns
+}
+
+// walkBufs holds the reusable record arrays of one walkGroups call; sized to
+// twice the visited node count.
+type walkBufs struct {
+	recKey, tmpKey   []int64
+	recNode, tmpNode []int32
+}
+
+func (b *walkBufs) ensure(n int) {
+	if cap(b.recKey) < n {
+		b.recKey = make([]int64, n)
+		b.tmpKey = make([]int64, n)
+		b.recNode = make([]int32, n)
+		b.tmpNode = make([]int32, n)
+	}
+}
+
+// walkGroups visits the join groups of one dimension (0 = rows, 1 = columns)
+// over the given global node indexes (nil visits every node): every node
+// contributes two records keyed by (bucket, location id) — one for its own
+// location, one for its direct container, the role in the key's low bit.
+// Radix-sorting the flat record arrays groups the bucket's nodes around each
+// location id with zero hash lookups; the sort puts each group's role-0
+// (location) records before its role-1 (container) records, and visit
+// receives the two segments. sharedPar reports whether the group's location
+// id is a real location — NoLocation as a shared "container" does not count,
+// so equal-container voting applies only when it is set.
+func (ns *nodeSet) walkGroups(dim int, nodes []int32, b *walkBufs, visit func(locs, pars []int32, sharedPar bool)) {
+	n := len(ns.locs)
+	if nodes != nil {
+		n = len(nodes)
+	}
+	if n == 0 {
+		return
+	}
+	b.ensure(2 * n)
+	recKey, recNode := b.recKey[:2*n], b.recNode[:2*n]
+	bucketOf, numBuckets := ns.cellRowB, ns.numRowB
+	if dim == 1 {
+		bucketOf, numBuckets = ns.cellColB, ns.numColB
+	}
+	for k := 0; k < n; k++ {
+		gi := int32(k)
+		if nodes != nil {
+			gi = nodes[k]
+		}
+		base := int64(bucketOf[ns.nodeCell[gi]]) * ns.maxKey
+		recKey[2*k] = (base + int64(ns.locs[gi])) << 1 // role 0: own location
+		recNode[2*k] = gi
+		recKey[2*k+1] = (base+int64(ns.parents[gi]))<<1 | 1 // role 1: container
+		recNode[2*k+1] = gi
+	}
+	radixSortByKey(recKey, recNode, b.tmpKey[:2*n], b.tmpNode[:2*n], (int64(numBuckets)*ns.maxKey)<<1)
+	for lo := 0; lo < len(recKey); {
+		gid := recKey[lo] >> 1
+		hi := lo + 1
+		for hi < len(recKey) && recKey[hi]>>1 == gid {
+			hi++
+		}
+		split := lo
+		for split < hi && recKey[split]&1 == 0 {
+			split++
+		}
+		visit(recNode[lo:split], recNode[split:hi], gid%ns.maxKey != 0)
+		lo = hi
+	}
+}
+
 // BuildGraph constructs the voting graph. A directed edge v -> w exists iff
 // v and w belong to cells in the same row or the same column (but not the
 // same cell) and their locations share a geographic container in the paper's
@@ -98,121 +250,37 @@ func radixSortByKey(keys []int64, nodes []int32, tmpK []int64, tmpN []int32, max
 //
 // The relation is symmetric and its three clauses are mutually exclusive
 // (a location is never its own container and containment is acyclic), so
-// every edge is discovered exactly once via the bucket indexes.
+// every edge is discovered exactly once via the join-group walk. This is the
+// whole-table construction; the component-parallel resolver (components.go)
+// builds the same graph one connected component at a time instead.
 func BuildGraph(interps []Interpretation, g gazetteer.Geo) *Graph {
-	gr := &Graph{g: g}
-
-	// Nodes: one per distinct (cell, candidate) pair, in input order.
-	capHint := 0
-	for _, it := range interps {
-		capHint += len(it.Candidates)
-	}
-	gr.locs = make([]gazetteer.LocID, 0, capHint)
-	gr.parents = make([]gazetteer.LocID, 0, capHint)
-	gr.nodeCell = make([]int32, 0, capHint)
-	cellIdx := map[CellRef]int32{}
-	dup := map[gazetteer.LocID]bool{}
-	for _, it := range interps {
-		ci, ok := cellIdx[it.Cell]
-		if !ok {
-			ci = int32(len(gr.cells))
-			cellIdx[it.Cell] = ci
-			gr.cells = append(gr.cells, it.Cell)
-			gr.cellNodes = append(gr.cellNodes, nil)
-		}
-		if len(it.Candidates) == 0 {
-			continue
-		}
-		clear(dup)
-		for _, ni := range gr.cellNodes[ci] {
-			dup[gr.locs[ni]] = true
-		}
-		for _, loc := range it.Candidates {
-			if loc == gazetteer.NoLocation || dup[loc] {
-				continue
-			}
-			dup[loc] = true
-			ni := int32(len(gr.locs))
-			gr.locs = append(gr.locs, loc)
-			gr.parents = append(gr.parents, g.Parent(loc))
-			gr.nodeCell = append(gr.nodeCell, ci)
-			gr.cellNodes[ci] = append(gr.cellNodes[ci], ni)
-		}
-	}
-
-	// Map distinct rows and columns to dense bucket ids. A node pair
-	// shares at most one bucket (same row and same column would mean the
-	// same cell).
-	rowIdx := map[int]int32{}
-	colIdx := map[int]int32{}
-	cellRowB := make([]int32, len(gr.cells))
-	cellColB := make([]int32, len(gr.cells))
-	for ci, cell := range gr.cells {
-		ri, ok := rowIdx[cell.Row]
-		if !ok {
-			ri = int32(len(rowIdx))
-			rowIdx[cell.Row] = ri
-		}
-		cellRowB[ci] = ri
-		cj, ok := colIdx[cell.Col]
-		if !ok {
-			cj = int32(len(colIdx))
-			colIdx[cell.Col] = cj
-		}
-		cellColB[ci] = cj
+	ns := buildNodes(interps, g)
+	gr := &Graph{
+		g:         g,
+		ns:        ns,
+		cells:     ns.cells,
+		cellNodes: ns.cellNodes,
+		nodeCell:  ns.nodeCell,
+		locs:      ns.locs,
+		parents:   ns.parents,
 	}
 
 	// Discover edges per dimension (rows, then columns) by join groups:
-	// every node contributes two records keyed by (bucket, location id) —
-	// one for its own location, one for its direct container, the role in
-	// the key's low bit. Radix-sorting the flat record arrays groups the
-	// bucket's nodes around each location id with zero hash lookups; within
-	// one group, par×par pairs share their direct container and loc×par
-	// pairs are container-of pairs, both voting in each direction. The
-	// clauses are mutually exclusive and a pair shares at most one bucket,
-	// so each directed edge is emitted exactly once.
+	// within one group, par×par pairs share their direct container and
+	// loc×par pairs are container-of pairs, both voting in each direction.
+	// The clauses are mutually exclusive and a pair shares at most one
+	// bucket, so each directed edge is emitted exactly once.
 	n := len(gr.locs)
-	maxKey := int64(g.Len()) + 1
 	var voters, targets []int32
 	emit := func(v, t int32) {
 		voters = append(voters, v)
 		targets = append(targets, t)
 	}
-	recKey := make([]int64, 2*n)
-	recNode := make([]int32, 2*n)
-	tmpKey := make([]int64, 2*n)
-	tmpNode := make([]int32, 2*n)
+	var b walkBufs
 	for dim := 0; dim < 2; dim++ {
-		bucketOf := cellRowB
-		numBuckets := len(rowIdx)
-		if dim == 1 {
-			bucketOf = cellColB
-			numBuckets = len(colIdx)
-		}
-		for i := 0; i < n; i++ {
-			base := int64(bucketOf[gr.nodeCell[i]]) * maxKey
-			recKey[2*i] = (base + int64(gr.locs[i])) << 1 // role 0: own location
-			recNode[2*i] = int32(i)
-			recKey[2*i+1] = (base+int64(gr.parents[i]))<<1 | 1 // role 1: container
-			recNode[2*i+1] = int32(i)
-		}
-		radixSortByKey(recKey, recNode, tmpKey, tmpNode, (int64(numBuckets)*maxKey)<<1)
-		for lo := 0; lo < len(recKey); {
-			gid := recKey[lo] >> 1
-			hi := lo + 1
-			for hi < len(recKey) && recKey[hi]>>1 == gid {
-				hi++
-			}
-			// Within a group the sort puts role-0 (location) records
-			// before role-1 (container) records.
-			split := lo
-			for split < hi && recKey[split]&1 == 0 {
-				split++
-			}
-			locs, pars := recNode[lo:split], recNode[split:hi]
-			if gid%maxKey != 0 {
-				// Equal direct containers (the paper's base clause;
-				// NoLocation as a shared "container" does not count).
+		ns.walkGroups(dim, nil, &b, func(locs, pars []int32, sharedPar bool) {
+			if sharedPar {
+				// Equal direct containers (the paper's base clause).
 				for _, i := range pars {
 					for _, j := range pars {
 						if gr.nodeCell[i] != gr.nodeCell[j] {
@@ -231,8 +299,7 @@ func BuildGraph(interps []Interpretation, g gazetteer.Geo) *Graph {
 					}
 				}
 			}
-			lo = hi
-		}
+		})
 	}
 
 	// Canonicalise into CSR with every in-list sorted by voter index — the
@@ -300,32 +367,71 @@ func Resolve(interps []Interpretation, g gazetteer.Geo) map[CellRef]gazetteer.Lo
 // by cell and location, for diagnostics and tests. A NoLocation cell's score
 // map is empty.
 func ResolveScores(interps []Interpretation, g gazetteer.Geo) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64) {
-	gr := BuildGraph(interps, g)
-	scores := gr.propagate()
+	choice, detail, _ := ResolveScoresOpt(interps, g, Options{})
+	return choice, detail
+}
 
-	choice := make(map[CellRef]gazetteer.LocID, len(gr.cells))
-	detail := make(map[CellRef]map[gazetteer.LocID]float64, len(gr.cells))
-	for ci, cell := range gr.cells {
-		idxs := gr.cellNodes[ci]
-		best, bestScore := gazetteer.NoLocation, math.Inf(-1)
-		m := make(map[gazetteer.LocID]float64, len(idxs))
-		for _, i := range idxs {
-			loc := gr.locs[i]
-			m[loc] = scores[i]
-			if scores[i] > bestScore || (scores[i] == bestScore && loc < best) {
-				best, bestScore = loc, scores[i]
-			}
-		}
+// ResolveScoresSingle resolves over one whole-table graph — the retained
+// pre-decomposition engine, bit-identical to ResolveScores by construction.
+// It stays callable (not just a test artifact) so the differential suite and
+// cmd/benchgeo can compare the component-parallel path against it at full
+// speed on tables far beyond what the O(n²) seed reference can check.
+func ResolveScoresSingle(interps []Interpretation, g gazetteer.Geo) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64) {
+	if degenerate(interps) {
+		choice, detail, _ := resolveDegenerate(interps)
+		return choice, detail
+	}
+	gr := BuildGraph(interps, g)
+	return gr.ns.choose(gr.propagate())
+}
+
+// choose picks every cell's winner from the final per-node scores: the
+// largest score, ties broken by the smallest LocID for determinism (the
+// paper chooses randomly). A cell whose every interpretation had an empty
+// (or all-invalid) candidate set maps to NoLocation with an empty score map
+// — present in the result, explicitly unresolved, rather than silently
+// missing.
+func (ns *nodeSet) choose(scores []float64) (map[CellRef]gazetteer.LocID, map[CellRef]map[gazetteer.LocID]float64) {
+	choice := make(map[CellRef]gazetteer.LocID, len(ns.cells))
+	detail := make(map[CellRef]map[gazetteer.LocID]float64, len(ns.cells))
+	for ci, cell := range ns.cells {
+		best, m := ns.chooseCell(int32(ci), scores)
 		choice[cell] = best // NoLocation when the cell has no candidates
 		detail[cell] = m
 	}
 	return choice, detail
 }
 
+// chooseCell is choose for a single cell, shared with the streaming path.
+func (ns *nodeSet) chooseCell(ci int32, scores []float64) (gazetteer.LocID, map[gazetteer.LocID]float64) {
+	idxs := ns.cellNodes[ci]
+	best, bestScore := gazetteer.NoLocation, math.Inf(-1)
+	m := make(map[gazetteer.LocID]float64, len(idxs))
+	for _, i := range idxs {
+		loc := ns.locs[i]
+		m[loc] = scores[i]
+		if scores[i] > bestScore || (scores[i] == bestScore && loc < best) {
+			best, bestScore = loc, scores[i]
+		}
+	}
+	return best, m
+}
+
 // propagationParallelThreshold is the node count above which the per-
 // iteration vote summation fans out over a worker pool. Each node's sum is
 // independent, so the cut-over changes wall-clock only, never results.
 const propagationParallelThreshold = 2048
+
+// maxIter and eps are the fixed-point iteration's stopping rule: the loop
+// ends after the first iteration whose largest per-node score change drops
+// below eps, or after maxIter iterations. Shared by the whole-table loop
+// below and the component-parallel resolver, which reproduces the SAME
+// global stopping decision across independently-propagated components (see
+// components.go).
+const (
+	maxIter = 100
+	eps     = 1e-9
+)
 
 // propagate runs the fixed-point iteration and returns the final scores.
 func (gr *Graph) propagate() []float64 {
@@ -346,10 +452,6 @@ func (gr *Graph) propagate() []float64 {
 		workers = min(runtime.GOMAXPROCS(0), 8)
 	}
 
-	const (
-		maxIter = 100
-		eps     = 1e-9
-	)
 	next := make([]float64, n)
 	for iter := 0; iter < maxIter; iter++ {
 		gr.sumVotes(scores, next, workers)
@@ -391,11 +493,17 @@ func (gr *Graph) propagate() []float64 {
 // summed in ascending voter order regardless of the worker count, so the
 // result is bitwise deterministic.
 func (gr *Graph) sumVotes(scores, next []float64, workers int) {
-	n := len(gr.locs)
+	sumVotesCSR(gr.inOff, gr.in, scores, next, workers)
+}
+
+// sumVotesCSR is sumVotes over bare CSR arrays, shared with the
+// component-parallel resolver's per-component propagation.
+func sumVotesCSR(inOff, in []int32, scores, next []float64, workers int) {
+	n := len(inOff) - 1
 	sumRange := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var sum float64
-			for _, v := range gr.in[gr.inOff[i]:gr.inOff[i+1]] {
+			for _, v := range in[inOff[i]:inOff[i+1]] {
 				sum += scores[v]
 			}
 			next[i] = sum

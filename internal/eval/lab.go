@@ -45,6 +45,10 @@ type LabConfig struct {
 	// run (tables are annotated concurrently; <= 1 runs sequentially).
 	// Every reported number is identical at any setting.
 	Parallelism int
+	// GeoWorkers bounds the worker pool resolving disambiguation
+	// components in parallel inside the geo stage (0 = min(GOMAXPROCS,
+	// 8)). Results are bit-identical at any setting.
+	GeoWorkers int
 	// ShareCache enables the cross-table query-verdict cache: repeated
 	// cell values across tables and across analyses stop costing
 	// search-engine round-trips. Off by default because it changes the

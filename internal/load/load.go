@@ -42,6 +42,10 @@ type Config struct {
 	GeocodeFrac float64
 	// Rows is the table height per request.
 	Rows int
+	// GeocodeRows, when > 0, overrides Rows for geocode bodies only — the
+	// knob for driving large tables through the streaming geo stage while
+	// the annotate traffic keeps its usual shape.
+	GeocodeRows int
 	// Seed selects the synthetic universe; it must match the servers'.
 	Seed int64
 	// Distinct suffixes every cell with the request index, defeating any
@@ -112,7 +116,11 @@ func plan(cfg Config) ([]request, error) {
 		if cfg.Rate > 0 {
 			clock += time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
 		}
-		body, err := Body(w, ents, i, cfg.Rows, cfg.Distinct, geo)
+		rows := cfg.Rows
+		if geo && cfg.GeocodeRows > 0 {
+			rows = cfg.GeocodeRows
+		}
+		body, err := Body(w, ents, i, rows, cfg.Distinct, geo)
 		if err != nil {
 			return nil, err
 		}

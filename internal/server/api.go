@@ -203,13 +203,19 @@ type SnapshotFull struct {
 }
 
 // GeoFull is the geo subsystem's point-in-time serving state: the frozen
-// gazetteer's size, the number of POST /v1/geocode requests served, and the
+// gazetteer's size, the number of POST /v1/geocode requests served, the
 // cells resolved across both that endpoint and annotate requests that
-// carried the geocode flag.
+// carried the geocode flag, and the component-parallel resolver's
+// decomposition counters — components resolved cumulatively, the largest
+// component seen, and the high-water mark of pooled per-component scratch
+// bytes held at once (the stage's bounded working memory).
 type GeoFull struct {
 	GazetteerLocations int   `json:"gazetteer_locations"`
 	Requests           int64 `json:"requests"`
 	CellsResolved      int64 `json:"cells_resolved"`
+	Components         int64 `json:"components"`
+	LargestComponent   int64 `json:"largest_component"`
+	PeakScratchBytes   int64 `json:"peak_scratch_bytes"`
 }
 
 // SearchFull is the search engine's point-in-time serving state: total and

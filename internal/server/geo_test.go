@@ -283,6 +283,9 @@ func TestStatzGeo(t *testing.T) {
 	if statz.Geo.Requests < 1 || statz.Geo.CellsResolved < 1 {
 		t.Errorf("geo counters not advancing: %+v", statz.Geo)
 	}
+	if statz.Geo.Components < 1 || statz.Geo.LargestComponent < 1 || statz.Geo.PeakScratchBytes < 1 {
+		t.Errorf("decomposition counters not advancing: %+v", statz.Geo)
+	}
 }
 
 // TestStatzGeoBatch: geo annotations served through /v1/annotate:batch

@@ -625,6 +625,13 @@ func (r *Router) handleStatz(w http.ResponseWriter, req *http.Request) {
 				}
 				out.Geo.Requests += st.Geo.Requests
 				out.Geo.CellsResolved += st.Geo.CellsResolved
+				out.Geo.Components += st.Geo.Components
+				if st.Geo.LargestComponent > out.Geo.LargestComponent {
+					out.Geo.LargestComponent = st.Geo.LargestComponent
+				}
+				if st.Geo.PeakScratchBytes > out.Geo.PeakScratchBytes {
+					out.Geo.PeakScratchBytes = st.Geo.PeakScratchBytes
+				}
 			}
 			if out.Snapshot == nil && st.Snapshot != nil {
 				snap := *st.Snapshot

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -274,43 +275,45 @@ func TestHedgeWins(t *testing.T) {
 func TestWorkerDiesMidBody(t *testing.T) {
 	var dyingHits, healthyHits atomic.Int64
 	wantBody := `{"ok": true}`
-	dying := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	// Ring ownership hashes worker URLs, so which of the two random-port
+	// servers is the key's primary is not known until both exist. Both run
+	// the same handler; dyingHost (assigned before any traffic) selects
+	// which one plays the dying primary — the retry path, not the hedge
+	// path, is under test (hedging is parked far beyond the test's
+	// horizon).
+	var dyingHost string
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" {
 			w.WriteHeader(http.StatusOK)
 			return
 		}
-		dyingHits.Add(1)
-		// Promise more bytes than we send, then abort: the client sees a
-		// transport error mid-body, after the status line already arrived.
-		w.Header().Set("Content-Length", "4096")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte(`{"par`))
-		panic(http.ErrAbortHandler)
-	}))
-	defer dying.Close()
-	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
+		if r.Host == dyingHost {
+			dyingHits.Add(1)
+			// Promise more bytes than we send, then abort: the client
+			// sees a transport error mid-body, after the status line
+			// already arrived.
+			w.Header().Set("Content-Length", "4096")
 			w.WriteHeader(http.StatusOK)
-			return
+			_, _ = w.Write([]byte(`{"par`))
+			panic(http.ErrAbortHandler)
 		}
 		healthyHits.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write([]byte(wantBody))
-	}))
-	defer healthy.Close()
+	})
+	srvA := httptest.NewServer(handler)
+	defer srvA.Close()
+	srvB := httptest.NewServer(handler)
+	defer srvB.Close()
 
 	body := mustMarshal(t, AnnotateRequestJSON{Table: tableJSON(t)})
 	key, status, code, msg := routeKey(body)
 	if code != "" {
 		t.Fatalf("routeKey: %d %s %s", status, code, msg)
 	}
-	// Order the worker list so the dying server is the key's PRIMARY owner
-	// — the retry path, not the hedge path, is under test (hedging is
-	// parked far beyond the test's horizon).
-	workers := []string{dying.URL, healthy.URL}
-	if probe := newRing(workers, 64); probe.owners(key, 2)[0] != 0 {
-		workers = []string{healthy.URL, dying.URL}
-	}
+	workers := []string{srvA.URL, srvB.URL}
+	primary := newRing(workers, 64).owners(key, 2)[0]
+	dyingHost = strings.TrimPrefix(workers[primary], "http://")
 	router := newTestRouter(t, RouterConfig{
 		Workers:       workers,
 		HedgeInitial:  30 * time.Second,

@@ -62,6 +62,30 @@ type Server struct {
 
 	geoRequests atomic.Int64 // POST /v1/geocode calls served
 	geoResolved atomic.Int64 // cells resolved, geocode + annotate paths
+
+	geoComponents  atomic.Int64 // disambiguation components resolved, cumulative
+	geoLargestComp atomic.Int64 // largest component seen, in nodes
+	geoPeakScratch atomic.Int64 // pooled per-component scratch high-water mark, bytes
+}
+
+// raiseMax lifts the atomic to v when v is larger, keeping the running
+// maximum under concurrent writers.
+func raiseMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// recordGeoStats folds one geocode response's decomposition statistics into
+// the server's cumulative geo counters.
+func (s *Server) recordGeoStats(st repro.GeoStats) {
+	s.geoResolved.Add(int64(st.Resolved))
+	s.geoComponents.Add(int64(st.Components))
+	raiseMax(&s.geoLargestComp, int64(st.LargestComponent))
+	raiseMax(&s.geoPeakScratch, st.PeakScratchBytes)
 }
 
 // New builds a Server; it panics when cfg.Service is nil (a wiring bug, not
@@ -225,7 +249,7 @@ func (s *Server) handleGeocode(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.geoRequests.Add(1)
-	s.geoResolved.Add(int64(resp.Stats.Resolved))
+	s.recordGeoStats(resp.Stats)
 	writeJSON(w, http.StatusOK, geocodeToWire(resp))
 }
 
@@ -274,7 +298,7 @@ func (s *Server) handleGeocodeBatch(w http.ResponseWriter, r *http.Request) {
 	out := GeocodeBatchResponseJSON{Responses: make([]GeocodeResponseJSON, len(resps))}
 	for i, resp := range resps {
 		out.Responses[i] = geocodeToWire(resp)
-		s.geoResolved.Add(int64(resp.Stats.Resolved))
+		s.recordGeoStats(resp.Stats)
 	}
 	s.geoRequests.Add(int64(len(resps)))
 	writeJSON(w, http.StatusOK, out)
@@ -383,6 +407,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		GazetteerLocations: svc.Geo().Len(),
 		Requests:           s.geoRequests.Load(),
 		CellsResolved:      s.geoResolved.Load(),
+		Components:         s.geoComponents.Load(),
+		LargestComponent:   s.geoLargestComp.Load(),
+		PeakScratchBytes:   s.geoPeakScratch.Load(),
 	}
 	writeJSON(w, http.StatusOK, out)
 }

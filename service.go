@@ -54,6 +54,7 @@ type settings struct {
 	cacheTTL        time.Duration
 	searchShards    int
 	snapshotPath    string
+	geoWorkers      int
 
 	seedSet       bool
 	scaleSet      bool
@@ -114,6 +115,21 @@ func WithParallelism(n int) Option {
 			return &OptionError{Option: "WithParallelism", Value: fmt.Sprint(n)}
 		}
 		s.parallelism = n
+		return nil
+	}
+}
+
+// WithGeoWorkers bounds the worker pool that resolves disambiguation
+// components in parallel inside the geocode stage. Components are
+// independent, so results are bit-identical at any setting — only latency
+// and peak scratch memory (O(largest component × workers)) change. 0 (the
+// default) selects min(GOMAXPROCS, 8); negative values are rejected.
+func WithGeoWorkers(n int) Option {
+	return func(s *settings) error {
+		if n < 0 {
+			return &OptionError{Option: "WithGeoWorkers", Value: fmt.Sprint(n)}
+		}
+		s.geoWorkers = n
 		return nil
 	}
 }
@@ -294,6 +310,7 @@ func (s *Service) finish(st settings) {
 		Parallelism:  st.parallelism,
 		Cache:        s.lab.Cache,
 		CacheSalt:    s.clf,
+		GeoWorkers:   st.geoWorkers,
 	}
 }
 
@@ -648,6 +665,15 @@ type GeoStats struct {
 	// Ambiguous is the number of resolved cells that had more than one
 	// candidate interpretation before disambiguation.
 	Ambiguous int
+	// Components and LargestComponent describe the voting graph's
+	// connected-component decomposition: how many independent units the
+	// table split into, and the node count of the biggest one.
+	Components       int
+	LargestComponent int
+	// PeakScratchBytes is the high-water mark of pooled per-component
+	// scratch held concurrently while resolving — the stage's bounded
+	// working memory, O(largest component × workers).
+	PeakScratchBytes int64
 }
 
 // GeocodeResponse is the result of one GeocodeRequest.
@@ -682,18 +708,24 @@ func (s *Service) Geocode(ctx context.Context, req *GeocodeRequest) (*GeocodeRes
 		return nil, err
 	}
 	start := time.Now()
-	gas, err := s.base.GeoAnnotate(ctx, req.Table)
+	gas, stage, err := s.base.GeoAnnotateStats(ctx, req.Table)
 	if err != nil {
 		return nil, err
 	}
-	resp := &GeocodeResponse{Annotations: gas, Stats: geoStats(req.Table, gas)}
+	resp := &GeocodeResponse{Annotations: gas, Stats: geoStats(req.Table, gas, stage)}
 	resp.Timing = Timing{Total: time.Since(start)}
 	return resp, nil
 }
 
-// geoStats derives the run summary from the table and its annotations.
-func geoStats(t *Table, gas []GeoAnnotation) GeoStats {
-	st := GeoStats{Resolved: len(gas)}
+// geoStats derives the run summary from the table, its annotations and the
+// stage's decomposition statistics.
+func geoStats(t *Table, gas []GeoAnnotation, stage annotate.GeoStageStats) GeoStats {
+	st := GeoStats{
+		Resolved:         len(gas),
+		Components:       stage.Components,
+		LargestComponent: stage.LargestComponent,
+		PeakScratchBytes: stage.PeakScratchBytes,
+	}
 	for _, j := range t.ColumnIndexesOfType(table.Location) {
 		for i := 1; i <= t.NumRows(); i++ {
 			if strings.TrimSpace(t.Cell(i, j)) != "" {
